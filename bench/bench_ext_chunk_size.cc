@@ -1,0 +1,38 @@
+// Extension: chunk-size ablation.
+//
+// The paper fixes 64-token chunks (§4.2.1) without sweeping the choice. This bench
+// shows why 64 sits at the knee: smaller chunks fall under the SSD latency-bandwidth
+// knee (restoration slows down) and multiply flush IOs; larger chunks restore no
+// faster but hold more DRAM staging per open (sequence, layer) buffer and waste more
+// space in the sealed-but-partial tail chunk.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/restorer.h"
+#include "src/storage/io_timing.h"
+
+using namespace hcache;
+
+int main() {
+  PrintTitle("Extension: chunk-size ablation (13B, A100 + 4 SSDs, history = 1024)");
+  const Platform platform = Platform::DefaultTestbed(1, 4);
+  const ModelConfig cfg = ModelConfig::Llama2_13B();
+  const StorageIoModel io(platform);
+
+  std::printf("  %8s | %10s %12s | %12s %14s\n", "chunk", "chunk size", "layer read",
+              "HCache speed", "staging/layer");
+  for (const int64_t chunk : {4, 16, 64, 256, 1024}) {
+    Restorer r(platform, cfg, StorageLayout::kLayerChunked, chunk);
+    const RestoreResult res = r.Restore(RestoreMethod::kHCache, 1024);
+    const double layer_read =
+        io.HiddenLayerReadTime(cfg, 1024, StorageLayout::kLayerChunked, chunk);
+    const int64_t chunk_bytes = chunk * cfg.HiddenBytesPerTokenLayer();
+    std::printf("  %8lld | %9.0fKB %10.2fms | %9.1fK t/s %11.0f KB\n",
+                static_cast<long long>(chunk), chunk_bytes / 1024.0, layer_read * 1e3,
+                res.TokensPerSecond() / 1e3, chunk_bytes / 1024.0);
+  }
+  PrintNote("the paper's 64-token chunk (640 KB for 13B) is the smallest size that");
+  PrintNote("already streams at full aggregate bandwidth; growing it buys nothing and");
+  PrintNote("inflates staging buffers and tail-chunk waste.");
+  return 0;
+}

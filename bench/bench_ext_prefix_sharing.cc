@@ -1,0 +1,80 @@
+// Extension: prefix-sharing-aware hidden-state storage.
+//
+// Many contexts start with the same system prompt or retrieved document. Their prefix
+// hidden states are identical (causal attention), so SharedPrefixManager stores them
+// once. This bench measures, on a real (tiny) model with real file-backed storage, the
+// bytes stored with and without sharing as the number of users of one prefix grows —
+// and verifies every restored context decodes identically to a fresh prefill.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/core/shared_prefix.h"
+
+using namespace hcache;
+
+int main() {
+  PrintTitle("Extension: prefix sharing (functional, file-backed)");
+  const ModelConfig cfg = ModelConfig::TinyLlama(4, 64, 4);
+  const ModelWeights weights = ModelWeights::Random(cfg, 21);
+  Transformer model(&weights);
+  KvBlockPool pool(KvPoolConfig::ForModel(cfg, 512, 8));
+
+  const auto dir = std::filesystem::temp_directory_path() / "hcache_prefix_bench";
+  std::filesystem::remove_all(dir);
+
+  Rng rng(5);
+  const int64_t prefix_len = 48;  // shared system prompt
+  const int64_t suffix_len = 16;  // per-user question
+  std::vector<int32_t> prefix(static_cast<size_t>(prefix_len));
+  for (auto& t : prefix) {
+    t = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(cfg.vocab_size)));
+  }
+
+  std::printf("  %7s | %14s %14s | %8s | %s\n", "users", "shared bytes", "naive bytes",
+              "saving", "verified");
+  for (const int num_users : {1, 4, 16, 64}) {
+    ChunkStore store({(dir / ("d" + std::to_string(num_users))).string()}, 1 << 20);
+    SharedPrefixManager mgr(&model, &store, /*chunk_tokens=*/8);
+    Rng user_rng(100 + num_users);
+
+    int verified = 0;
+    int64_t pid = -1;
+    for (int u = 0; u < num_users; ++u) {
+      pid = mgr.InternPrefix(prefix, &pool);
+      std::vector<int32_t> suffix(static_cast<size_t>(suffix_len));
+      for (auto& t : suffix) {
+        t = static_cast<int32_t>(user_rng.NextBounded(static_cast<uint64_t>(cfg.vocab_size)));
+      }
+      std::vector<int32_t> full = prefix;
+      full.insert(full.end(), suffix.begin(), suffix.end());
+
+      PagedKvSequence seq(&pool);
+      model.Forward(full, &seq, mgr.BeginSuffixCapture(u, pid));
+      mgr.SealContext(u);
+      seq.Evict();
+      CHECK(mgr.RestoreContext(u, pid, &seq));
+      PagedKvSequence ref(&pool);
+      model.Forward(full, &ref);
+      verified += model.GreedyDecode(full.back(), 4, &seq) ==
+                  model.GreedyDecode(full.back(), 4, &ref);
+    }
+
+    const int64_t shared_bytes = store.bytes_stored();
+    const int64_t naive_bytes =
+        static_cast<int64_t>(num_users) * cfg.num_layers * (prefix_len + suffix_len) *
+        cfg.hidden_dim * static_cast<int64_t>(sizeof(float));
+    std::printf("  %7d | %14lld %14lld | %7.2fx | %d/%d decode-exact\n", num_users,
+                static_cast<long long>(shared_bytes), static_cast<long long>(naive_bytes),
+                static_cast<double>(naive_bytes) / static_cast<double>(shared_bytes),
+                verified, num_users);
+  }
+  const double asymptote = static_cast<double>(prefix_len + suffix_len) / suffix_len;
+  std::printf("\n  asymptotic saving = (prefix+suffix)/suffix = %.1fx for this workload\n",
+              asymptote);
+  PrintNote("related GPU-side prefix reuse (PromptCache/SGLang) covers the hit path;");
+  PrintNote("this shares the hidden states HCache stores on the miss path.");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

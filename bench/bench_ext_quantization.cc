@@ -1,0 +1,112 @@
+// Extension: INT8 hidden-state quantization (paper §7, CacheGen-style).
+//
+// Two halves:
+//   (1) functional — quantize a tiny model's captured hidden states, restore KV from
+//       the dequantized rows, and measure the actual KV error and the drift of the
+//       decoded logits (lossy, but tightly bounded);
+//   (2) performance — halve hidden-state IO in the offline profile, re-run the
+//       bubble-free solver, and report the predicted restoration speedup on the
+//       paper's testbed (IO-bound platforms gain the most).
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/core/partition.h"
+#include "src/core/quantize.h"
+#include "src/core/restorer.h"
+#include "src/model/transformer.h"
+
+using namespace hcache;
+
+namespace {
+
+// Captures layer inputs into dense per-layer tensors.
+class DenseSink : public HiddenStateSink {
+ public:
+  DenseSink(const ModelConfig& cfg, int64_t max_tokens)
+      : cfg_(cfg), layers_(static_cast<size_t>(cfg.num_layers)) {
+    for (auto& t : layers_) {
+      t = Tensor({max_tokens, cfg.hidden_dim});
+    }
+  }
+  void OnLayerInput(int64_t layer, const Tensor& hidden, const int32_t* positions,
+                    int64_t n) override {
+    for (int64_t i = 0; i < n; ++i) {
+      std::copy(hidden.row(i), hidden.row(i) + cfg_.hidden_dim,
+                layers_[static_cast<size_t>(layer)].row(positions[i]));
+    }
+  }
+  const Tensor& layer(int64_t l) const { return layers_[static_cast<size_t>(l)]; }
+
+ private:
+  ModelConfig cfg_;
+  std::vector<Tensor> layers_;
+};
+
+}  // namespace
+
+int main() {
+  PrintTitle("Extension: hidden-state quantization (INT8 per-row)");
+
+  PrintSection("(1) functional fidelity on a tiny Llama (4L x 64d)");
+  const ModelConfig cfg = ModelConfig::TinyLlama(4, 64, 4);
+  const ModelWeights weights = ModelWeights::Random(cfg, 42);
+  Transformer model(&weights);
+  KvBlockPool pool(KvPoolConfig::ForModel(cfg, 64, 8));
+  const int64_t n = 24;
+  Rng rng(1);
+  std::vector<int32_t> prompt(static_cast<size_t>(n));
+  for (auto& t : prompt) {
+    t = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(cfg.vocab_size)));
+  }
+  DenseSink sink(cfg, n);
+  PagedKvSequence seq(&pool);
+  model.Forward(prompt, &seq, &sink);
+
+  std::vector<int32_t> positions(static_cast<size_t>(n));
+  std::iota(positions.begin(), positions.end(), 0);
+  double worst_kv_err = 0, compression = 0;
+  for (int64_t layer = 0; layer < cfg.num_layers; ++layer) {
+    const QuantizedRows q = QuantizeRows(sink.layer(layer));
+    compression = CompressionVsFp16(q);
+    const Tensor approx = DequantizeRows(q);
+    Tensor k_exact, v_exact, k_q, v_q;
+    model.RestoreLayerKv(layer, sink.layer(layer), positions.data(), &k_exact, &v_exact);
+    model.RestoreLayerKv(layer, approx, positions.data(), &k_q, &v_q);
+    worst_kv_err = std::max<double>(worst_kv_err, Tensor::MaxAbsDiff(k_exact, k_q));
+    worst_kv_err = std::max<double>(worst_kv_err, Tensor::MaxAbsDiff(v_exact, v_q));
+  }
+  std::printf("  compression vs FP16 hidden states: %.2fx\n", compression);
+  std::printf("  worst restored-KV element error  : %.4g (KV values are O(1))\n",
+              worst_kv_err);
+
+  PrintSection("(2) predicted restoration speed with INT8 hidden transport");
+  struct Case {
+    const char* label;
+    Platform platform;
+    ModelConfig cfg;
+  };
+  const Case cases[] = {
+      {"7B  / A100+4SSD", Platform::DefaultTestbed(1, 4), ModelConfig::Llama2_7B()},
+      {"7B  / A100+1SSD (IO-bound)", Platform::ComputeSufficient(), ModelConfig::Llama2_7B()},
+      {"13B / A100+4SSD", Platform::Balanced(), ModelConfig::Llama2_13B()},
+  };
+  std::printf("  %-28s | %10s %10s | %7s\n", "platform", "FP16 hid", "INT8 hid", "gain");
+  for (const auto& c : cases) {
+    Restorer r(c.platform, c.cfg);
+    const LayerProfile fp16 = r.Profile(1024);
+    LayerProfile int8 = fp16;
+    int8.io_hidden *= 0.5;  // INT8 halves the hidden-state bytes; KV stays FP16
+    const PartitionScheme s16 = SolveLayerWise(fp16, c.cfg.num_layers);
+    const PartitionScheme s8 = SolveLayerWise(int8, c.cfg.num_layers);
+    const double speed16 = 1024.0 / s16.predicted_time / 1e3;
+    const double speed8 = 1024.0 / s8.predicted_time / 1e3;
+    std::printf("  %-28s | %8.1fK  %8.1fK  | %6.2fx\n", c.label, speed16, speed8,
+                speed8 / speed16);
+  }
+  PrintNote("quantization helps exactly where transmission binds (1-SSD platforms);");
+  PrintNote("compute-bound platforms see ~1x — the scheduler already hid the IO.");
+  return 0;
+}

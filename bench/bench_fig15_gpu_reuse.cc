@@ -1,0 +1,61 @@
+// Figure 15: performance with on-GPU KV reuse.
+//
+// An LRU cache of contexts sits in front of restoration; request arrivals reuse
+// contexts with Zipfian skew alpha (uniform at 0). Paper: the hit ratio rises from 15%
+// (uniform) to 94% (alpha=2); the GPU cache cuts TTFT 3.76-10.03x; HCache remains
+// 1.67x faster than KV offload at uniform and 1.15x (1.98x vs recompute) at high skew.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/serving/engine.h"
+#include "src/workload/arrival.h"
+
+using namespace hcache;
+
+int main() {
+  PrintTitle("Figure 15: serving with on-GPU KV reuse (7B, A100 + 4 SSDs)");
+  const ModelConfig cfg = ModelConfig::Llama2_7B();
+  const Platform platform = Platform::DefaultTestbed(1, 4);
+  LEvalGenerator gen(1500);
+  const auto trace = gen.MixedTrace(600);
+  const int64_t num_contexts = 64;
+
+  // Cache sized so the uniform pattern yields the paper's ~15% hit ratio.
+  int64_t mean_ctx = 0;
+  for (const auto& r : trace) {
+    mean_ctx += r.context_tokens;
+  }
+  mean_ctx /= static_cast<int64_t>(trace.size());
+  const int64_t cache_tokens = mean_ctx * num_contexts * 15 / 100;
+
+  std::printf("  %-8s | %9s | %10s %10s %10s | %8s %8s\n", "alpha", "hit-ratio", "Recomp",
+              "KVoff", "HCache", "H vs KV", "H vs RE");
+  for (const double alpha : {0.0, 1.2, 1.4, 1.6, 1.8, 2.0}) {
+    double ttft[3] = {};
+    double hit = 0;
+    const RestoreMethod methods[] = {RestoreMethod::kRecompute, RestoreMethod::kKvOffload,
+                                     RestoreMethod::kHCache};
+    for (int m = 0; m < 3; ++m) {
+      ZipfianContextChooser chooser(num_contexts, alpha, 777);
+      std::vector<int64_t> ids;
+      ids.reserve(trace.size());
+      for (size_t i = 0; i < trace.size(); ++i) {
+        ids.push_back(chooser.NextContext());
+      }
+      ServingOptions o;
+      o.method = methods[m];
+      ServingEngine engine(platform, cfg, o);
+      const ServingReport rep = engine.RunWithGpuCache(trace, ids, cache_tokens);
+      ttft[m] = rep.ttft.Mean();
+      hit = rep.cache_hit_ratio;
+    }
+    std::printf("  %-8s | %8.1f%% | %8.1fms %8.1fms %8.1fms | %7.2fx %7.2fx\n",
+                alpha == 0.0 ? "uniform" : std::to_string(alpha).substr(0, 3).c_str(),
+                hit * 100, ttft[0] * 1e3, ttft[1] * 1e3, ttft[2] * 1e3, ttft[1] / ttft[2],
+                ttft[0] / ttft[2]);
+  }
+  PrintNote("hit ratio 15% -> 94% as alpha goes uniform -> 2.0; cache cuts TTFT");
+  PrintNote("3.76-10.03x; HCache stays 1.15-1.67x ahead of KV offload (Fig 15).");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 4: state-restoration overhead of existing methods vs the ideal case.
+//
+// Setup follows the paper: L-Eval trace, Llama2-7B/13B on one A100 + 4 SSDs, OPT-30B on
+// 4x A100 (TP) with one SSD each. Paper: recomputation is 20.0-26.0x slower than ideal,
+// KV offload 6.5-13.0x.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/serving/engine.h"
+
+using namespace hcache;
+
+namespace {
+
+void RunModel(const ModelConfig& cfg, const Platform& platform) {
+  LEvalGenerator gen(404);
+  const auto trace = gen.MixedTrace(100);
+
+  std::printf("%-12s (%s)\n", cfg.name.c_str(), platform.Describe().c_str());
+  double ideal_mean = 0;
+  for (const auto method : {RestoreMethod::kIdeal, RestoreMethod::kKvOffload,
+                            RestoreMethod::kRecompute}) {
+    ServingOptions o;
+    o.method = method;
+    ServingEngine engine(platform, cfg, o);
+    const ServingReport rep = engine.RunLongContextSerial(trace);
+    const double mean = rep.ttft.Mean();
+    if (method == RestoreMethod::kIdeal) {
+      ideal_mean = mean;
+    }
+    std::printf("  %-11s TTFT mean %7.3f s  p50 %7.3f s   (%.1fx ideal)\n",
+                RestoreMethodName(method), mean, rep.ttft.Median(), mean / ideal_mean);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Figure 4: comparison of state restoration overhead (L-Eval)");
+  RunModel(ModelConfig::Llama2_7B(), Platform::DefaultTestbed(1, 4));
+  RunModel(ModelConfig::Llama2_13B(), Platform::DefaultTestbed(1, 4));
+  RunModel(ModelConfig::Opt30B(), Platform::DefaultTestbed(4, 4));
+  PrintNote("recomputation 20.0-26.0x slower than ideal; KV offload 6.5-13.0x (Fig 4).");
+  return 0;
+}

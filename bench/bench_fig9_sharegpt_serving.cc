@@ -1,0 +1,71 @@
+// Figure 9: end-to-end serving on the ShareGPT4 multi-round-conversation trace.
+//
+// TTFT (a-c) and TBT (d-f) versus session arrival rate for Llama2-7B, Llama2-13B
+// (1x A100 + 4 SSDs) and OPT-30B (4x A100 TP, 1 SSD each). Sessions arrive Poisson;
+// rounds are spaced by a 30 s think time; the KV cache is evicted when a round ends.
+//
+// Paper: HCache improves TTFT by 1.27-1.90x over KV offload and 2.21-3.57x over
+// recomputation; TBT stays within 4% of ideal; HCache sustains ~11% more load.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/serving/engine.h"
+
+using namespace hcache;
+
+namespace {
+
+// Round interval: the paper uses 30 s; we keep the ratio of think time to service time
+// but shrink the trace so the bench completes quickly on one core.
+constexpr double kRoundInterval = 30.0;
+constexpr int64_t kSessions = 250;
+
+void RunModel(const ModelConfig& cfg, const Platform& platform,
+              const std::vector<double>& loads, int64_t max_history) {
+  std::printf("%s (%s), %lld sessions, %.0fs round interval\n", cfg.name.c_str(),
+              platform.Describe().c_str(), static_cast<long long>(kSessions),
+              kRoundInterval);
+  std::printf("  %-10s |", "load (s/s)");
+  for (const double l : loads) {
+    std::printf(" %8.2f", l);
+  }
+  std::printf("\n");
+  const RestoreMethod methods[] = {RestoreMethod::kRecompute, RestoreMethod::kKvOffload,
+                                   RestoreMethod::kHCache, RestoreMethod::kIdeal};
+  for (const auto metric : {0, 1}) {  // 0 = TTFT, 1 = TBT
+    std::printf("  %s:\n", metric == 0 ? "TTFT (s)" : "TBT (s)");
+    for (const auto method : methods) {
+      std::printf("  %-10s |", RestoreMethodName(method));
+      for (const double load : loads) {
+        ServingOptions o;
+        o.method = method;
+        o.max_history_tokens = max_history;
+        ServingEngine engine(platform, cfg, o);
+        const ServingReport rep = engine.RunConversations(load, kSessions, kRoundInterval,
+                                                          /*seed=*/97);
+        std::printf(" %8.3f", metric == 0 ? rep.ttft.Mean() : rep.tbt.Mean());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Figure 9: ShareGPT4 multi-round conversation serving");
+  // Our synthetic conversations run longer (~6 rounds) than the sampled ShareGPT4
+  // sessions, so offered load per session is heavier and saturation arrives at a lower
+  // sessions/s than the paper's axis; each sweep ends at our saturation point, as the
+  // paper's does. The 13B deployment caps context at 8K (its pool holds ~15K tokens).
+  RunModel(ModelConfig::Llama2_7B(), Platform::DefaultTestbed(1, 4),
+           {0.05, 0.1, 0.2, 0.3, 0.4}, 16384);
+  RunModel(ModelConfig::Llama2_13B(), Platform::DefaultTestbed(1, 4),
+           {0.02, 0.04, 0.06, 0.08, 0.10}, 8192);
+  RunModel(ModelConfig::Opt30B(), Platform::DefaultTestbed(4, 4),
+           {0.1, 0.2, 0.3, 0.4, 0.5}, 16384);
+  PrintNote("TTFT: HCache 1.27-1.90x vs KV offload, 2.21-3.57x vs recompute (Fig 9a-c);");
+  PrintNote("TBT: HCache within 4% of ideal (Fig 9d-f).");
+  return 0;
+}

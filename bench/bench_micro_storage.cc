@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark) for the real storage path: chunk-store writes and
+// reads, the two-stage saver's snapshot stage, and full save/restore round trips.
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <numeric>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/storage/chunk_store.h"
+#include "src/storage/hidden_saver.h"
+
+namespace hcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> TempDirs(const char* tag, int n) {
+  std::vector<std::string> dirs;
+  const auto base = fs::temp_directory_path() /
+                    ("hcache_bench_" + std::to_string(::getpid()) + "_" + tag);
+  for (int i = 0; i < n; ++i) {
+    dirs.push_back((base / ("d" + std::to_string(i))).string());
+  }
+  return dirs;
+}
+
+void BM_ChunkWrite(benchmark::State& state) {
+  const int64_t chunk_bytes = state.range(0);
+  ChunkStore store(TempDirs("write", 4), chunk_bytes);
+  std::vector<char> payload(static_cast<size_t>(chunk_bytes), 'x');
+  int64_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.WriteChunk({1, 0, idx++}, payload.data(), chunk_bytes));
+  }
+  state.SetBytesProcessed(state.iterations() * chunk_bytes);
+  state.counters["chunks"] = static_cast<double>(store.chunks_stored());
+}
+BENCHMARK(BM_ChunkWrite)->Arg(64 * 1024)->Arg(512 * 1024);
+
+void BM_ChunkRead(benchmark::State& state) {
+  const int64_t chunk_bytes = state.range(0);
+  ChunkStore store(TempDirs("read", 4), chunk_bytes);
+  std::vector<char> payload(static_cast<size_t>(chunk_bytes), 'y');
+  constexpr int64_t kChunks = 64;
+  for (int64_t c = 0; c < kChunks; ++c) {
+    store.WriteChunk({1, 0, c}, payload.data(), chunk_bytes);
+  }
+  std::vector<char> buf(static_cast<size_t>(chunk_bytes));
+  int64_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.ReadChunk({1, 0, idx++ % kChunks}, buf.data(), chunk_bytes));
+  }
+  state.SetBytesProcessed(state.iterations() * chunk_bytes);
+}
+BENCHMARK(BM_ChunkRead)->Arg(64 * 1024)->Arg(512 * 1024);
+
+void BM_TwoStageSaveDecodeStep(benchmark::State& state) {
+  // One decode iteration's stage-1 snapshot across all layers of a tiny model.
+  const ModelConfig cfg = ModelConfig::TinyLlama(8, 128, 4);
+  ChunkStore store(TempDirs("save", 4), 64 * cfg.hidden_dim * sizeof(float));
+  ThreadPool pool(4);
+  HiddenStateWriter writer(&store, &pool, cfg, 1, 64);
+  Tensor row({1, cfg.hidden_dim});
+  row.Fill(0.5f);
+  int32_t pos = 0;
+  for (auto _ : state) {
+    for (int64_t layer = 0; layer < cfg.num_layers; ++layer) {
+      writer.OnLayerInput(layer, row, &pos, 1);
+    }
+    ++pos;
+  }
+  writer.Seal();
+  state.SetItemsProcessed(state.iterations() * cfg.num_layers);
+}
+BENCHMARK(BM_TwoStageSaveDecodeStep);
+
+void BM_SaveRestoreRoundTrip(benchmark::State& state) {
+  const ModelConfig cfg = ModelConfig::TinyLlama(4, 128, 4);
+  const int64_t n = state.range(0);
+  ChunkStore store(TempDirs("trip", 2), 64 * cfg.hidden_dim * sizeof(float));
+  Rng rng(1);
+  Tensor batch({n, cfg.hidden_dim});
+  for (int64_t i = 0; i < batch.numel(); ++i) {
+    batch.at(i) = static_cast<float>(rng.NextNormal(0, 1));
+  }
+  std::vector<int32_t> positions(static_cast<size_t>(n));
+  std::iota(positions.begin(), positions.end(), 0);
+  int64_t ctx = 0;
+  for (auto _ : state) {
+    HiddenStateWriter writer(&store, nullptr, cfg, ctx, 64);
+    for (int64_t layer = 0; layer < cfg.num_layers; ++layer) {
+      writer.OnLayerInput(layer, batch, positions.data(), n);
+    }
+    writer.Seal();
+    HiddenStateReader reader(&store, cfg, 64);
+    Tensor back = reader.ReadLayer(ctx, cfg.num_layers - 1, n);
+    benchmark::DoNotOptimize(back.data());
+    store.DeleteContext(ctx);
+    ++ctx;
+  }
+  state.SetItemsProcessed(state.iterations() * n * cfg.num_layers);
+}
+BENCHMARK(BM_SaveRestoreRoundTrip)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace hcache
+
+BENCHMARK_MAIN();

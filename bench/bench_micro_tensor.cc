@@ -1,0 +1,112 @@
+// Microbenchmarks (google-benchmark) for the functional-plane kernels: GEMM, the
+// restoration projection, RoPE, softmax, and a tiny-model forward pass. These measure
+// this host's CPU, not the paper's GPUs — they exist to keep the functional plane's
+// performance honest (and to catch accidental kernel regressions).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "src/common/rng.h"
+#include "src/model/transformer.h"
+#include "src/tensor/gemm.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/rope.h"
+
+namespace hcache {
+namespace {
+
+Tensor RandomTensor(int64_t r, int64_t c, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t({r, c});
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = static_cast<float>(rng.NextNormal(0, 1));
+  }
+  return t;
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomTensor(n, n, 1), b = RandomTensor(n, n, 2), c({n, n});
+  for (auto _ : state) {
+    GemmNN(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(GemmFlops(n, n, n)));
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_KvProjection(benchmark::State& state) {
+  // The restoration hot loop: [tokens, hidden] x [hidden, kv]^T.
+  const int64_t tokens = state.range(0);
+  const int64_t hidden = 256;
+  Tensor x = RandomTensor(tokens, hidden, 3);
+  Tensor w = RandomTensor(hidden, hidden, 4);
+  for (auto _ : state) {
+    Tensor k = MatMulTransposedB(x, w);
+    benchmark::DoNotOptimize(k.data());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+}
+BENCHMARK(BM_KvProjection)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Rope(benchmark::State& state) {
+  const int64_t tokens = state.range(0);
+  Tensor x = RandomTensor(tokens, 256, 5);
+  for (auto _ : state) {
+    ApplyRopeContiguous(x, 0, 4, 64);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+}
+BENCHMARK(BM_Rope)->Arg(64)->Arg(512);
+
+void BM_Softmax(benchmark::State& state) {
+  Tensor x = RandomTensor(64, state.range(0), 6);
+  for (auto _ : state) {
+    Tensor t = x.Clone();
+    SoftmaxLastDim(t);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(128)->Arg(1024);
+
+void BM_TinyModelPrefill(benchmark::State& state) {
+  const ModelConfig cfg = ModelConfig::TinyLlama(4, 64, 4);
+  const ModelWeights weights = ModelWeights::Random(cfg, 7);
+  Transformer model(&weights);
+  Rng rng(8);
+  std::vector<int32_t> tokens(static_cast<size_t>(state.range(0)));
+  for (auto& t : tokens) {
+    t = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(cfg.vocab_size)));
+  }
+  for (auto _ : state) {
+    KvBlockPool pool(KvPoolConfig::ForModel(cfg, 64, 16));
+    PagedKvSequence seq(&pool);
+    Tensor out = model.Forward(tokens, &seq);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TinyModelPrefill)->Arg(32)->Arg(128);
+
+void BM_RestoreLayerKv(benchmark::State& state) {
+  const ModelConfig cfg = ModelConfig::TinyLlama(4, 64, 4);
+  const ModelWeights weights = ModelWeights::Random(cfg, 9);
+  Transformer model(&weights);
+  const int64_t n = state.range(0);
+  Tensor hidden = RandomTensor(n, cfg.hidden_dim, 10);
+  std::vector<int32_t> positions(static_cast<size_t>(n));
+  std::iota(positions.begin(), positions.end(), 0);
+  for (auto _ : state) {
+    Tensor k, v;
+    model.RestoreLayerKv(1, hidden, positions.data(), &k, &v);
+    benchmark::DoNotOptimize(k.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RestoreLayerKv)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace hcache
+
+BENCHMARK_MAIN();

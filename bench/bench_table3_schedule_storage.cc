@@ -1,0 +1,57 @@
+// Table 3: bubble-free scheduling results and per-token storage cost, plus the §6.1.3
+// balanced-bandwidth figures.
+//
+// Paper values: 7B = 31 H + 1 KV (132 KiB vs 256 KiB); 13B = 36 H + 4 KV (210 vs 400);
+// OPT-30B = 40 H + 8 RE (280 vs 672); balanced bandwidth ~24/21/37 GB/s.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/units.h"
+#include "src/core/partition.h"
+#include "src/core/profiler.h"
+
+using namespace hcache;
+
+int main() {
+  PrintTitle("Table 3: scheduling results and per-token storage cost");
+  std::printf("%-12s %-22s | %-16s | %12s %12s %7s | %10s\n", "model", "platform", "schedule",
+              "HCache KiB", "KVoff KiB", "ratio", "bal. GB/s");
+
+  struct Case {
+    ModelConfig cfg;
+    Platform platform;
+  };
+  const Case cases[] = {
+      {ModelConfig::Llama2_7B(), Platform::DefaultTestbed(1, 4)},
+      {ModelConfig::Llama2_13B(), Platform::DefaultTestbed(1, 4)},
+      {ModelConfig::Opt30B(), Platform::DefaultTestbed(4, 4)},
+  };
+  for (const auto& c : cases) {
+    const LayerProfile prof = ProfileLayer(c.platform, c.cfg, 1024);
+    const PartitionScheme s = SolveLayerWise(prof, c.cfg.num_layers);
+    // Table 3 reports storage as elements (1 byte/element units); see DESIGN.md 4.4.
+    const double hcache_kib = static_cast<double>(s.StoredElementsPerToken(c.cfg)) / 1024.0;
+    const double kv_kib =
+        static_cast<double>(c.cfg.KvBytesPerToken() / c.cfg.state_dtype_bytes) / 1024.0;
+    char sched[64];
+    std::snprintf(sched, sizeof(sched), "%lld H + %lld %s",
+                  static_cast<long long>(s.layers_hidden),
+                  static_cast<long long>(s.layers_other),
+                  s.complement == ComplementMethod::kKvOffload   ? "KV"
+                  : s.complement == ComplementMethod::kRecompute ? "RE"
+                                                                 : "-");
+    std::printf("%-12s %-22s | %-16s | %12.0f %12.0f %6.2fx | %10.1f\n", c.cfg.name.c_str(),
+                c.platform.Describe().c_str(), sched, hcache_kib, kv_kib,
+                kv_kib / hcache_kib, BalancedBandwidth(c.platform, c.cfg, 1024) / kGB);
+  }
+  PrintNote("Table 3: 7B '31 H + 1 KV' 132 vs 256 KiB; 13B '36 H + 4 KV' 210 vs 400 KiB;");
+  PrintNote("30B '40 H + 8 RE' 280 vs 672 KiB; storage ratio band 1.92-2.40x.");
+  PrintNote("balanced bandwidth ~24 / 21 / 37 GB/s for 7B / 13B / 30B (Section 6.1.3).");
+
+  PrintSection("offline profiles (1024-token history)");
+  for (const auto& c : cases) {
+    std::printf("%-12s %s\n", c.cfg.name.c_str(),
+                ProfileLayer(c.platform, c.cfg, 1024).ToString().c_str());
+  }
+  return 0;
+}

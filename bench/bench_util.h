@@ -1,0 +1,24 @@
+// Shared console-reporting helpers for the per-figure bench binaries.
+//
+// Every bench prints (a) the series/rows the paper's figure or table reports, and
+// (b) a "paper:" annotation with the published values or ratio bands, so the output is
+// directly comparable. EXPERIMENTS.md records the comparison.
+#ifndef HCACHE_BENCH_BENCH_UTIL_H_
+#define HCACHE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace hcache {
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintSection(const std::string& s) { std::printf("\n-- %s --\n", s.c_str()); }
+
+inline void PrintNote(const std::string& s) { std::printf("   [paper] %s\n", s.c_str()); }
+
+}  // namespace hcache
+
+#endif  // HCACHE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,80 @@
+// Platform advisor: given a hardware description, print the offline profile, the
+// bubble-free partition schedule the scheduler would pick, the predicted restoration
+// speed of every method, and the per-token storage bill.
+//
+// This is the operator-facing view of §4.1: "should I enable HCache on this box, and
+// what will it decide to do?"
+//
+// Usage:
+//   ./build/examples/platform_advisor [--gpu=A100|A30|4090|L20|H800] [--gpus=N]
+//                                     [--ssds=N|dram] [--model=7b|13b|30b] [--ctx=N]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/core/restorer.h"
+
+using namespace hcache;
+
+namespace {
+
+std::string ArgValue(int argc, char** argv, const char* key, const char* def) {
+  const size_t klen = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, klen) == 0 && argv[i][klen] == '=') {
+      return argv[i] + klen + 1;
+    }
+  }
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string gpu_name = ArgValue(argc, argv, "--gpu", "A100");
+  const int num_gpus = std::stoi(ArgValue(argc, argv, "--gpus", "1"));
+  const std::string ssds = ArgValue(argc, argv, "--ssds", "4");
+  const std::string model_name = ArgValue(argc, argv, "--model", "7b");
+  const int64_t ctx = std::stoll(ArgValue(argc, argv, "--ctx", "1024"));
+
+  Platform platform;
+  platform.gpu = GpuSpec::ByName(gpu_name);
+  platform.num_gpus = num_gpus;
+  platform.storage = ssds == "dram" ? StorageBackendSpec::Dram()
+                                    : StorageBackendSpec::SsdArray(std::stoi(ssds));
+  const ModelConfig cfg = model_name == "30b"   ? ModelConfig::Opt30B()
+                          : model_name == "13b" ? ModelConfig::Llama2_13B()
+                                                : ModelConfig::Llama2_7B();
+
+  std::printf("platform : %s\n", platform.Describe().c_str());
+  std::printf("model    : %s (%lld layers, hidden %lld)\n", cfg.name.c_str(),
+              static_cast<long long>(cfg.num_layers),
+              static_cast<long long>(cfg.hidden_dim));
+  std::printf("history  : %lld tokens\n\n", static_cast<long long>(ctx));
+
+  Restorer restorer(platform, cfg);
+  const LayerProfile prof = restorer.Profile(ctx);
+  std::printf("offline profile (per layer): %s\n", prof.ToString().c_str());
+  std::printf("regime: %s-bound (C_H %s IO_H) -> complement = %s\n\n",
+              prof.c_hidden > prof.io_hidden ? "compute" : "IO",
+              prof.c_hidden > prof.io_hidden ? ">" : "<=",
+              prof.c_hidden > prof.io_hidden ? "KV offload" : "token recompute");
+
+  const PartitionScheme scheme = restorer.Schedule(ctx);
+  std::printf("bubble-free schedule: %s\n", scheme.ToString().c_str());
+  std::printf("per-token storage   : %s (KV offload would store %s)\n\n",
+              FormatBytes(static_cast<uint64_t>(scheme.StoredBytesPerToken(cfg))).c_str(),
+              FormatBytes(static_cast<uint64_t>(cfg.KvBytesPerToken())).c_str());
+
+  std::printf("predicted restoration of a %lld-token context:\n",
+              static_cast<long long>(ctx));
+  for (const auto method :
+       {RestoreMethod::kHCache, RestoreMethod::kHCacheOnly, RestoreMethod::kNaiveHybrid,
+        RestoreMethod::kKvOffload, RestoreMethod::kRecompute}) {
+    std::printf("  %s\n", restorer.Restore(method, ctx).ToString().c_str());
+  }
+  std::printf("\nbalanced storage bandwidth for hidden-only restoration: %.1f GB/s\n",
+              BalancedBandwidth(platform, cfg, ctx) / kGB);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: the full HCache loop on a real (tiny) transformer in ~80 lines.
+//
+//   1. Run a prompt through the model while the two-stage saver captures hidden states
+//      into a file-backed chunk store.
+//   2. Evict the sequence's KV cache (simulating GPU memory pressure).
+//   3. Restore the KV cache from hidden states (K = RoPE(W_k * H), V = W_v * H).
+//   4. Verify the restored KV is bit-identical and that generation continues exactly
+//      as if nothing had been evicted.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+#include <filesystem>
+
+#include "src/core/functional_engine.h"
+#include "src/core/partition.h"
+#include "src/model/transformer.h"
+
+using namespace hcache;
+
+int main() {
+  // A structurally faithful miniature Llama (RMSNorm + SwiGLU + RoPE).
+  const ModelConfig cfg = ModelConfig::TinyLlama(/*layers=*/4, /*hidden=*/64, /*heads=*/4);
+  const ModelWeights weights = ModelWeights::Random(cfg, /*seed=*/42);
+  Transformer model(&weights);
+  KvBlockPool pool(KvPoolConfig::ForModel(cfg, /*num_blocks=*/64, /*block_tokens=*/8));
+
+  const auto dir = std::filesystem::temp_directory_path() / "hcache_quickstart";
+  std::filesystem::remove_all(dir);
+  ChunkStore store({(dir / "ssd0").string(), (dir / "ssd1").string()},
+                   /*chunk_bytes=*/1 << 20);
+  ThreadPool flush_pool(2);
+  FunctionalHCache engine(&model, &store, &flush_pool, /*chunk_tokens=*/8);
+
+  // 1. Prefill a prompt with hidden-state capture, then decode a few tokens.
+  const std::vector<int32_t> prompt = {11, 42, 7, 99, 3, 250, 17, 64, 128, 5};
+  const int64_t ctx_id = 1;
+  PagedKvSequence seq(&pool);
+  HiddenStateSink* sink = engine.BeginCapture(ctx_id);
+  model.Forward(prompt, &seq, sink);
+  const auto first_reply = model.GreedyDecode(prompt.back(), 6, &seq, sink);
+  engine.SealContext(ctx_id);
+  std::printf("generated %zu tokens; %lld hidden-state chunks persisted (%lld bytes)\n",
+              first_reply.size(), static_cast<long long>(store.chunks_stored()),
+              static_cast<long long>(store.bytes_stored()));
+
+  // Reference for later comparison: continue decoding WITHOUT eviction.
+  // (Clone the state by replaying; the engine is deterministic.)
+  PagedKvSequence ref(&pool);
+  model.Forward(prompt, &ref);
+  model.GreedyDecode(prompt.back(), 6, &ref);
+  const auto want = model.GreedyDecode(first_reply.back(), 8, &ref);
+
+  // 2. Evict: the KV blocks go back to the pool; only hidden states remain (on disk).
+  const int64_t history = seq.num_tokens();
+  seq.Evict();
+  std::printf("evicted %lld tokens of KV cache; pool free blocks: %lld\n",
+              static_cast<long long>(history), static_cast<long long>(pool.num_free()));
+
+  // 3. Restore every layer from hidden states.
+  PartitionScheme scheme;
+  scheme.layers_hidden = cfg.num_layers;
+  scheme.layers_other = 0;
+  scheme.complement = ComplementMethod::kNone;
+  CHECK(engine.RestoreContext(ctx_id, scheme, /*history_tokens=*/{}, &seq));
+  std::printf("restored %lld tokens from hidden states\n", static_cast<long long>(history));
+
+  // 4. Verify: the restored cache must be bit-identical to the never-evicted one.
+  for (int64_t layer = 0; layer < cfg.num_layers; ++layer) {
+    Tensor k_ref, v_ref, k_got, v_got;
+    ref.ReadKv(layer, 0, history, &k_ref, &v_ref);
+    seq.ReadKv(layer, 0, history, &k_got, &v_got);
+    CHECK(Tensor::BitwiseEqual(k_ref, k_got)) << "layer " << layer;
+    CHECK(Tensor::BitwiseEqual(v_ref, v_got)) << "layer " << layer;
+  }
+  const auto got = model.GreedyDecode(first_reply.back(), 8, &seq);
+  CHECK(got == want);
+  std::printf("OK: restored KV bit-identical on all %lld layers; continued generation "
+              "matches token-for-token.\n",
+              static_cast<long long>(cfg.num_layers));
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

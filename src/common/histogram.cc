@@ -1,0 +1,109 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+void Histogram::Add(double value) {
+  samples_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_valid_ = false;
+}
+
+double Histogram::Sum() const {
+  double s = 0.0;
+  for (double v : samples_) {
+    s += v;
+  }
+  return s;
+}
+
+double Histogram::Mean() const {
+  return samples_.empty() ? 0.0 : Sum() / static_cast<double>(samples_.size());
+}
+
+double Histogram::Min() const {
+  CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::Max() const {
+  CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::Stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : samples_) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Histogram::Percentile(double p) const {
+  CHECK(!samples_.empty());
+  CHECK_GE(p, 0.0);
+  CHECK_LE(p, 100.0);
+  EnsureSorted();
+  if (sorted_.size() == 1) {
+    return sorted_[0];
+  }
+  const double idx = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string Histogram::Summary(const std::string& unit) const {
+  if (samples_.empty()) {
+    return "n=0";
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "n=%zu mean=%.4g%s p50=%.4g%s p99=%.4g%s max=%.4g%s",
+                samples_.size(), Mean(), unit.c_str(), Percentile(50), unit.c_str(),
+                Percentile(99), unit.c_str(), Max(), unit.c_str());
+  return buf;
+}
+
+void RunningStat::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStat::Variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::Stddev() const { return std::sqrt(Variance()); }
+
+}  // namespace hcache

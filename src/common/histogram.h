@@ -1,0 +1,68 @@
+// Streaming statistics used for TTFT / TBT / restoration-speed reporting.
+//
+// `Histogram` stores every sample (experiments here are small enough for that) and
+// provides exact percentiles; `RunningStat` is a constant-space Welford accumulator for
+// hot paths where only mean/stddev are needed.
+#ifndef HCACHE_SRC_COMMON_HISTOGRAM_H_
+#define HCACHE_SRC_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hcache {
+
+class Histogram {
+ public:
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Sum() const;
+  double Stddev() const;
+
+  // Exact percentile with linear interpolation; p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  double P99() const { return Percentile(99.0); }
+
+  // One-line summary, e.g. "n=120 mean=42.1ms p50=40.2ms p99=88.0ms".
+  std::string Summary(const std::string& unit = "") const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  // Sorted lazily on first percentile query after an Add.
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+class RunningStat {
+ public:
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double Variance() const;
+  double Stddev() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,110 @@
+// Minimal logging and assertion macros in the spirit of glog/Fuchsia FX_CHECK.
+//
+// CHECK(cond)        — aborts with a message when `cond` is false (always on).
+// CHECK_EQ/NE/...    — binary comparison variants that print both operands.
+// DCHECK(cond)       — CHECK in debug builds, no-op in NDEBUG builds.
+// LOG(INFO|WARN|ERROR) — line-buffered logging to stderr with severity tags.
+//
+// These are intentionally allocation-light: a failed CHECK builds one ostringstream and
+// aborts. They are used throughout the library instead of exceptions (the public API is
+// exception-free, matching the Google/Fuchsia style the project follows).
+#ifndef HCACHE_SRC_COMMON_LOGGING_H_
+#define HCACHE_SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace hcache {
+
+enum class LogSeverity { kInfo, kWarn, kError, kFatal };
+
+namespace log_internal {
+
+inline std::string_view SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarn:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+// Accumulates one log line and emits it (and possibly aborts) in the destructor.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {
+    stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line << "] ";
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str() << std::flush;
+    if (severity_ == LogSeverity::kFatal) {
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a DCHECK is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace log_internal
+}  // namespace hcache
+
+#define HCACHE_LOG_INFO \
+  ::hcache::log_internal::LogMessage(::hcache::LogSeverity::kInfo, __FILE__, __LINE__).stream()
+#define HCACHE_LOG_WARN \
+  ::hcache::log_internal::LogMessage(::hcache::LogSeverity::kWarn, __FILE__, __LINE__).stream()
+#define HCACHE_LOG_ERROR \
+  ::hcache::log_internal::LogMessage(::hcache::LogSeverity::kError, __FILE__, __LINE__).stream()
+#define HCACHE_LOG_FATAL \
+  ::hcache::log_internal::LogMessage(::hcache::LogSeverity::kFatal, __FILE__, __LINE__).stream()
+
+#define LOG_INFO HCACHE_LOG_INFO
+#define LOG_WARN HCACHE_LOG_WARN
+#define LOG_ERROR HCACHE_LOG_ERROR
+
+#define CHECK(cond)    \
+  if (!(cond)) HCACHE_LOG_FATAL << "CHECK failed: " #cond " "
+
+#define HCACHE_CHECK_OP(lhs, rhs, op)                                                  \
+  if (!((lhs)op(rhs)))                                                                 \
+  HCACHE_LOG_FATAL << "CHECK failed: " #lhs " " #op " " #rhs " (" << (lhs) << " vs " \
+                   << (rhs) << ") "
+
+#define CHECK_EQ(lhs, rhs) HCACHE_CHECK_OP(lhs, rhs, ==)
+#define CHECK_NE(lhs, rhs) HCACHE_CHECK_OP(lhs, rhs, !=)
+#define CHECK_LT(lhs, rhs) HCACHE_CHECK_OP(lhs, rhs, <)
+#define CHECK_LE(lhs, rhs) HCACHE_CHECK_OP(lhs, rhs, <=)
+#define CHECK_GT(lhs, rhs) HCACHE_CHECK_OP(lhs, rhs, >)
+#define CHECK_GE(lhs, rhs) HCACHE_CHECK_OP(lhs, rhs, >=)
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  if (false) ::hcache::log_internal::NullStream()
+#else
+#define DCHECK(cond) CHECK(cond)
+#endif
+
+#endif  // HCACHE_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,191 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+namespace {
+
+inline uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> uniform double in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  CHECK_GT(bound, 0u);
+  // Debiased modulo via rejection on the top of the range.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextExponential(double lambda) {
+  CHECK_GT(lambda, 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Rng::NextNormal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextLogNormal(double mu, double sigma) { return std::exp(NextNormal(mu, sigma)); }
+
+uint64_t Rng::NextPoisson(double mean) {
+  CHECK_GE(mean, 0.0);
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean < 30.0) {
+    // Knuth's product method.
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for workload synthesis.
+  const double v = NextNormal(mean, std::sqrt(mean));
+  return v <= 0.0 ? 0 : static_cast<uint64_t>(v + 0.5);
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+namespace {
+
+double Zeta(uint64_t n, double alpha) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), alpha);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_items, double alpha)
+    : num_items_(num_items), alpha_(alpha) {
+  CHECK_GT(num_items, 0u);
+  CHECK_GE(alpha, 0.0);
+  theta_ = alpha;
+  zetan_ = Zeta(num_items, alpha);
+  zeta2_ = Zeta(2, alpha);
+  if (alpha == 1.0) {
+    // eta_ is unused for alpha == 1 (handled via the general branch still works since
+    // pow(x, 0) == 1 only matters for alpha != 1); guard the division below.
+    eta_ = 0.0;
+  } else {
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_items), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  if (alpha_ == 0.0) {
+    return rng.NextBounded(num_items_);
+  }
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  if (alpha_ == 1.0) {
+    // Inverse of the harmonic CDF approximated by log; exact enough for workload skew.
+    const double r = std::exp(u * std::log(static_cast<double>(num_items_)));
+    const uint64_t rank = static_cast<uint64_t>(r) - 1;
+    return rank >= num_items_ ? num_items_ - 1 : rank;
+  }
+  const double rank_d = static_cast<double>(num_items_) *
+                        std::pow(eta_ * u - eta_ + 1.0, 1.0 / (1.0 - theta_));
+  uint64_t rank = static_cast<uint64_t>(rank_d);
+  return rank >= num_items_ ? num_items_ - 1 : rank;
+}
+
+EmpiricalCdfSampler::EmpiricalCdfSampler(std::vector<Knot> knots) : knots_(std::move(knots)) {
+  CHECK_GE(knots_.size(), 2u);
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    CHECK_GT(knots_[i].cdf, knots_[i - 1].cdf);
+    CHECK_GE(knots_[i].value, knots_[i - 1].value);
+  }
+  CHECK_LE(knots_.back().cdf, 1.0 + 1e-9);
+}
+
+double EmpiricalCdfSampler::Quantile(double p) const {
+  if (p <= knots_.front().cdf) {
+    return knots_.front().value;
+  }
+  if (p >= knots_.back().cdf) {
+    return knots_.back().value;
+  }
+  // Linear scan is fine: knot lists are small (<= a few dozen entries).
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    if (p <= knots_[i].cdf) {
+      const auto& a = knots_[i - 1];
+      const auto& b = knots_[i];
+      const double t = (p - a.cdf) / (b.cdf - a.cdf);
+      return a.value + t * (b.value - a.value);
+    }
+  }
+  return knots_.back().value;
+}
+
+double EmpiricalCdfSampler::Sample(Rng& rng) const { return Quantile(rng.NextDouble()); }
+
+}  // namespace hcache

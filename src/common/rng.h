@@ -1,0 +1,101 @@
+// Deterministic random number generation for workloads, weights, and simulations.
+//
+// All stochastic behaviour in this repository flows through `Rng` so experiments are
+// exactly reproducible from a seed. The core generator is xoshiro256** (public domain,
+// Blackman & Vigna), which is fast, high quality, and trivially seedable via splitmix64.
+//
+// On top of the raw generator we provide the samplers the paper's evaluation needs:
+//   * Exponential inter-arrival times (Poisson session arrivals, §6.1.1),
+//   * Zipfian item popularity (context reuse skew, Fig 15),
+//   * Normal / LogNormal (token-length synthesis in src/workload),
+//   * Poisson counts.
+#ifndef HCACHE_SRC_COMMON_RNG_H_
+#define HCACHE_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hcache {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Exponential with rate lambda (mean 1/lambda). Used for Poisson arrival gaps.
+  double NextExponential(double lambda);
+
+  // Standard normal via Box-Muller.
+  double NextNormal(double mean = 0.0, double stddev = 1.0);
+
+  // Log-normal: exp(Normal(mu, sigma)). Heavy-tailed token lengths.
+  double NextLogNormal(double mu, double sigma);
+
+  // Poisson-distributed count with the given mean (Knuth for small, normal approx for
+  // large means).
+  uint64_t NextPoisson(double mean);
+
+  // Creates an independent child stream (useful to decorrelate per-module streams
+  // deterministically).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipfian distribution over `n` items with exponent `alpha` (alpha==0 is uniform).
+// Implements the YCSB-style generator: the harmonic normalization is precomputed once,
+// sampling is O(1) using the rejection-free inverse method of Gray et al.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t num_items, double alpha);
+
+  // Returns an item rank in [0, num_items); rank 0 is the most popular item.
+  uint64_t Next(Rng& rng);
+
+  uint64_t num_items() const { return num_items_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  uint64_t num_items_;
+  double alpha_;
+  double zetan_;   // generalized harmonic number H_{n,alpha}
+  double theta_;   // cached alpha
+  double zeta2_;   // H_{2,alpha}
+  double eta_;
+};
+
+// Samples from an empirical CDF given as sorted (value, cumulative_probability) knots
+// with linear interpolation between knots. Used to match published trace length CDFs.
+class EmpiricalCdfSampler {
+ public:
+  struct Knot {
+    double value;
+    double cdf;  // in (0, 1], strictly increasing across knots
+  };
+
+  explicit EmpiricalCdfSampler(std::vector<Knot> knots);
+
+  double Sample(Rng& rng) const;
+
+  // Inverse-CDF lookup at probability p in [0,1].
+  double Quantile(double p) const;
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_COMMON_RNG_H_

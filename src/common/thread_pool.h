@@ -1,0 +1,49 @@
+// Fixed-size worker pool used by the two-stage state saver (§4.2.2 of the paper uses 8
+// background host threads to assemble and flush chunks) and by tests that exercise
+// concurrent chunk-store access.
+#ifndef HCACHE_SRC_COMMON_THREAD_POOL_H_
+#define HCACHE_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hcache {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks run FIFO across workers. Must not be called after the pool
+  // has been destroyed; safe from multiple producer threads.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Drain();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_COMMON_THREAD_POOL_H_

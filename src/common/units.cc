@@ -1,0 +1,35 @@
+#include "src/common/units.h"
+
+#include <cstdio>
+
+namespace hcache {
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", static_cast<double>(bytes) / kGiB);
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", static_cast<double>(bytes) / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", static_cast<double>(bytes) / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 0) {
+    std::snprintf(buf, sizeof(buf), "-%s", FormatSeconds(-seconds).c_str());
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace hcache

@@ -1,0 +1,37 @@
+// Unit helpers used across the library.
+//
+// Conventions:
+//   * Time is `double` seconds (simulation clock and measured durations alike).
+//   * Sizes are `uint64_t` bytes; the *_KiB/_MiB/_GiB literals build byte counts.
+//   * Rates are double bytes/second or double FLOP/second.
+#ifndef HCACHE_SRC_COMMON_UNITS_H_
+#define HCACHE_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hcache {
+
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+
+// Storage / interconnect vendors quote decimal GB/s; Table 2 of the paper does too.
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+inline constexpr double kTeraFlops = 1e12;
+
+inline constexpr double kMicrosecond = 1e-6;
+inline constexpr double kMillisecond = 1e-3;
+
+// Renders a byte count as a short human-readable string ("1.50 GiB", "210 KiB").
+std::string FormatBytes(uint64_t bytes);
+
+// Renders a duration in the most natural unit ("1.93 ms", "250 us", "3.2 s").
+std::string FormatSeconds(double seconds);
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_COMMON_UNITS_H_

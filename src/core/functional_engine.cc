@@ -1,0 +1,186 @@
+#include "src/core/functional_engine.h"
+
+#include <cstring>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+FunctionalHCache::FunctionalHCache(Transformer* model, ChunkStore* store,
+                                   ThreadPool* flush_pool, int64_t chunk_tokens)
+    : model_(model), store_(store), flush_pool_(flush_pool), chunk_tokens_(chunk_tokens) {
+  CHECK(model != nullptr);
+  CHECK(store != nullptr);
+  // KV chunks carry K and V interleaved per token: twice the hidden row size.
+  const int64_t kv_chunk_bytes =
+      chunk_tokens_ * 2 * model_->config().kv_dim() * static_cast<int64_t>(sizeof(float));
+  CHECK_LE(kv_chunk_bytes, store_->chunk_bytes()) << "chunk store too small for KV chunks";
+}
+
+HiddenStateSink* FunctionalHCache::BeginCapture(int64_t context_id) {
+  auto& writer = writers_[context_id];
+  if (writer == nullptr) {
+    writer = std::make_unique<HiddenStateWriter>(store_, flush_pool_, model_->config(),
+                                                 context_id, chunk_tokens_);
+  }
+  return writer.get();
+}
+
+void FunctionalHCache::SealContext(int64_t context_id) {
+  const auto it = writers_.find(context_id);
+  CHECK(it != writers_.end()) << "unknown context " << context_id;
+  it->second->Seal();
+}
+
+void FunctionalHCache::SaveKvLayer(int64_t context_id, const PagedKvSequence& seq,
+                                   int64_t layer) {
+  const ModelConfig& cfg = model_->config();
+  const int64_t n = seq.num_tokens();
+  const int64_t kv_dim = cfg.kv_dim();
+  const int64_t row_floats = 2 * kv_dim;
+  const int64_t num_chunks = (n + chunk_tokens_ - 1) / chunk_tokens_;
+  std::vector<float> payload(static_cast<size_t>(chunk_tokens_ * row_floats));
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t first = c * chunk_tokens_;
+    const int64_t count = std::min(chunk_tokens_, n - first);
+    for (int64_t i = 0; i < count; ++i) {
+      float* row = payload.data() + i * row_floats;
+      std::memcpy(row, seq.KeyRow(layer, first + i),
+                  static_cast<size_t>(kv_dim) * sizeof(float));
+      std::memcpy(row + kv_dim, seq.ValueRow(layer, first + i),
+                  static_cast<size_t>(kv_dim) * sizeof(float));
+    }
+    const ChunkKey key{context_id, kKvLayerBase + layer, c};
+    CHECK(store_->WriteChunk(key, payload.data(),
+                             count * row_floats * static_cast<int64_t>(sizeof(float))));
+  }
+}
+
+void FunctionalHCache::SaveKvLayers(int64_t context_id, const PagedKvSequence& seq,
+                                    const std::vector<int64_t>& layers) {
+  CHECK(seq.has_kv());
+  for (int64_t layer : layers) {
+    SaveKvLayer(context_id, seq, layer);
+  }
+}
+
+void FunctionalHCache::LoadKvLayer(int64_t context_id, int64_t layer, int64_t n, Tensor* k,
+                                   Tensor* v) const {
+  const ModelConfig& cfg = model_->config();
+  const int64_t kv_dim = cfg.kv_dim();
+  const int64_t row_floats = 2 * kv_dim;
+  *k = Tensor({n, kv_dim});
+  *v = Tensor({n, kv_dim});
+  const int64_t num_chunks = (n + chunk_tokens_ - 1) / chunk_tokens_;
+  std::vector<float> payload(static_cast<size_t>(chunk_tokens_ * row_floats));
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const ChunkKey key{context_id, kKvLayerBase + layer, c};
+    const int64_t got = store_->ReadChunk(
+        key, payload.data(), static_cast<int64_t>(payload.size() * sizeof(float)));
+    const int64_t first = c * chunk_tokens_;
+    const int64_t count = std::min(chunk_tokens_, n - first);
+    CHECK_GE(got, count * row_floats * static_cast<int64_t>(sizeof(float)))
+        << "missing/short KV chunk ctx=" << context_id << " L=" << layer << " C=" << c;
+    for (int64_t i = 0; i < count; ++i) {
+      const float* row = payload.data() + i * row_floats;
+      std::memcpy(k->row(first + i), row, static_cast<size_t>(kv_dim) * sizeof(float));
+      std::memcpy(v->row(first + i), row + kv_dim,
+                  static_cast<size_t>(kv_dim) * sizeof(float));
+    }
+  }
+}
+
+bool FunctionalHCache::CanRestore(int64_t context_id, const PartitionScheme& scheme,
+                                  int64_t n) const {
+  const ModelConfig& cfg = model_->config();
+  const HiddenStateReader reader(store_, cfg, chunk_tokens_);
+  const int64_t first_hidden =
+      scheme.complement == ComplementMethod::kRecompute ? scheme.layers_other : 0;
+  for (int64_t layer = first_hidden; layer < first_hidden + scheme.layers_hidden; ++layer) {
+    if (!reader.LayerComplete(context_id, layer, n)) {
+      return false;
+    }
+  }
+  if (scheme.complement == ComplementMethod::kKvOffload) {
+    const int64_t kv_row_bytes = 2 * cfg.kv_dim() * static_cast<int64_t>(sizeof(float));
+    const int64_t num_chunks = (n + chunk_tokens_ - 1) / chunk_tokens_;
+    for (int64_t layer = scheme.layers_hidden; layer < cfg.num_layers; ++layer) {
+      for (int64_t c = 0; c < num_chunks; ++c) {
+        const int64_t first = c * chunk_tokens_;
+        const int64_t want = std::min(chunk_tokens_, n - first);
+        if (store_->ChunkSize(ChunkKey{context_id, kKvLayerBase + layer, c}) <
+            want * kv_row_bytes) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool FunctionalHCache::RestoreContext(int64_t context_id, const PartitionScheme& scheme,
+                                      const std::vector<int32_t>& history_tokens,
+                                      PagedKvSequence* seq) {
+  const ModelConfig& cfg = model_->config();
+  const int64_t nl = cfg.num_layers;
+  CHECK_EQ(scheme.layers_hidden + scheme.layers_other, nl);
+  CHECK(!seq->has_kv()) << "restore target must be evicted";
+  const int64_t n = seq->num_tokens();
+  CHECK_GT(n, 0);
+
+  // Fail before mutating the sequence if the pool cannot hold the restored state or
+  // any required chunk is missing/short (device loss, partial save).
+  const int64_t bt = seq->pool()->block_tokens();
+  if ((n + bt - 1) / bt > seq->pool()->num_free()) {
+    return false;
+  }
+  if (!CanRestore(context_id, scheme, n)) {
+    return false;
+  }
+
+  int64_t first_hidden = 0;  // hidden-layer range [first_hidden, first_hidden + L_H)
+  seq->ResetForRestore();
+  CHECK(seq->EnsureCapacity(n));
+  if (scheme.complement == ComplementMethod::kRecompute && scheme.layers_other > 0) {
+    CHECK_EQ(static_cast<int64_t>(history_tokens.size()), n)
+        << "recompute complement needs the original tokens";
+    // Rebuild the first L_O layers (and their KV) from raw tokens.
+    model_->ForwardPartial(history_tokens, seq, scheme.layers_other);
+    first_hidden = scheme.layers_other;
+  } else {
+    seq->CommitTokens(n);
+  }
+
+  std::vector<int32_t> positions(static_cast<size_t>(n));
+  std::iota(positions.begin(), positions.end(), 0);
+  const HiddenStateReader reader(store_, cfg, chunk_tokens_);
+
+  for (int64_t layer = first_hidden; layer < first_hidden + scheme.layers_hidden; ++layer) {
+    const Tensor hidden = reader.ReadLayer(context_id, layer, n);
+    Tensor k, v;
+    model_->RestoreLayerKv(layer, hidden, positions.data(), &k, &v);
+    seq->WriteKv(layer, 0, k, v);
+  }
+
+  if (scheme.complement == ComplementMethod::kKvOffload) {
+    for (int64_t layer = scheme.layers_hidden; layer < nl; ++layer) {
+      Tensor k, v;
+      LoadKvLayer(context_id, layer, n, &k, &v);
+      seq->WriteKv(layer, 0, k, v);
+    }
+  }
+  return true;
+}
+
+void FunctionalHCache::DropContext(int64_t context_id) {
+  writers_.erase(context_id);
+  store_->DeleteContext(context_id);
+}
+
+Tensor FunctionalHCache::ReadHidden(int64_t context_id, int64_t layer, int64_t n) const {
+  return HiddenStateReader(store_, model_->config(), chunk_tokens_)
+      .ReadLayer(context_id, layer, n);
+}
+
+}  // namespace hcache

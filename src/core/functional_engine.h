@@ -1,0 +1,86 @@
+// Functional HCache engine: the end-to-end save → evict → restore path executed with
+// real computation and real (file-backed) storage.
+//
+// This is where the paper's pieces compose: the transformer forward pass captures
+// hidden states through the two-stage saver into the chunk store; eviction releases the
+// paged KV blocks; restoration rebuilds the KV cache according to a partition scheme —
+// hidden-state layers via the K/V projection (plus RoPE at original positions), KV
+// -offloaded layers from stored KV chunks, recomputed layers by re-running the early
+// transformer layers from the raw tokens. Every path lands bit-identical KV, which the
+// integration tests assert.
+#ifndef HCACHE_SRC_CORE_FUNCTIONAL_ENGINE_H_
+#define HCACHE_SRC_CORE_FUNCTIONAL_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/partition.h"
+#include "src/model/kv_cache.h"
+#include "src/model/transformer.h"
+#include "src/storage/chunk_store.h"
+#include "src/storage/hidden_saver.h"
+
+namespace hcache {
+
+class FunctionalHCache {
+ public:
+  // `model`, `store`, and `flush_pool` must outlive the engine. `flush_pool` may be
+  // null (synchronous chunk flushes). A single store holds both hidden-state and KV
+  // chunks; KV chunks live in a disjoint layer-key namespace.
+  FunctionalHCache(Transformer* model, ChunkStore* store, ThreadPool* flush_pool,
+                   int64_t chunk_tokens = kDefaultChunkTokens);
+
+  // Starts (or resumes) capturing hidden states for a context. The returned sink is
+  // owned by the engine and stays valid until DropContext.
+  HiddenStateSink* BeginCapture(int64_t context_id);
+
+  // Flushes partial chunks for the context (call when its generation round ends).
+  void SealContext(int64_t context_id);
+
+  // Persists the KV cache of `layers` (paper: the last L_O layers under a KV-offload
+  // complement) from the sequence to the store. Call before Evict.
+  void SaveKvLayers(int64_t context_id, const PagedKvSequence& seq,
+                    const std::vector<int64_t>& layers);
+
+  // Rebuilds `seq`'s KV cache for its recorded history according to `scheme`.
+  // `history_tokens` must be the context's original token ids when the scheme contains
+  // recomputed layers (complement == kRecompute); it may be empty otherwise.
+  // Returns false — leaving the sequence evicted and its history length intact — when
+  // the KV pool cannot hold the restored state or when stored state is missing/corrupt
+  // (e.g. a device was lost); the caller falls back to full recomputation.
+  bool RestoreContext(int64_t context_id, const PartitionScheme& scheme,
+                      const std::vector<int32_t>& history_tokens, PagedKvSequence* seq);
+
+  // True when everything `scheme` needs to restore `n` tokens of this context is
+  // durably stored (hidden chunks for hidden layers, KV chunks for offloaded layers).
+  bool CanRestore(int64_t context_id, const PartitionScheme& scheme, int64_t n) const;
+
+  // Deletes all stored state for the context.
+  void DropContext(int64_t context_id);
+
+  // Reads one layer's hidden states back (test/inspection hook).
+  Tensor ReadHidden(int64_t context_id, int64_t layer, int64_t n) const;
+
+  int64_t chunk_tokens() const { return chunk_tokens_; }
+
+ private:
+  // KV chunks are stored under layer' = kKvLayerBase + layer so they never collide
+  // with hidden-state chunks of the same context.
+  static constexpr int64_t kKvLayerBase = 1'000'000;
+
+  void SaveKvLayer(int64_t context_id, const PagedKvSequence& seq, int64_t layer);
+  void LoadKvLayer(int64_t context_id, int64_t layer, int64_t n, Tensor* k, Tensor* v) const;
+
+  Transformer* model_;
+  ChunkStore* store_;
+  ThreadPool* flush_pool_;
+  int64_t chunk_tokens_;
+  std::map<int64_t, std::unique_ptr<HiddenStateWriter>> writers_;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_CORE_FUNCTIONAL_ENGINE_H_

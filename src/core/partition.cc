@@ -1,0 +1,164 @@
+#include "src/core/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/sim/gpu_timing.h"
+
+namespace hcache {
+
+const char* ComplementName(ComplementMethod m) {
+  switch (m) {
+    case ComplementMethod::kNone:
+      return "none";
+    case ComplementMethod::kKvOffload:
+      return "kv-offload";
+    case ComplementMethod::kRecompute:
+      return "recompute";
+  }
+  return "?";
+}
+
+int64_t PartitionScheme::StoredElementsPerToken(const ModelConfig& cfg) const {
+  const int64_t hidden_elems = cfg.hidden_dim;
+  const int64_t kv_elems = 2 * cfg.kv_dim();
+  int64_t total = layers_hidden * hidden_elems;
+  if (complement == ComplementMethod::kKvOffload) {
+    total += layers_other * kv_elems;
+  }
+  // Recomputed layers store nothing beyond the raw tokens (negligible).
+  return total;
+}
+
+int64_t PartitionScheme::StoredBytesPerToken(const ModelConfig& cfg) const {
+  return StoredElementsPerToken(cfg) * cfg.state_dtype_bytes;
+}
+
+std::string PartitionScheme::ToString() const {
+  char buf[128];
+  const char* tag = complement == ComplementMethod::kKvOffload   ? "KV"
+                    : complement == ComplementMethod::kRecompute ? "RE"
+                                                                 : "-";
+  std::snprintf(buf, sizeof(buf), "%lld H + %lld %s (pred %.2fms, bubble %.2fms)",
+                static_cast<long long>(layers_hidden), static_cast<long long>(layers_other),
+                tag, predicted_time * 1e3, predicted_bubble * 1e3);
+  return buf;
+}
+
+namespace {
+
+// Makespan and bubble of a layer-wise schedule under steady-state pipelining.
+void EvaluateLayerWise(const LayerProfile& p, PartitionScheme& s) {
+  double compute = 0, io = 0;
+  switch (s.complement) {
+    case ComplementMethod::kKvOffload:
+    case ComplementMethod::kNone:
+      compute = p.c_hidden * static_cast<double>(s.layers_hidden);
+      io = p.io_hidden * static_cast<double>(s.layers_hidden) +
+           p.io_kv * static_cast<double>(s.layers_other);
+      break;
+    case ComplementMethod::kRecompute:
+      compute = p.c_token * static_cast<double>(s.layers_other) +
+                p.c_hidden * static_cast<double>(s.layers_hidden);
+      io = p.io_hidden * static_cast<double>(s.layers_hidden);
+      break;
+  }
+  s.predicted_time = std::max(compute, io);
+  s.predicted_bubble = std::abs(compute - io);
+}
+
+}  // namespace
+
+PartitionScheme SolveLayerWise(const LayerProfile& p, int64_t num_layers) {
+  CHECK_GT(num_layers, 0);
+  PartitionScheme s;
+  if (p.c_hidden > p.io_hidden) {
+    // Compute-bound: transmission has slack — fill it with KV-offloaded layers.
+    const double denom = p.io_kv + p.c_hidden - p.io_hidden;
+    const double lh = std::ceil(static_cast<double>(num_layers) * p.io_kv / denom);
+    s.layers_hidden = std::clamp(static_cast<int64_t>(lh), int64_t{0}, num_layers);
+    s.layers_other = num_layers - s.layers_hidden;
+    s.complement =
+        s.layers_other == 0 ? ComplementMethod::kNone : ComplementMethod::kKvOffload;
+  } else {
+    // IO-bound: compute has slack — fill it with token-recomputed layers.
+    const double denom = p.c_token + p.io_hidden - p.c_hidden;
+    const double lh = std::ceil(static_cast<double>(num_layers) * p.c_token / denom);
+    s.layers_hidden = std::clamp(static_cast<int64_t>(lh), int64_t{0}, num_layers);
+    s.layers_other = num_layers - s.layers_hidden;
+    s.complement =
+        s.layers_other == 0 ? ComplementMethod::kNone : ComplementMethod::kRecompute;
+  }
+  EvaluateLayerWise(p, s);
+
+  // Plan selection: the solver above assumes hidden states are the primary transport.
+  // Where that premise fails (e.g. strong GQA makes the KV cache *smaller* than the
+  // hidden states), a pure strategy can dominate the mixed schedule — return the
+  // cheapest plan. Never triggers for the paper's MHA models.
+  const double pure_kv = p.io_kv * static_cast<double>(num_layers);
+  const double pure_rec = p.c_token * static_cast<double>(num_layers);
+  if (pure_kv < s.predicted_time && pure_kv <= pure_rec) {
+    s.layers_hidden = 0;
+    s.layers_other = num_layers;
+    s.complement = ComplementMethod::kKvOffload;
+    EvaluateLayerWise(p, s);
+  } else if (pure_rec < s.predicted_time && pure_rec < pure_kv) {
+    s.layers_hidden = 0;
+    s.layers_other = num_layers;
+    s.complement = ComplementMethod::kRecompute;
+    EvaluateLayerWise(p, s);
+  }
+  return s;
+}
+
+TokenPartition SolveTokenWise(const LayerProfile& p, int64_t history_tokens,
+                              bool round_to_tile) {
+  CHECK_GT(history_tokens, 0);
+  CHECK_EQ(p.history_tokens, history_tokens);
+  const double n = static_cast<double>(history_tokens);
+  // Per-token steady-state rates (the linear model the naive partitioner assumes; the
+  // very point of Fig 13 is that real GEMM time is NOT linear in the token count).
+  const double io_h = p.io_hidden / n;
+  const double io_kv = p.io_kv / n;
+  const double c_h = p.c_hidden / n;
+  const double c_t = p.c_token / n;
+
+  TokenPartition t;
+  double th;
+  if (c_h > io_h) {
+    th = n * io_kv / (io_kv + c_h - io_h);
+  } else {
+    th = n * c_t / (c_t + io_h - c_h);
+  }
+  th = std::clamp(th, 0.0, n);
+  t.tokens_hidden = static_cast<int64_t>(std::llround(th));
+  if (round_to_tile) {
+    const int64_t tile = kRoundUpGranularity;
+    int64_t rounded = (t.tokens_hidden + tile / 2) / tile * tile;
+    t.tokens_hidden = std::clamp(rounded, int64_t{0}, history_tokens);
+  }
+  t.tokens_other = history_tokens - t.tokens_hidden;
+  const double h = static_cast<double>(t.tokens_hidden);
+  const double o = static_cast<double>(t.tokens_other);
+  const double compute = c_h > io_h ? c_h * h : c_h * h + c_t * o;
+  const double io = c_h > io_h ? io_h * h + io_kv * o : io_h * h;
+  t.predicted_time = std::max(compute, io);
+  return t;
+}
+
+NaiveHybridScheme SolveNaiveHybrid(const LayerProfile& p, int64_t num_layers) {
+  CHECK_GT(num_layers, 0);
+  NaiveHybridScheme s;
+  // Balance recompute compute-time against KV transmission: C_T*L_RE == IO_KV*L_KV.
+  const double denom = p.c_token + p.io_kv;
+  const double lkv = std::ceil(static_cast<double>(num_layers) * p.c_token / denom);
+  s.layers_kv = std::clamp(static_cast<int64_t>(lkv), int64_t{0}, num_layers);
+  s.layers_recompute = num_layers - s.layers_kv;
+  s.predicted_time = std::max(p.io_kv * static_cast<double>(s.layers_kv),
+                              p.c_token * static_cast<double>(s.layers_recompute));
+  return s;
+}
+
+}  // namespace hcache

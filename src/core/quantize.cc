@@ -1,0 +1,58 @@
+#include "src/core/quantize.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+QuantizedRows QuantizeRows(const Tensor& t) {
+  CHECK_EQ(t.rank(), 2);
+  QuantizedRows q;
+  q.rows = t.dim(0);
+  q.cols = t.dim(1);
+  q.values.resize(static_cast<size_t>(q.rows * q.cols));
+  q.scales.resize(static_cast<size_t>(q.rows));
+  for (int64_t r = 0; r < q.rows; ++r) {
+    const float* row = t.row(r);
+    float max_abs = 0.0f;
+    for (int64_t c = 0; c < q.cols; ++c) {
+      max_abs = std::max(max_abs, std::fabs(row[c]));
+    }
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    q.scales[static_cast<size_t>(r)] = scale;
+    const float inv = 1.0f / scale;
+    int8_t* out = q.values.data() + r * q.cols;
+    for (int64_t c = 0; c < q.cols; ++c) {
+      const float v = std::round(row[c] * inv);
+      out[c] = static_cast<int8_t>(std::max(-127.0f, std::min(127.0f, v)));
+    }
+  }
+  return q;
+}
+
+Tensor DequantizeRows(const QuantizedRows& q) {
+  Tensor t({q.rows, q.cols});
+  for (int64_t r = 0; r < q.rows; ++r) {
+    const float scale = q.scales[static_cast<size_t>(r)];
+    const int8_t* in = q.values.data() + r * q.cols;
+    float* out = t.row(r);
+    for (int64_t c = 0; c < q.cols; ++c) {
+      out[c] = static_cast<float>(in[c]) * scale;
+    }
+  }
+  return t;
+}
+
+float RowErrorBound(const QuantizedRows& q, int64_t r) {
+  CHECK_GE(r, 0);
+  CHECK_LT(r, q.rows);
+  return q.scales[static_cast<size_t>(r)] * 0.5f;
+}
+
+double CompressionVsFp16(const QuantizedRows& q) {
+  const double fp16_bytes = 2.0 * static_cast<double>(q.rows) * static_cast<double>(q.cols);
+  return fp16_bytes / static_cast<double>(q.byte_size());
+}
+
+}  // namespace hcache

@@ -1,0 +1,48 @@
+// Hidden-state quantization (extension; paper §7).
+//
+// The paper notes that CacheGen-style quantization "can be applied in HCache to reduce
+// the size of hidden states". This module implements symmetric per-row INT8
+// quantization of hidden-state rows: each token's row is scaled by max|x|/127 and
+// rounded. That halves hidden-state IO again (FP16 -> INT8), at the cost of a bounded,
+// non-zero restoration error — unlike base HCache, quantized restoration is lossy, so
+// it is opt-in and benchmarked separately (bench_ext_quantization).
+//
+// Error bound: |dequant(quant(x)) - x| <= scale/2 = max|row|/254 per element.
+#ifndef HCACHE_SRC_CORE_QUANTIZE_H_
+#define HCACHE_SRC_CORE_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace hcache {
+
+struct QuantizedRows {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int8_t> values;  // rows * cols
+  std::vector<float> scales;   // one per row
+
+  // Stored size (values + scales), the quantity the IO model charges.
+  int64_t byte_size() const {
+    return static_cast<int64_t>(values.size()) +
+           static_cast<int64_t>(scales.size() * sizeof(float));
+  }
+};
+
+// Quantizes a rank-2 tensor row by row.
+QuantizedRows QuantizeRows(const Tensor& t);
+
+// Reconstructs the FP32 tensor.
+Tensor DequantizeRows(const QuantizedRows& q);
+
+// Worst-case absolute reconstruction error for row `r` (scale/2).
+float RowErrorBound(const QuantizedRows& q, int64_t r);
+
+// Compression ratio versus FP16 storage of the same tensor.
+double CompressionVsFp16(const QuantizedRows& q);
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_CORE_QUANTIZE_H_

@@ -1,0 +1,188 @@
+#include "src/core/shared_prefix.h"
+
+#include <cstring>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+namespace {
+
+uint64_t HashTokens(const std::vector<int32_t>& tokens) {
+  // FNV-1a over the token stream; collisions across distinct prompts are vanishingly
+  // unlikely at these scales and only cost a false share (guarded by length check).
+  uint64_t h = 1469598103934665603ull;
+  for (int32_t t : tokens) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= static_cast<uint64_t>((t >> (8 * b)) & 0xff);
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+SharedPrefixManager::SuffixSink::SuffixSink(ChunkStore* store, const ModelConfig& cfg,
+                                            int64_t context_id, int64_t offset,
+                                            int64_t chunk_tokens)
+    : writer_(store, /*flush_pool=*/nullptr, cfg, context_id, chunk_tokens),
+      offset_(offset),
+      hidden_dim_(cfg.hidden_dim) {}
+
+void SharedPrefixManager::SuffixSink::OnLayerInput(int64_t layer, const Tensor& hidden,
+                                                   const int32_t* positions, int64_t n) {
+  // Collect the rows at positions >= offset and rebase them to suffix-local indices.
+  std::vector<int64_t> keep;
+  for (int64_t i = 0; i < n; ++i) {
+    if (positions[i] >= offset_) {
+      keep.push_back(i);
+    }
+  }
+  if (keep.empty()) {
+    return;
+  }
+  Tensor rows({static_cast<int64_t>(keep.size()), hidden_dim_});
+  std::vector<int32_t> rebased(keep.size());
+  for (size_t j = 0; j < keep.size(); ++j) {
+    std::memcpy(rows.row(static_cast<int64_t>(j)), hidden.row(keep[j]),
+                static_cast<size_t>(hidden_dim_) * sizeof(float));
+    rebased[j] = static_cast<int32_t>(positions[keep[j]] - offset_);
+  }
+  writer_.OnLayerInput(layer, rows, rebased.data(), static_cast<int64_t>(keep.size()));
+}
+
+SharedPrefixManager::SharedPrefixManager(Transformer* model, ChunkStore* store,
+                                         int64_t chunk_tokens)
+    : model_(model), store_(store), chunk_tokens_(chunk_tokens) {
+  CHECK(model != nullptr);
+  CHECK(store != nullptr);
+}
+
+int64_t SharedPrefixManager::InternPrefix(const std::vector<int32_t>& tokens,
+                                          KvBlockPool* pool) {
+  CHECK(!tokens.empty());
+  const uint64_t hash = HashTokens(tokens);
+  const auto it = hash_to_prefix_.find(hash);
+  if (it != hash_to_prefix_.end()) {
+    PrefixInfo& info = prefixes_.at(it->second);
+    CHECK_EQ(info.length, static_cast<int64_t>(tokens.size()))
+        << "hash collision between different-length prefixes";
+    ++info.ref_count;
+    bytes_deduped_ += model_->config().num_layers * static_cast<int64_t>(tokens.size()) *
+                      model_->config().hidden_dim * static_cast<int64_t>(sizeof(float));
+    return info.prefix_id;
+  }
+
+  const int64_t id = next_prefix_id_++;
+  // One-time prefill of the prefix with capture; its KV is scratch and dropped.
+  HiddenStateWriter writer(store_, nullptr, model_->config(), id, chunk_tokens_);
+  PagedKvSequence scratch(pool);
+  model_->Forward(tokens, &scratch, &writer);
+  writer.Seal();
+
+  PrefixInfo info;
+  info.prefix_id = id;
+  info.length = static_cast<int64_t>(tokens.size());
+  info.ref_count = 1;
+  prefixes_[id] = info;
+  hash_to_prefix_[hash] = id;
+  return id;
+}
+
+void SharedPrefixManager::ReleasePrefix(int64_t prefix_id) {
+  auto it = prefixes_.find(prefix_id);
+  CHECK(it != prefixes_.end());
+  if (--it->second.ref_count == 0) {
+    store_->DeleteContext(prefix_id);
+    for (auto h = hash_to_prefix_.begin(); h != hash_to_prefix_.end(); ++h) {
+      if (h->second == prefix_id) {
+        hash_to_prefix_.erase(h);
+        break;
+      }
+    }
+    prefixes_.erase(it);
+  }
+}
+
+HiddenStateSink* SharedPrefixManager::BeginSuffixCapture(int64_t context_id,
+                                                         int64_t prefix_id) {
+  const auto pit = prefixes_.find(prefix_id);
+  CHECK(pit != prefixes_.end()) << "unknown prefix " << prefix_id;
+  auto& sink = sinks_[context_id];
+  if (sink == nullptr) {
+    sink = std::make_unique<SuffixSink>(store_, model_->config(), context_id,
+                                        pit->second.length, chunk_tokens_);
+    context_prefix_[context_id] = prefix_id;
+  } else {
+    CHECK_EQ(context_prefix_.at(context_id), prefix_id);
+  }
+  return sink.get();
+}
+
+void SharedPrefixManager::SealContext(int64_t context_id) {
+  const auto it = sinks_.find(context_id);
+  CHECK(it != sinks_.end());
+  it->second->Seal();
+}
+
+bool SharedPrefixManager::RestoreContext(int64_t context_id, int64_t prefix_id,
+                                         PagedKvSequence* seq) {
+  const ModelConfig& cfg = model_->config();
+  const auto pit = prefixes_.find(prefix_id);
+  CHECK(pit != prefixes_.end());
+  const int64_t plen = pit->second.length;
+  CHECK(!seq->has_kv());
+  const int64_t n = seq->num_tokens();
+  CHECK_GE(n, plen);
+  const int64_t slen = n - plen;
+
+  const HiddenStateReader reader(store_, cfg, chunk_tokens_);
+  for (int64_t layer = 0; layer < cfg.num_layers; ++layer) {
+    if (!reader.LayerComplete(prefix_id, layer, plen) ||
+        (slen > 0 && !reader.LayerComplete(context_id, layer, slen))) {
+      return false;
+    }
+  }
+  const int64_t bt = seq->pool()->block_tokens();
+  if ((n + bt - 1) / bt > seq->pool()->num_free()) {
+    return false;
+  }
+
+  seq->ResetForRestore();
+  CHECK(seq->EnsureCapacity(n));
+  seq->CommitTokens(n);
+
+  std::vector<int32_t> positions(static_cast<size_t>(n));
+  std::iota(positions.begin(), positions.end(), 0);
+  Tensor hidden({n, cfg.hidden_dim});
+  for (int64_t layer = 0; layer < cfg.num_layers; ++layer) {
+    const Tensor prefix_rows = reader.ReadLayer(prefix_id, layer, plen);
+    std::memcpy(hidden.row(0), prefix_rows.data(),
+                static_cast<size_t>(plen * cfg.hidden_dim) * sizeof(float));
+    if (slen > 0) {
+      const Tensor suffix_rows = reader.ReadLayer(context_id, layer, slen);
+      std::memcpy(hidden.row(plen), suffix_rows.data(),
+                  static_cast<size_t>(slen * cfg.hidden_dim) * sizeof(float));
+    }
+    Tensor k, v;
+    model_->RestoreLayerKv(layer, hidden, positions.data(), &k, &v);
+    seq->WriteKv(layer, 0, k, v);
+  }
+  return true;
+}
+
+void SharedPrefixManager::DropContext(int64_t context_id) {
+  sinks_.erase(context_id);
+  context_prefix_.erase(context_id);
+  store_->DeleteContext(context_id);
+}
+
+const SharedPrefixManager::PrefixInfo* SharedPrefixManager::GetPrefix(
+    int64_t prefix_id) const {
+  const auto it = prefixes_.find(prefix_id);
+  return it == prefixes_.end() ? nullptr : &it->second;
+}
+
+}  // namespace hcache

@@ -1,0 +1,109 @@
+// Extension: prefix-sharing-aware hidden-state storage.
+//
+// Deployments put the same system prompt or retrieved document in front of many
+// contexts. Hidden states of those prefix tokens are identical across contexts (causal
+// attention: a token's activations depend only on tokens before it), so they can be
+// stored ONCE and referenced. This module interns prefixes in the chunk store with
+// reference counts and lets contexts capture/restore only their suffix:
+//
+//   * `SharedPrefixManager::InternPrefix(tokens)` runs the prefix through the model
+//     once, persists its hidden states under a dedicated prefix context id, and dedups
+//     by content hash (a second Intern of the same tokens is free).
+//   * `BeginSuffixCapture(ctx, prefix_id)` returns a sink that skips the prefix
+//     positions and stores only suffix rows under `ctx`.
+//   * `RestoreContext(ctx, prefix_id, seq)` reassembles full-layer hidden states
+//     (prefix rows from the shared copy + suffix rows) and rebuilds the KV cache —
+//     bit-identical to a never-evicted sequence.
+//
+// Related systems: PromptCache / SGLang share *KV* on the GPU hit path; this shares
+// *hidden states* on HCache's miss path, halving their storage as well.
+#ifndef HCACHE_SRC_CORE_SHARED_PREFIX_H_
+#define HCACHE_SRC_CORE_SHARED_PREFIX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/model/kv_cache.h"
+#include "src/model/transformer.h"
+#include "src/storage/chunk_store.h"
+#include "src/storage/hidden_saver.h"
+
+namespace hcache {
+
+class SharedPrefixManager {
+ public:
+  struct PrefixInfo {
+    int64_t prefix_id = 0;
+    int64_t length = 0;
+    int64_t ref_count = 0;
+  };
+
+  // `model` and `store` must outlive the manager. Prefix ids live in their own
+  // context-id namespace (>= kPrefixIdBase) inside `store`.
+  SharedPrefixManager(Transformer* model, ChunkStore* store,
+                      int64_t chunk_tokens = kDefaultChunkTokens);
+
+  // Interns a prefix: on first sight, runs the model over it (scratch KV from `pool`)
+  // and persists its hidden states; later calls with identical tokens only bump the
+  // refcount. Returns the prefix id.
+  int64_t InternPrefix(const std::vector<int32_t>& tokens, KvBlockPool* pool);
+
+  // Drops one reference; the prefix's chunks are deleted at zero.
+  void ReleasePrefix(int64_t prefix_id);
+
+  // Sink that captures only positions >= prefix length, stored under `context_id`.
+  // Valid until DropContext/destruction. Feed it the full forward pass of
+  // prefix+suffix (or of the suffix alone after restoration).
+  HiddenStateSink* BeginSuffixCapture(int64_t context_id, int64_t prefix_id);
+
+  // Flushes a context's partial suffix chunks.
+  void SealContext(int64_t context_id);
+
+  // Rebuilds `seq`'s KV (pure hidden-state scheme) from shared prefix + own suffix.
+  // `seq` must be evicted and carry the full history length (prefix + suffix).
+  bool RestoreContext(int64_t context_id, int64_t prefix_id, PagedKvSequence* seq);
+
+  // Removes a context's suffix state (the shared prefix is unaffected).
+  void DropContext(int64_t context_id);
+
+  const PrefixInfo* GetPrefix(int64_t prefix_id) const;
+  int64_t num_prefixes() const { return static_cast<int64_t>(prefixes_.size()); }
+
+  // Bytes NOT written thanks to deduplication (suffix-sharing hits).
+  int64_t bytes_deduped() const { return bytes_deduped_; }
+
+ private:
+  static constexpr int64_t kPrefixIdBase = 2'000'000'000;
+
+  // Skips the first `offset` positions and rebases the rest onto an inner writer.
+  class SuffixSink : public HiddenStateSink {
+   public:
+    SuffixSink(ChunkStore* store, const ModelConfig& cfg, int64_t context_id,
+               int64_t offset, int64_t chunk_tokens);
+    void OnLayerInput(int64_t layer, const Tensor& hidden, const int32_t* positions,
+                      int64_t n) override;
+    void Seal() { writer_.Seal(); }
+
+   private:
+    HiddenStateWriter writer_;
+    int64_t offset_;
+    int64_t hidden_dim_;
+  };
+
+  Transformer* model_;
+  ChunkStore* store_;
+  int64_t chunk_tokens_;
+  int64_t next_prefix_id_ = kPrefixIdBase;
+  std::map<uint64_t, int64_t> hash_to_prefix_;  // content hash -> prefix id
+  std::map<int64_t, PrefixInfo> prefixes_;
+  std::map<int64_t, std::unique_ptr<SuffixSink>> sinks_;        // context -> sink
+  std::map<int64_t, int64_t> context_prefix_;                   // context -> prefix id
+  int64_t bytes_deduped_ = 0;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_CORE_SHARED_PREFIX_H_

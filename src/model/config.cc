@@ -1,0 +1,108 @@
+#include "src/model/config.h"
+
+namespace hcache {
+
+ModelConfig ModelConfig::Llama2_7B() {
+  ModelConfig c;
+  c.name = "Llama2-7B";
+  c.num_layers = 32;
+  c.hidden_dim = 4096;
+  c.num_heads = 32;
+  c.num_kv_heads = 32;
+  c.ffn_dim = 11008;
+  c.vocab_size = 32000;
+  c.max_position = 16384;
+  c.norm = NormKind::kRmsNorm;
+  c.activation = ActivationKind::kSwiGlu;
+  c.position = PositionKind::kRope;
+  return c;
+}
+
+ModelConfig ModelConfig::Llama2_13B() {
+  ModelConfig c;
+  c.name = "Llama2-13B";
+  c.num_layers = 40;
+  c.hidden_dim = 5120;
+  c.num_heads = 40;
+  c.num_kv_heads = 40;
+  c.ffn_dim = 13824;
+  c.vocab_size = 32000;
+  c.max_position = 16384;
+  c.norm = NormKind::kRmsNorm;
+  c.activation = ActivationKind::kSwiGlu;
+  c.position = PositionKind::kRope;
+  return c;
+}
+
+ModelConfig ModelConfig::Opt30B() {
+  ModelConfig c;
+  c.name = "OPT-30B";
+  c.num_layers = 48;
+  c.hidden_dim = 7168;
+  c.num_heads = 56;
+  c.num_kv_heads = 56;
+  c.ffn_dim = 28672;
+  c.vocab_size = 50272;
+  c.max_position = 32768;  // Fig 11i sweeps OPT-30B context up to 32K
+  c.norm = NormKind::kLayerNorm;
+  c.activation = ActivationKind::kRelu;
+  c.position = PositionKind::kLearned;
+  return c;
+}
+
+ModelConfig ModelConfig::TinyLlama(int64_t layers, int64_t hidden, int64_t heads) {
+  ModelConfig c;
+  c.name = "TinyLlama";
+  c.num_layers = layers;
+  c.hidden_dim = hidden;
+  c.num_heads = heads;
+  c.num_kv_heads = heads;
+  c.ffn_dim = hidden * 2;
+  c.vocab_size = 256;
+  c.max_position = 512;
+  c.norm = NormKind::kRmsNorm;
+  c.activation = ActivationKind::kSwiGlu;
+  c.position = PositionKind::kRope;
+  return c;
+}
+
+ModelConfig ModelConfig::TinyOpt(int64_t layers, int64_t hidden, int64_t heads) {
+  ModelConfig c;
+  c.name = "TinyOpt";
+  c.num_layers = layers;
+  c.hidden_dim = hidden;
+  c.num_heads = heads;
+  c.num_kv_heads = heads;
+  c.ffn_dim = hidden * 4;
+  c.vocab_size = 256;
+  c.max_position = 512;
+  c.norm = NormKind::kLayerNorm;
+  c.activation = ActivationKind::kRelu;
+  c.position = PositionKind::kLearned;
+  return c;
+}
+
+ModelConfig ModelConfig::TinyAlibi(int64_t layers, int64_t hidden, int64_t heads) {
+  ModelConfig c = TinyOpt(layers, hidden, heads);
+  c.name = "TinyAlibi";
+  c.activation = ActivationKind::kGelu;
+  c.position = PositionKind::kAlibi;
+  return c;
+}
+
+ModelConfig ModelConfig::TinyGqa(int64_t layers, int64_t hidden, int64_t heads,
+                                 int64_t kv_heads) {
+  ModelConfig c = TinyLlama(layers, hidden, heads);
+  c.name = "TinyGqa";
+  c.num_kv_heads = kv_heads;
+  return c;
+}
+
+ModelConfig ModelConfig::WithGqa(const ModelConfig& base, int64_t kv_heads) {
+  ModelConfig c = base;
+  c.num_kv_heads = kv_heads;
+  c.name = base.name + "-GQA" + std::to_string(base.num_heads / kv_heads);
+  return c;
+}
+
+}  // namespace hcache

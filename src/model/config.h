@@ -1,0 +1,76 @@
+// Model configurations.
+//
+// Presets cover the paper's three evaluation models (Llama2-7B, Llama2-13B, OPT-30B)
+// plus tiny configurations used by the functional plane (real CPU math) in tests and
+// examples. Sizes for the large models are only consumed analytically (cost model /
+// simulator); the tiny models run end to end.
+#ifndef HCACHE_SRC_MODEL_CONFIG_H_
+#define HCACHE_SRC_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hcache {
+
+enum class NormKind { kRmsNorm, kLayerNorm };
+enum class ActivationKind { kSwiGlu, kGelu, kRelu };
+// Position encodings differ in what restoration must re-apply:
+//   kRope    — keys are rotated, so restoration re-applies RoPE at original positions;
+//   kLearned — positions enter at the embedding, already inside the hidden states;
+//   kAlibi   — a bias on attention *scores* only: K/V are position-free and
+//              restoration is a plain projection (the simplest case for HCache).
+enum class PositionKind { kRope, kLearned, kAlibi };
+
+struct ModelConfig {
+  std::string name;
+  int64_t num_layers = 0;
+  int64_t hidden_dim = 0;
+  int64_t num_heads = 0;
+  int64_t num_kv_heads = 0;  // == num_heads for MHA; < num_heads for GQA (extension)
+  int64_t ffn_dim = 0;
+  int64_t vocab_size = 0;
+  int64_t max_position = 16384;  // paper §6: context expanded to 16K (32K for OPT-30B)
+  NormKind norm = NormKind::kRmsNorm;
+  ActivationKind activation = ActivationKind::kSwiGlu;
+  PositionKind position = PositionKind::kRope;
+  float norm_eps = 1e-5f;
+  // Bytes per element for *stored* state (KV cache / hidden states). The paper serves
+  // in FP16, so 2. The functional plane computes in FP32 regardless.
+  int64_t state_dtype_bytes = 2;
+
+  int64_t head_dim() const { return hidden_dim / num_heads; }
+  int64_t kv_dim() const { return num_kv_heads * head_dim(); }
+
+  // --- per-token state sizes (bytes), the quantities §3.2 reasons about ---
+
+  // One layer's hidden state for one token.
+  int64_t HiddenBytesPerTokenLayer() const { return hidden_dim * state_dtype_bytes; }
+  // One layer's K+V for one token.
+  int64_t KvBytesPerTokenLayer() const { return 2 * kv_dim() * state_dtype_bytes; }
+  // Full-model per-token sizes.
+  int64_t HiddenBytesPerToken() const { return num_layers * HiddenBytesPerTokenLayer(); }
+  int64_t KvBytesPerToken() const { return num_layers * KvBytesPerTokenLayer(); }
+
+  bool IsMha() const { return num_kv_heads == num_heads; }
+
+  // --- presets ---
+  static ModelConfig Llama2_7B();
+  static ModelConfig Llama2_13B();
+  static ModelConfig Opt30B();
+  // Tiny models for the functional plane. Deterministic, fast, structurally faithful.
+  static ModelConfig TinyLlama(int64_t layers = 4, int64_t hidden = 64, int64_t heads = 4);
+  static ModelConfig TinyOpt(int64_t layers = 4, int64_t hidden = 64, int64_t heads = 4);
+  // BLOOM/MPT-style ALiBi variant (LayerNorm + GELU + attention-score bias).
+  static ModelConfig TinyAlibi(int64_t layers = 4, int64_t hidden = 64, int64_t heads = 4);
+  // GQA variant used by the extension cost model and tests.
+  static ModelConfig TinyGqa(int64_t layers = 4, int64_t hidden = 64, int64_t heads = 4,
+                             int64_t kv_heads = 2);
+  // Grouped-query variant of any base model (extension; paper §7 discusses MQA/GQA).
+  // Shrinks the KV heads while leaving hidden states untouched, which erodes HCache's
+  // 2x IO advantage — the trade-off bench_ext_gqa quantifies.
+  static ModelConfig WithGqa(const ModelConfig& base, int64_t kv_heads);
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_MODEL_CONFIG_H_

@@ -1,0 +1,57 @@
+#include "src/model/cost_model.h"
+
+namespace hcache {
+
+namespace {
+double D(const ModelConfig& cfg) { return static_cast<double>(cfg.hidden_dim); }
+}  // namespace
+
+double HiddenIoBytesPerLayer(const ModelConfig& cfg, double n) {
+  return n * D(cfg) * static_cast<double>(cfg.state_dtype_bytes);
+}
+
+double KvIoBytesPerLayer(const ModelConfig& cfg, double n) {
+  return n * 2.0 * static_cast<double>(cfg.kv_dim()) *
+         static_cast<double>(cfg.state_dtype_bytes);
+}
+
+double HiddenToKvFlopsPerLayer(const ModelConfig& cfg, double n) {
+  return 4.0 * n * D(cfg) * D(cfg);
+}
+
+double AttnFlopsPerLayer(const ModelConfig& cfg, double n) {
+  return 8.0 * n * D(cfg) * D(cfg) + n * n * D(cfg);
+}
+
+double FfnFlopsPerLayer(const ModelConfig& cfg, double n) { return 16.0 * n * D(cfg) * D(cfg); }
+
+double RecomputeFlopsPerLayer(const ModelConfig& cfg, double n) {
+  return AttnFlopsPerLayer(cfg, n) + FfnFlopsPerLayer(cfg, n);
+}
+
+double TheoreticalComputeSpeedup(const ModelConfig& cfg, double n) {
+  return 6.0 + n / (4.0 * D(cfg));
+}
+
+double ExactHiddenToKvFlopsPerLayer(const ModelConfig& cfg, double n) {
+  return 4.0 * n * D(cfg) * static_cast<double>(cfg.kv_dim());
+}
+
+double ExactFfnFlopsPerLayer(const ModelConfig& cfg, double n) {
+  const double mats = cfg.activation == ActivationKind::kSwiGlu ? 3.0 : 2.0;
+  return mats * 2.0 * n * D(cfg) * static_cast<double>(cfg.ffn_dim);
+}
+
+double ExactRecomputeFlopsPerLayer(const ModelConfig& cfg, double n) {
+  // QKV projections (Q at hidden width, K/V at kv width), attention score+value, out
+  // projection, and the exact FFN.
+  const double d = D(cfg);
+  const double kv = static_cast<double>(cfg.kv_dim());
+  const double proj = 2.0 * n * d * d          // Q
+                      + 2.0 * 2.0 * n * d * kv  // K, V
+                      + 2.0 * n * d * d;        // out
+  const double attn = n * n * d;  // paper's aggregate score+weighted-average term
+  return proj + attn + ExactFfnFlopsPerLayer(cfg, n);
+}
+
+}  // namespace hcache

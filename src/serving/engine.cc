@@ -1,0 +1,359 @@
+#include "src/serving/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "src/common/logging.h"
+#include "src/workload/arrival.h"
+
+namespace hcache {
+
+namespace {
+
+// Latency of one synchronous small write on the DirectIO path (submission + flush);
+// the two-stage saver exists to keep this off the critical path.
+constexpr double kSyncWriteLatency = 120e-6;
+
+bool MethodNeedsRestorePhase(RestoreMethod m) {
+  switch (m) {
+    case RestoreMethod::kKvOffload:
+    case RestoreMethod::kHCache:
+    case RestoreMethod::kHCacheOnly:
+    case RestoreMethod::kNaiveHybrid:
+      return true;
+    case RestoreMethod::kRecompute:  // restoration == prefilling the history
+    case RestoreMethod::kIdeal:      // state assumed resident
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(const Platform& platform, const ModelConfig& cfg,
+                             const ServingOptions& options)
+    : platform_(platform),
+      cfg_(cfg),
+      options_(options),
+      gpu_(platform.gpu, platform.num_gpus),
+      restorer_(platform, cfg) {
+  if (options_.kv_capacity_tokens == 0) {
+    options_.kv_capacity_tokens = DeriveKvCapacityTokens();
+  }
+}
+
+int64_t ServingEngine::DeriveKvCapacityTokens() const {
+  const double weights =
+      ApproxParamCount(cfg_) * static_cast<double>(cfg_.state_dtype_bytes) / platform_.num_gpus;
+  const double budget = 0.9 * platform_.gpu.hbm_bytes - weights;
+  CHECK_GT(budget, 0.0) << cfg_.name << " does not fit on " << platform_.gpu.name;
+  const double per_token =
+      static_cast<double>(cfg_.KvBytesPerToken()) / platform_.num_gpus;
+  return static_cast<int64_t>(budget / per_token);
+}
+
+double ServingEngine::RestoreTime(int64_t history_tokens, double* compute_busy) const {
+  if (history_tokens <= 0 || options_.method == RestoreMethod::kIdeal) {
+    *compute_busy = 0;
+    return 0;
+  }
+  const RestoreResult res = restorer_.Restore(options_.method, history_tokens);
+  *compute_busy = res.compute_busy;
+  return res.total_time;
+}
+
+double ServingEngine::DirectSaveStall(int64_t batch_size, double iteration_compute) const {
+  if (options_.save_mode != SaveMode::kDirect || batch_size <= 0) {
+    return 0.0;
+  }
+  if (platform_.storage.kind == StorageBackendSpec::Kind::kDram) {
+    return 0.0;  // direct stores to DRAM behave like the snapshot stage
+  }
+  const int ndev = std::max(1, platform_.ssds_per_gpu());
+  const double row = static_cast<double>(cfg_.HiddenBytesPerTokenLayer());
+  const double per_io = kSyncWriteLatency + row / platform_.storage.ssd.EffectiveWriteBw(row);
+  const double rounds = std::ceil(static_cast<double>(batch_size) / ndev);
+  const double per_layer_write = rounds * per_io;
+  const double per_layer_compute = iteration_compute / static_cast<double>(cfg_.num_layers);
+  return std::max(0.0, per_layer_write - per_layer_compute) *
+         static_cast<double>(cfg_.num_layers);
+}
+
+double ServingEngine::SteadyStateTbt(int64_t batch_size, int64_t history_per_seq) const {
+  const double iter =
+      gpu_.DecodeIterationTime(cfg_, batch_size, batch_size * history_per_seq);
+  return iter + DirectSaveStall(batch_size, iter);
+}
+
+ServingReport ServingEngine::RunLongContextSerial(
+    const std::vector<LongContextRequest>& requests) {
+  ServingReport report;
+  double now = 0;
+  for (const auto& req : requests) {
+    double compute_busy = 0;
+    const double restore = RestoreTime(req.context_tokens, &compute_busy);
+    const double prefill = gpu_.PrefillTime(cfg_, req.input_tokens);
+    const double ttft = options_.request_overhead + restore + prefill;
+    report.ttft.Add(ttft);
+    now += ttft;
+    for (int64_t i = 1; i < req.output_tokens; ++i) {
+      const double iter = gpu_.DecodeIterationTime(
+          cfg_, 1, req.context_tokens + req.input_tokens + i);
+      report.tbt.Add(iter + DirectSaveStall(1, iter));
+      now += iter;
+    }
+    ++report.rounds_completed;
+    ++report.rounds_submitted;
+  }
+  report.makespan = now;
+  return report;
+}
+
+ServingReport ServingEngine::RunWithGpuCache(
+    const std::vector<LongContextRequest>& requests, const std::vector<int64_t>& context_ids,
+    int64_t cache_capacity_tokens) {
+  CHECK_EQ(requests.size(), context_ids.size());
+  LruContextCache cache(cache_capacity_tokens);
+  ServingReport report;
+  double now = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto& req = requests[i];
+    const bool hit = cache.Lookup(context_ids[i]);
+    double restore = 0;
+    if (!hit) {
+      double compute_busy = 0;
+      restore = RestoreTime(req.context_tokens, &compute_busy);
+    }
+    cache.Insert(context_ids[i], req.context_tokens);
+    const double ttft =
+        options_.request_overhead + restore + gpu_.PrefillTime(cfg_, req.input_tokens);
+    report.ttft.Add(ttft);
+    now += ttft;
+    ++report.rounds_completed;
+    ++report.rounds_submitted;
+  }
+  report.makespan = now;
+  report.cache_hit_ratio = cache.HitRatio();
+  return report;
+}
+
+ServingReport ServingEngine::RunConversations(double sessions_per_second,
+                                              int64_t num_sessions, double round_interval_s,
+                                              uint64_t seed) {
+  // --- workload materialization ---
+  ShareGptGenerator gen(seed, options_.max_history_tokens);
+  PoissonArrivals arrivals_gen(sessions_per_second, seed ^ 0x5eed);
+  struct Session {
+    Conversation conv;
+    size_t next_round = 0;
+    int64_t history = 0;
+  };
+  std::vector<Session> sessions(static_cast<size_t>(num_sessions));
+  int64_t total_rounds = 0;
+  for (auto& s : sessions) {
+    s.conv = gen.Next();
+    total_rounds += static_cast<int64_t>(s.conv.rounds.size());
+  }
+
+  struct Arrival {
+    double time;
+    int64_t session;
+    bool operator>(const Arrival& o) const { return time > o.time; }
+  };
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>> arrivals;
+  for (int64_t i = 0; i < num_sessions; ++i) {
+    arrivals.push(Arrival{arrivals_gen.NextArrivalTime(), i});
+  }
+
+  // --- engine state ---
+  struct Round {
+    int64_t session = 0;
+    int64_t history = 0, input = 0, output = 0;
+    double arrival = 0;
+  };
+  struct Active {
+    Round r;
+    int64_t prefill_remaining = 0;
+    int64_t decoded = 0;
+    int64_t kv_reserved = 0;
+  };
+  std::deque<Round> pending;
+  std::deque<Active> prefill_q;
+  std::vector<Active> decode;
+  struct Restoration {
+    Round r;
+    double start = 0, end = 0;
+    double compute_total = 0, charged = 0;
+    int64_t kv_reserved = 0;
+    bool active = false;
+  } restoring;
+
+  int64_t kv_free = options_.kv_capacity_tokens;
+  ServingReport report;
+  double now = 0;
+
+  auto make_round = [&](int64_t sid) {
+    Session& s = sessions[static_cast<size_t>(sid)];
+    const ConversationRound& cr = s.conv.rounds[s.next_round];
+    Round r;
+    r.session = sid;
+    r.history = s.history;
+    r.input = cr.input_tokens;
+    r.output = cr.output_tokens;
+    r.arrival = now;
+    return r;
+  };
+
+  auto finish_round = [&](Active& a) {
+    kv_free += a.kv_reserved;
+    ++report.rounds_completed;
+    Session& s = sessions[static_cast<size_t>(a.r.session)];
+    s.history += a.r.input + a.r.output;
+    ++s.next_round;
+    if (s.next_round < s.conv.rounds.size()) {
+      arrivals.push(Arrival{now + round_interval_s, a.r.session});
+    }
+  };
+
+  while (report.rounds_completed < total_rounds && now < options_.max_sim_seconds) {
+    // Admit due arrivals.
+    while (!arrivals.empty() && arrivals.top().time <= now) {
+      const int64_t sid = arrivals.top().session;
+      arrivals.pop();
+      pending.push_back(make_round(sid));
+      ++report.rounds_submitted;
+    }
+
+    // Complete an in-flight restoration.
+    if (restoring.active && now >= restoring.end) {
+      Active a;
+      a.r = restoring.r;
+      a.prefill_remaining = restoring.r.input;
+      a.kv_reserved = restoring.kv_reserved;
+      prefill_q.push_back(a);
+      restoring.active = false;
+    }
+
+    // Dispatch pending rounds FCFS against the KV budget. PagedAttention allocates
+    // blocks on demand, so admission charges the known footprint (history + prompt);
+    // decode growth is charged as tokens generate (approximated at completion).
+    while (!pending.empty()) {
+      Round& r = pending.front();
+      const int64_t needed = r.history + r.input;
+      if (needed > options_.kv_capacity_tokens) {
+        // Never fits: drop rather than deadlock (the trace clamps at 16K so this only
+        // guards misconfiguration).
+        pending.pop_front();
+        continue;
+      }
+      if (needed > kv_free) {
+        break;
+      }
+      const bool needs_restore = r.history > 0 && MethodNeedsRestorePhase(options_.method);
+      if (needs_restore) {
+        if (restoring.active) {
+          break;  // one restoration channel; keep FCFS order
+        }
+        double compute_busy = 0;
+        const double t = RestoreTime(r.history, &compute_busy);
+        restoring.r = r;
+        restoring.start = now;
+        restoring.end = now + t;
+        restoring.compute_total = compute_busy;
+        restoring.charged = 0;
+        restoring.kv_reserved = needed;
+        restoring.active = true;
+      } else {
+        Active a;
+        a.r = r;
+        a.kv_reserved = needed;
+        a.prefill_remaining =
+            options_.method == RestoreMethod::kRecompute ? r.history + r.input : r.input;
+        prefill_q.push_back(a);
+      }
+      kv_free -= needed;
+      pending.pop_front();
+    }
+
+    // Idle? Jump to the next event.
+    if (decode.empty() && prefill_q.empty()) {
+      double next = std::numeric_limits<double>::infinity();
+      if (!arrivals.empty()) {
+        next = std::min(next, arrivals.top().time);
+      }
+      if (restoring.active) {
+        next = std::min(next, restoring.end);
+      }
+      if (!std::isfinite(next)) {
+        break;  // nothing left to do
+      }
+      now = std::max(now, next);
+      continue;
+    }
+
+    // --- one fused iteration (SplitFuse) ---
+    int64_t total_ctx = 0;
+    for (const Active& d : decode) {
+      total_ctx += d.r.history + d.r.input + d.decoded;
+    }
+    double iter = decode.empty() ? 0.0
+                                 : gpu_.DecodeIterationTime(
+                                       cfg_, static_cast<int64_t>(decode.size()), total_ctx);
+    int64_t chunk = 0;
+    const bool can_prefill =
+        !prefill_q.empty() && static_cast<int64_t>(decode.size()) < options_.max_batch_size;
+    if (can_prefill) {
+      chunk = std::min(options_.prefill_chunk_tokens, prefill_q.front().prefill_remaining);
+      iter += gpu_.PrefillTime(cfg_, chunk);
+    }
+    iter += DirectSaveStall(static_cast<int64_t>(decode.size()), iter);
+    if (restoring.active) {
+      // Restoration compute steals GPU time from overlapping iterations.
+      const double window = std::max(restoring.end - restoring.start, 1e-9);
+      double share = restoring.compute_total * (iter / window);
+      share = std::min(share, restoring.compute_total - restoring.charged);
+      restoring.charged += share;
+      iter += std::max(0.0, share);
+    }
+    if (iter <= 0) {
+      iter = 1e-6;
+    }
+    now += iter;
+
+    // Decode progress: one token per sequence per iteration.
+    for (auto it = decode.begin(); it != decode.end();) {
+      report.tbt.Add(iter);
+      ++it->decoded;
+      if (it->decoded >= it->r.output) {
+        finish_round(*it);
+        it = decode.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Prefill progress on the queue head.
+    if (chunk > 0) {
+      Active& head = prefill_q.front();
+      head.prefill_remaining -= chunk;
+      if (head.prefill_remaining == 0) {
+        // Prefill emits the first token.
+        report.ttft.Add(now - head.r.arrival + options_.request_overhead);
+        head.decoded = 1;
+        if (head.decoded >= head.r.output) {
+          finish_round(head);
+        } else {
+          decode.push_back(head);
+        }
+        prefill_q.pop_front();
+      }
+    }
+  }
+
+  report.makespan = now;
+  return report;
+}
+
+}  // namespace hcache

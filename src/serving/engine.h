@@ -1,0 +1,110 @@
+// Iteration-level LLM serving simulator with continuous batching and SplitFuse.
+//
+// This reproduces the serving-system context HCache is embedded in (§5): requests are
+// admitted against a PagedAttention-style KV token budget, an extra *restoration phase*
+// precedes prefill for requests whose state was evicted, prefill is chunked and fused
+// with decode iterations (SplitFuse), and state saving runs either through the
+// two-stage saver or synchronously (the Fig 14 ablation).
+//
+// Restoration runs asynchronously with decoding: its transmissions use the otherwise
+// idle storage path while its compute steals GPU time from concurrent iterations —
+// which is exactly why the paper's TBT overhead tracks the restoration method's compute
+// cost (≤4% for HCache, §6.1.1).
+#ifndef HCACHE_SRC_SERVING_ENGINE_H_
+#define HCACHE_SRC_SERVING_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/core/restorer.h"
+#include "src/model/config.h"
+#include "src/serving/gpu_kv_cache.h"
+#include "src/sim/gpu_timing.h"
+#include "src/sim/hardware.h"
+#include "src/workload/leval.h"
+#include "src/workload/sharegpt.h"
+
+namespace hcache {
+
+enum class SaveMode {
+  kNone,      // ideal: no state saving
+  kTwoStage,  // §4.2.2: snapshot + background chunk flush (off the critical path)
+  kDirect,    // Fig 14 ablation: synchronous row-granular writes per layer
+};
+
+struct ServingOptions {
+  RestoreMethod method = RestoreMethod::kHCache;
+  int64_t max_batch_size = 32;
+  int64_t prefill_chunk_tokens = 512;  // SplitFuse per-iteration prefill budget
+  int64_t kv_capacity_tokens = 0;      // 0 = derive from HBM minus weights (§2.4)
+  SaveMode save_mode = SaveMode::kTwoStage;
+  // Deployment context cap for conversation traces (histories truncate here; should
+  // stay comfortably below kv_capacity_tokens or whales serialize admission).
+  int64_t max_history_tokens = 16384;
+  double max_sim_seconds = 7200.0;
+  // Fixed per-round engine overhead (scheduling, tokenization, API) added to TTFT.
+  double request_overhead = 20e-3;
+};
+
+struct ServingReport {
+  Histogram ttft;  // seconds, one sample per round/request
+  Histogram tbt;   // seconds, one sample per generated token after the first
+  int64_t rounds_completed = 0;
+  int64_t rounds_submitted = 0;
+  double makespan = 0;
+  double cache_hit_ratio = 0;  // only for RunWithGpuCache
+
+  double RoundsPerSecond() const {
+    return makespan > 0 ? static_cast<double>(rounds_completed) / makespan : 0.0;
+  }
+};
+
+class ServingEngine {
+ public:
+  ServingEngine(const Platform& platform, const ModelConfig& cfg,
+                const ServingOptions& options);
+
+  // Fig 9: multi-round conversations. Sessions arrive as a Poisson process at
+  // `sessions_per_second`; rounds within a session are spaced by `round_interval_s` of
+  // think time; the KV cache is evicted when a round completes (§6.1.1 setup).
+  ServingReport RunConversations(double sessions_per_second, int64_t num_sessions,
+                                 double round_interval_s, uint64_t seed);
+
+  // Fig 4 / Fig 10: long-context requests served one at a time (batch size 1):
+  // TTFT = overhead + restoration(context) + prefill(question).
+  ServingReport RunLongContextSerial(const std::vector<LongContextRequest>& requests);
+
+  // Fig 15: serial serving with an LRU GPU KV cache in front of restoration.
+  // `context_ids[i]` names the stored context request i reuses.
+  ServingReport RunWithGpuCache(const std::vector<LongContextRequest>& requests,
+                                const std::vector<int64_t>& context_ids,
+                                int64_t cache_capacity_tokens);
+
+  // Fig 14: steady-state TBT for a decode batch where every sequence holds
+  // `history_per_seq` context tokens and hidden states are being saved.
+  double SteadyStateTbt(int64_t batch_size, int64_t history_per_seq) const;
+
+  // KV tokens the GPU pool can hold: (0.9*HBM - weights)/kv-bytes-per-token, the §2.4
+  // arithmetic (~48K tokens for Llama2-7B on A100-40G).
+  int64_t DeriveKvCapacityTokens() const;
+
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  // Synchronous-save stall added to one iteration (Fig 14 model): per layer, the batch
+  // rows are written QD1 per device; any excess over the layer's compute time stalls.
+  double DirectSaveStall(int64_t batch_size, double iteration_compute) const;
+
+  double RestoreTime(int64_t history_tokens, double* compute_busy) const;
+
+  Platform platform_;
+  ModelConfig cfg_;
+  ServingOptions options_;
+  GpuTimingModel gpu_;
+  Restorer restorer_;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_SERVING_ENGINE_H_

@@ -1,0 +1,69 @@
+#include "src/serving/gpu_kv_cache.h"
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+LruContextCache::LruContextCache(int64_t capacity_tokens)
+    : capacity_tokens_(capacity_tokens) {
+  CHECK_GE(capacity_tokens, 0);
+}
+
+bool LruContextCache::Lookup(int64_t context_id) {
+  const auto it = entries_.find(context_id);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return true;
+}
+
+bool LruContextCache::Contains(int64_t context_id) const {
+  return entries_.count(context_id) != 0;
+}
+
+void LruContextCache::EvictUntilFits(int64_t needed) {
+  while (used_tokens_ + needed > capacity_tokens_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_tokens_ -= victim.tokens;
+    entries_.erase(victim.context_id);
+    lru_.pop_back();
+  }
+}
+
+bool LruContextCache::Insert(int64_t context_id, int64_t tokens) {
+  CHECK_GE(tokens, 0);
+  if (tokens > capacity_tokens_) {
+    return false;
+  }
+  const auto it = entries_.find(context_id);
+  if (it != entries_.end()) {
+    used_tokens_ -= it->second->tokens;
+    lru_.erase(it->second);
+    entries_.erase(it);
+  }
+  EvictUntilFits(tokens);
+  lru_.push_front(Entry{context_id, tokens});
+  entries_[context_id] = lru_.begin();
+  used_tokens_ += tokens;
+  return true;
+}
+
+void LruContextCache::Erase(int64_t context_id) {
+  const auto it = entries_.find(context_id);
+  if (it == entries_.end()) {
+    return;
+  }
+  used_tokens_ -= it->second->tokens;
+  lru_.erase(it->second);
+  entries_.erase(it);
+}
+
+double LruContextCache::HitRatio() const {
+  const int64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace hcache

@@ -1,0 +1,58 @@
+// GPU-resident KV reuse cache (Fig 15 / §6.4).
+//
+// Real serving systems keep the KV cache of hot contexts on the GPU and fall back to
+// state restoration on a miss. This is an LRU over contexts, budgeted in tokens (the
+// resource the KV pool actually spends). HCache proper does not require this cache —
+// it optimizes the miss path — but §6.4 evaluates the two together.
+#ifndef HCACHE_SRC_SERVING_GPU_KV_CACHE_H_
+#define HCACHE_SRC_SERVING_GPU_KV_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace hcache {
+
+class LruContextCache {
+ public:
+  explicit LruContextCache(int64_t capacity_tokens);
+
+  // Looks up a context; a hit refreshes recency. Returns true on hit.
+  bool Lookup(int64_t context_id);
+
+  // Inserts (or resizes) a context of `tokens`, evicting LRU contexts as needed.
+  // Contexts larger than the whole cache are not admitted (returns false).
+  bool Insert(int64_t context_id, int64_t tokens);
+
+  // Drops a context if present (e.g., session ended).
+  void Erase(int64_t context_id);
+
+  bool Contains(int64_t context_id) const;
+  int64_t used_tokens() const { return used_tokens_; }
+  int64_t capacity_tokens() const { return capacity_tokens_; }
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+  // Statistics.
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  double HitRatio() const;
+
+ private:
+  struct Entry {
+    int64_t context_id;
+    int64_t tokens;
+  };
+
+  void EvictUntilFits(int64_t needed);
+
+  int64_t capacity_tokens_;
+  int64_t used_tokens_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<int64_t, std::list<Entry>::iterator> entries_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_SERVING_GPU_KV_CACHE_H_

@@ -1,0 +1,41 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+void Simulator::Schedule(double delay, Callback cb) {
+  ScheduleAt(now_ + std::max(0.0, delay), std::move(cb));
+}
+
+void Simulator::ScheduleAt(double time, Callback cb) {
+  CHECK_GE(time, now_);
+  queue_.push(Event{time, next_seq_++, std::move(cb)});
+}
+
+double Simulator::Run() {
+  while (!queue_.empty()) {
+    // The callback may schedule more events; copy out before popping.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.cb();
+  }
+  return now_;
+}
+
+double Simulator::RunUntil(double deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.cb();
+  }
+  return now_;
+}
+
+}  // namespace hcache

@@ -1,0 +1,61 @@
+// Discrete-event simulation core.
+//
+// The performance plane replays HCache's restoration schedules and the serving engine's
+// iteration loop against modeled hardware. `Simulator` is a classic event-calendar DES:
+// callbacks scheduled at absolute times, executed in (time, insertion-order) order so
+// simultaneous events are deterministic.
+#ifndef HCACHE_SRC_SIM_EVENT_QUEUE_H_
+#define HCACHE_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hcache {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  // Schedules `cb` to run `delay` seconds from now. Negative delays are clamped to 0.
+  void Schedule(double delay, Callback cb);
+
+  // Schedules `cb` at an absolute time (>= now).
+  void ScheduleAt(double time, Callback cb);
+
+  // Runs events until the calendar empties. Returns the final clock value.
+  double Run();
+
+  // Runs events with time <= `deadline`; the clock ends at min(deadline, last event).
+  double RunUntil(double deadline);
+
+  uint64_t events_processed() const { return events_processed_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_SIM_EVENT_QUEUE_H_

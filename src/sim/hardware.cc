@@ -1,0 +1,216 @@
+#include "src/sim/hardware.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace hcache {
+
+GpuSpec GpuSpec::A100() {
+  GpuSpec g;
+  g.name = "A100";
+  g.hbm_bytes = 40.0 * kGiB;
+  g.peak_fp16_flops = 312 * kTeraFlops;
+  g.pcie_bw = 32 * kGB;
+  g.hbm_bw = 1555 * kGB;
+  return g;
+}
+
+GpuSpec GpuSpec::A30() {
+  GpuSpec g;
+  g.name = "A30";
+  g.hbm_bytes = 24.0 * kGiB;
+  g.peak_fp16_flops = 165 * kTeraFlops;
+  g.pcie_bw = 32 * kGB;
+  g.hbm_bw = 933 * kGB;
+  return g;
+}
+
+GpuSpec GpuSpec::Rtx4090() {
+  GpuSpec g;
+  g.name = "4090";
+  g.hbm_bytes = 24.0 * kGiB;
+  g.peak_fp16_flops = 330 * kTeraFlops;
+  g.pcie_bw = 32 * kGB;
+  g.hbm_bw = 1008 * kGB;
+  return g;
+}
+
+GpuSpec GpuSpec::L20() {
+  GpuSpec g;
+  g.name = "L20";
+  g.hbm_bytes = 48.0 * kGiB;
+  g.peak_fp16_flops = 120 * kTeraFlops;
+  g.pcie_bw = 32 * kGB;
+  g.hbm_bw = 864 * kGB;
+  return g;
+}
+
+GpuSpec GpuSpec::H800() {
+  GpuSpec g;
+  g.name = "H800";
+  g.hbm_bytes = 80.0 * kGiB;
+  g.peak_fp16_flops = 990 * kTeraFlops;
+  g.pcie_bw = 64 * kGB;
+  g.hbm_bw = 3350 * kGB;
+  return g;
+}
+
+GpuSpec GpuSpec::ByName(const std::string& name) {
+  if (name == "A100") {
+    return A100();
+  }
+  if (name == "A30") {
+    return A30();
+  }
+  if (name == "4090") {
+    return Rtx4090();
+  }
+  if (name == "L20") {
+    return L20();
+  }
+  if (name == "H800") {
+    return H800();
+  }
+  HCACHE_LOG_FATAL << "unknown GPU: " << name;
+  return {};
+}
+
+SsdSpec SsdSpec::Pm9a3() {
+  SsdSpec s;
+  s.name = "PM9A3";
+  s.read_bw = 6.9 * kGB;   // §6.2.2: "One PM9A3 SSD provides a read bandwidth of 6.9 GB/s"
+  s.write_bw = 4.1 * kGB;
+  s.per_io_latency = 80e-6;
+  s.max_read_iops = 1.0e6;
+  s.max_write_iops = 180e3;
+  return s;
+}
+
+namespace {
+
+// Latency-bandwidth knee: sustained throughput for a stream of `io_size` requests is
+// bw * size / (size + knee), where knee = bw / max_iops is the transfer size at which
+// per-command overhead equals transfer time. Large IOs approach full bandwidth; small
+// IOs degrade smoothly toward the IOPS ceiling.
+double KneeBw(double bw, double max_iops, double io_size) {
+  if (io_size <= 0) {
+    return 0.0;
+  }
+  const double knee = bw / max_iops;
+  return bw * io_size / (io_size + knee);
+}
+
+}  // namespace
+
+double SsdSpec::EffectiveReadBw(double io_size) const {
+  return KneeBw(read_bw, max_read_iops, io_size);
+}
+
+double SsdSpec::EffectiveWriteBw(double io_size) const {
+  return KneeBw(write_bw, max_write_iops, io_size);
+}
+
+StorageBackendSpec StorageBackendSpec::SsdArray(int num_devices) {
+  StorageBackendSpec b;
+  b.kind = Kind::kSsdArray;
+  b.num_devices = num_devices;
+  return b;
+}
+
+StorageBackendSpec StorageBackendSpec::Dram() {
+  StorageBackendSpec b;
+  b.kind = Kind::kDram;
+  b.num_devices = 1;
+  return b;
+}
+
+double StorageBackendSpec::AggregateReadBw() const {
+  if (kind == Kind::kDram) {
+    // Host DRAM streams far faster than any PCIe link; the GPU's link is the limiter.
+    return 1e15;
+  }
+  return num_devices * ssd.read_bw;
+}
+
+double StorageBackendSpec::AggregateWriteBw() const {
+  if (kind == Kind::kDram) {
+    return 1e15;
+  }
+  return num_devices * ssd.write_bw;
+}
+
+int Platform::ssds_per_gpu() const {
+  if (storage.kind == StorageBackendSpec::Kind::kDram) {
+    return 0;
+  }
+  return std::max(1, storage.num_devices / std::max(1, num_gpus));
+}
+
+double Platform::StorageReadBwPerGpu() const {
+  const double devices =
+      storage.kind == StorageBackendSpec::Kind::kDram
+          ? storage.AggregateReadBw()
+          : static_cast<double>(ssds_per_gpu()) * storage.ssd.read_bw;
+  return std::min(devices, gpu.pcie_bw);
+}
+
+double Platform::StorageWriteBwPerGpu() const {
+  const double devices =
+      storage.kind == StorageBackendSpec::Kind::kDram
+          ? storage.AggregateWriteBw()
+          : static_cast<double>(ssds_per_gpu()) * storage.ssd.write_bw;
+  return std::min(devices, gpu.pcie_bw);
+}
+
+std::string Platform::Describe() const {
+  std::ostringstream os;
+  os << num_gpus << "x " << gpu.name << " + ";
+  if (storage.kind == StorageBackendSpec::Kind::kDram) {
+    os << "DRAM backend";
+  } else {
+    os << storage.num_devices << "x " << storage.ssd.name;
+  }
+  return os.str();
+}
+
+Platform Platform::DefaultTestbed(int num_gpus, int num_ssds) {
+  Platform p;
+  p.gpu = GpuSpec::A100();
+  p.num_gpus = num_gpus;
+  p.storage = StorageBackendSpec::SsdArray(num_ssds);
+  return p;
+}
+
+Platform Platform::CloudDram(const GpuSpec& gpu, int num_gpus) {
+  Platform p;
+  p.gpu = gpu;
+  p.num_gpus = num_gpus;
+  p.storage = StorageBackendSpec::Dram();
+  return p;
+}
+
+Platform Platform::IoSufficient() {
+  Platform p;
+  p.gpu = GpuSpec::A30();
+  p.storage = StorageBackendSpec::SsdArray(4);
+  return p;
+}
+
+Platform Platform::ComputeSufficient() {
+  Platform p;
+  p.gpu = GpuSpec::A100();
+  p.storage = StorageBackendSpec::SsdArray(1);
+  return p;
+}
+
+Platform Platform::Balanced() {
+  Platform p;
+  p.gpu = GpuSpec::A100();
+  p.storage = StorageBackendSpec::SsdArray(4);
+  return p;
+}
+
+}  // namespace hcache

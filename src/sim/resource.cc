@@ -1,0 +1,34 @@
+#include "src/sim/resource.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+SerialResource::SerialResource(Simulator* sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {
+  CHECK(sim != nullptr);
+}
+
+double SerialResource::Enqueue(double duration, Simulator::Callback on_done) {
+  CHECK_GE(duration, 0.0);
+  const double start = std::max(sim_->now(), next_free_);
+  const double done = start + duration;
+  next_free_ = done;
+  total_busy_ += duration;
+  if (on_done) {
+    sim_->ScheduleAt(done, std::move(on_done));
+  }
+  return done;
+}
+
+double SerialResource::Utilization(double window_start, double window_end) const {
+  const double span = window_end - window_start;
+  if (span <= 0.0) {
+    return 0.0;
+  }
+  return std::min(1.0, total_busy_ / span);
+}
+
+}  // namespace hcache

@@ -1,0 +1,47 @@
+// FCFS serial resources for the DES.
+//
+// A `SerialResource` executes one work item at a time in submission order — the model
+// for a CUDA stream, a PCIe DMA engine, an NVMe channel, or an NVLink direction. The
+// paper's implementation (§5) uses dedicated streams for upstream transmission and
+// downstream snapshots plus the compute stream; each maps to one SerialResource here,
+// and cudaEvent-style cross-stream ordering is expressed by chaining completion
+// callbacks.
+#ifndef HCACHE_SRC_SIM_RESOURCE_H_
+#define HCACHE_SRC_SIM_RESOURCE_H_
+
+#include <string>
+
+#include "src/sim/event_queue.h"
+
+namespace hcache {
+
+class SerialResource {
+ public:
+  SerialResource(Simulator* sim, std::string name);
+
+  // Submits a work item lasting `duration` seconds. The item starts at
+  // max(now, previous completion) and `on_done` fires at its completion time.
+  // Returns the completion time.
+  double Enqueue(double duration, Simulator::Callback on_done = nullptr);
+
+  // Earliest time a newly submitted item could start.
+  double next_free() const { return next_free_; }
+
+  // Total busy seconds accumulated (for utilization / bubble accounting).
+  double total_busy() const { return total_busy_; }
+
+  // Busy fraction of the window [window_start, window_end].
+  double Utilization(double window_start, double window_end) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  double next_free_ = 0.0;
+  double total_busy_ = 0.0;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_SIM_RESOURCE_H_

@@ -1,0 +1,131 @@
+#include "src/storage/chunk_store.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+namespace fs = std::filesystem;
+
+ChunkStore::ChunkStore(std::vector<std::string> device_dirs, int64_t chunk_bytes)
+    : device_dirs_(std::move(device_dirs)), chunk_bytes_(chunk_bytes) {
+  CHECK(!device_dirs_.empty());
+  CHECK_GT(chunk_bytes_, 0);
+  for (const auto& dir : device_dirs_) {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    CHECK(!ec) << "cannot create device dir " << dir << ": " << ec.message();
+  }
+}
+
+int ChunkStore::DeviceOf(const ChunkKey& key) const {
+  return static_cast<int>(key.chunk_index % static_cast<int64_t>(device_dirs_.size()));
+}
+
+std::string ChunkStore::PathFor(const ChunkKey& key) const {
+  char name[96];
+  std::snprintf(name, sizeof(name), "ctx%lld_L%lld_C%lld.bin",
+                static_cast<long long>(key.context_id), static_cast<long long>(key.layer),
+                static_cast<long long>(key.chunk_index));
+  return device_dirs_[static_cast<size_t>(DeviceOf(key))] + "/" + name;
+}
+
+bool ChunkStore::WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) {
+  CHECK_GT(bytes, 0);
+  CHECK_LE(bytes, chunk_bytes_);
+  const std::string path = PathFor(key);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    HCACHE_LOG_ERROR << "open failed: " << path;
+    return false;
+  }
+  const size_t written = std::fwrite(data, 1, static_cast<size_t>(bytes), f);
+  const bool ok = written == static_cast<size_t>(bytes) && std::fclose(f) == 0;
+  if (!ok) {
+    HCACHE_LOG_ERROR << "short write: " << path;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  index_[key] = bytes;
+  ++total_writes_;
+  return true;
+}
+
+int64_t ChunkStore::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const {
+  int64_t size;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      return -1;
+    }
+    size = it->second;
+    ++total_reads_;
+  }
+  if (size > buf_bytes) {
+    return -1;
+  }
+  const std::string path = PathFor(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return -1;
+  }
+  const size_t got = std::fread(buf, 1, static_cast<size_t>(size), f);
+  std::fclose(f);
+  return got == static_cast<size_t>(size) ? size : -1;
+}
+
+bool ChunkStore::HasChunk(const ChunkKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(key) != 0;
+}
+
+int64_t ChunkStore::ChunkSize(const ChunkKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? -1 : it->second;
+}
+
+void ChunkStore::DeleteContext(int64_t context_id) {
+  std::vector<ChunkKey> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = index_.lower_bound(ChunkKey{context_id, 0, 0});
+         it != index_.end() && it->first.context_id == context_id;) {
+      doomed.push_back(it->first);
+      it = index_.erase(it);
+    }
+  }
+  for (const auto& key : doomed) {
+    std::error_code ec;
+    fs::remove(PathFor(key), ec);
+  }
+}
+
+int64_t ChunkStore::chunks_stored() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(index_.size());
+}
+
+int64_t ChunkStore::bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [key, size] : index_) {
+    total += size;
+  }
+  return total;
+}
+
+int64_t ChunkStore::total_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_writes_;
+}
+
+int64_t ChunkStore::total_reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_reads_;
+}
+
+}  // namespace hcache

@@ -1,0 +1,48 @@
+// Storage-path timing for a platform: turns IO patterns into seconds.
+//
+// The data path modeled is the paper's GPUDirect pipeline (§5: SPDK + GDRCopy, SSD ->
+// GPU BAR with no host bounce): chunks are striped round-robin across the SSDs, read in
+// parallel, and the stream is capped by the GPU's PCIe ingest bandwidth. DRAM backends
+// skip the device model and are purely PCIe-bound.
+#ifndef HCACHE_SRC_STORAGE_IO_TIMING_H_
+#define HCACHE_SRC_STORAGE_IO_TIMING_H_
+
+#include "src/model/config.h"
+#include "src/sim/hardware.h"
+#include "src/storage/layout.h"
+
+namespace hcache {
+
+class StorageIoModel {
+ public:
+  explicit StorageIoModel(const Platform& platform);
+
+  // Sustained read bandwidth into one GPU for a stream of `io_size`-byte requests.
+  double EffectiveReadBw(double io_size) const;
+  double EffectiveWriteBw(double io_size) const;
+
+  // Wall time to execute `pattern` as reads into one GPU (striped, pipelined, high
+  // queue depth: one leading device latency plus streaming time).
+  double ReadTime(const IoPattern& pattern) const;
+  double WriteTime(const IoPattern& pattern) const;
+
+  // Convenience wrappers for the restoration paths.
+  double HiddenLayerReadTime(const ModelConfig& cfg, int64_t n,
+                             StorageLayout layout = StorageLayout::kLayerChunked,
+                             int64_t chunk_tokens = kDefaultChunkTokens) const;
+  double KvLayerReadTime(const ModelConfig& cfg, int64_t n,
+                         int64_t chunk_tokens = kDefaultChunkTokens) const;
+
+  // One-time latency before the first bytes of a read stream arrive (the pipeline-fill
+  // term restorers charge once per restoration).
+  double DeviceLatency() const;
+
+  const Platform& platform() const { return platform_; }
+
+ private:
+  Platform platform_;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_STORAGE_IO_TIMING_H_

@@ -1,0 +1,62 @@
+#include "src/storage/layout.h"
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+IoPattern RestoreLayerPattern(StorageLayout layout, const ModelConfig& cfg, int64_t n,
+                              int64_t chunk_tokens) {
+  CHECK_GT(chunk_tokens, 0);
+  IoPattern p;
+  if (n <= 0) {
+    return p;
+  }
+  switch (layout) {
+    case StorageLayout::kLayerChunked:
+      p.num_ios = (n + chunk_tokens - 1) / chunk_tokens;
+      p.io_size = chunk_tokens * cfg.HiddenBytesPerTokenLayer();
+      break;
+    case StorageLayout::kTokenMajor:
+      // One strided row per token: the layer's slice inside each token record.
+      p.num_ios = n;
+      p.io_size = cfg.HiddenBytesPerTokenLayer();
+      break;
+  }
+  return p;
+}
+
+IoPattern DirectSavePattern(StorageLayout layout, const ModelConfig& cfg, int64_t batch,
+                            int64_t chunk_tokens) {
+  IoPattern p;
+  if (batch <= 0) {
+    return p;
+  }
+  switch (layout) {
+    case StorageLayout::kLayerChunked:
+      // Each sequence's new token lands in a different open chunk per layer.
+      p.num_ios = cfg.num_layers * batch;
+      p.io_size = cfg.HiddenBytesPerTokenLayer();
+      break;
+    case StorageLayout::kTokenMajor:
+      // One contiguous record per sequence covering all layers.
+      p.num_ios = batch;
+      p.io_size = cfg.HiddenBytesPerToken();
+      break;
+  }
+  return p;
+}
+
+IoPattern ChunkFlushPattern(const ModelConfig& cfg, int64_t chunk_tokens) {
+  IoPattern p;
+  p.num_ios = 1;
+  p.io_size = chunk_tokens * cfg.HiddenBytesPerTokenLayer();
+  return p;
+}
+
+int64_t ReservationWasteBytes(const ModelConfig& cfg, int64_t n) {
+  CHECK_GE(n, 0);
+  CHECK_LE(n, cfg.max_position);
+  return (cfg.max_position - n) * cfg.HiddenBytesPerTokenLayer();
+}
+
+}  // namespace hcache

@@ -1,0 +1,58 @@
+// Storage layout analysis for hidden states (paper §4.2.1, challenge C2).
+//
+// Hidden states are *generated* layer-before-token (Fig 6a) but *restored*
+// token-before-layer (Fig 6b). A layout can be contiguous for at most one of the two
+// orders; the other order then issues many small IOs. This module turns a layout choice
+// into concrete IO patterns that the SSD model (and the real chunk store) execute:
+//
+//   kLayerChunked (HCache's choice): tokens of one layer are grouped into fixed
+//     64-token chunks, chunks striped round-robin over the SSDs. Restoration of a layer
+//     reads ceil(n/64) large contiguous chunks; direct saving of one decode step would
+//     touch every layer's open chunk (small writes) — which is exactly why the
+//     two-stage saver exists.
+//
+//   kTokenMajor (the save-optimized strawman): each token's hidden states across all
+//     layers are contiguous. One decode step appends one record per sequence (a single
+//     medium write), but restoring a layer gathers n strided rows (small reads).
+#ifndef HCACHE_SRC_STORAGE_LAYOUT_H_
+#define HCACHE_SRC_STORAGE_LAYOUT_H_
+
+#include <cstdint>
+
+#include "src/model/config.h"
+
+namespace hcache {
+
+enum class StorageLayout { kLayerChunked, kTokenMajor };
+
+// The paper fixes chunks at 64 tokens (§4.2.1); the ablation bench sweeps this.
+inline constexpr int64_t kDefaultChunkTokens = 64;
+
+struct IoPattern {
+  int64_t num_ios = 0;
+  int64_t io_size = 0;  // bytes per IO
+
+  int64_t total_bytes() const { return num_ios * io_size; }
+};
+
+// IO pattern to restore ONE layer's hidden states for n history tokens.
+IoPattern RestoreLayerPattern(StorageLayout layout, const ModelConfig& cfg, int64_t n,
+                              int64_t chunk_tokens = kDefaultChunkTokens);
+
+// IO pattern to persist the hidden states produced by one forward step (one iteration
+// of decode with `batch` sequences, or one prefill chunk of `batch` tokens of a single
+// sequence), summed over ALL layers, when writing *directly* to storage (no staging).
+IoPattern DirectSavePattern(StorageLayout layout, const ModelConfig& cfg, int64_t batch,
+                            int64_t chunk_tokens = kDefaultChunkTokens);
+
+// IO pattern for the two-stage saver's background flush of one sealed chunk.
+IoPattern ChunkFlushPattern(const ModelConfig& cfg, int64_t chunk_tokens = kDefaultChunkTokens);
+
+// Bytes of internal fragmentation per (sequence, layer) if storage were reserved at the
+// model's max context instead of allocated chunk-by-chunk — the §4.2.1 argument against
+// whole-buffer reservation. `n` is the actual history length.
+int64_t ReservationWasteBytes(const ModelConfig& cfg, int64_t n);
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_STORAGE_LAYOUT_H_

@@ -1,0 +1,80 @@
+#include "src/tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hcache {
+
+namespace {
+
+// Block sizes chosen so one A-panel + B-panel fit in L1/L2 on typical x86 cores.
+constexpr int64_t kBlockM = 64;
+constexpr int64_t kBlockK = 256;
+constexpr int64_t kBlockN = 256;
+
+}  // namespace
+
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+            bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<size_t>(m) * static_cast<size_t>(n) * sizeof(float));
+  }
+  for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const int64_t i_end = std::min(i0 + kBlockM, m);
+    for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const int64_t p_end = std::min(p0 + kBlockK, k);
+      for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const int64_t j_end = std::min(j0 + kBlockN, n);
+        for (int64_t i = i0; i < i_end; ++i) {
+          const float* a_row = a + i * k;
+          float* c_row = c + i * n;
+          for (int64_t p = p0; p < p_end; ++p) {
+            const float a_ip = a_row[p];
+            const float* b_row = b + p * n;
+            for (int64_t j = j0; j < j_end; ++j) {
+              c_row[j] += a_ip * b_row[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+            bool accumulate) {
+  // Dot-product formulation: rows of A against rows of B. Both operands stream
+  // sequentially, so no packing is needed for the sizes used here.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = accumulate ? c_row[j] : 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += a_row[p] * b_row[p];
+      }
+      c_row[j] = acc;
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.rank(), 2);
+  CHECK_EQ(b.rank(), 2);
+  CHECK_EQ(a.dim(1), b.dim(0));
+  Tensor c({a.dim(0), b.dim(1)});
+  GemmNN(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+  return c;
+}
+
+Tensor MatMulTransposedB(const Tensor& x, const Tensor& w) {
+  CHECK_EQ(x.rank(), 2);
+  CHECK_EQ(w.rank(), 2);
+  CHECK_EQ(x.dim(1), w.dim(1));
+  Tensor c({x.dim(0), w.dim(0)});
+  GemmNT(x.data(), w.data(), c.data(), x.dim(0), x.dim(1), w.dim(0));
+  return c;
+}
+
+}  // namespace hcache

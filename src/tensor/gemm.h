@@ -1,0 +1,39 @@
+// Dense matrix multiplication kernels.
+//
+// The transformer stores weight matrices as [out_features, in_features] (the layout
+// used by Llama/OPT checkpoints), so the projection of activations X [m, in] is
+// X * W^T — provided here as GemmNT. Plain GemmNN covers attention score/value matmuls.
+//
+// The kernels are cache-blocked scalar loops that GCC vectorizes; they exist to make
+// the functional plane *real*, not to compete with BLAS. Determinism matters more than
+// speed: a fixed loop order guarantees bit-identical results for identical inputs,
+// which the lossless-restoration tests rely on.
+#ifndef HCACHE_SRC_TENSOR_GEMM_H_
+#define HCACHE_SRC_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace hcache {
+
+// C[m,n] = A[m,k] * B[k,n]  (+ C when accumulate).
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+            bool accumulate = false);
+
+// C[m,n] = A[m,k] * B[n,k]^T  (+ C when accumulate). B is row-major [n, k].
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+            bool accumulate = false);
+
+// Tensor conveniences (shapes are checked).
+Tensor MatMul(const Tensor& a, const Tensor& b);               // [m,k]x[k,n]
+Tensor MatMulTransposedB(const Tensor& x, const Tensor& w);    // [m,k]x[n,k]^T
+
+// FLOP count of a GEMM under the paper's convention (one multiply-add = 2 FLOPs).
+constexpr double GemmFlops(int64_t m, int64_t k, int64_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) * static_cast<double>(n);
+}
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_TENSOR_GEMM_H_

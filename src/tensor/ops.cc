@@ -1,0 +1,113 @@
+#include "src/tensor/ops.h"
+
+#include <cmath>
+
+namespace hcache {
+
+void SoftmaxRow(float* row, int64_t n) {
+  if (n <= 0) {
+    return;
+  }
+  float max_v = row[0];
+  for (int64_t i = 1; i < n; ++i) {
+    max_v = std::max(max_v, row[i]);
+  }
+  float sum = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    row[i] = std::exp(row[i] - max_v);
+    sum += row[i];
+  }
+  const float inv = 1.0f / sum;
+  for (int64_t i = 0; i < n; ++i) {
+    row[i] *= inv;
+  }
+}
+
+void SoftmaxLastDim(Tensor& t) {
+  CHECK_EQ(t.rank(), 2);
+  for (int64_t r = 0; r < t.dim(0); ++r) {
+    SoftmaxRow(t.row(r), t.dim(1));
+  }
+}
+
+void RmsNorm(const Tensor& x, const float* weight, float eps, Tensor& out) {
+  CHECK_EQ(x.rank(), 2);
+  CHECK(x.shape() == out.shape());
+  const int64_t dim = x.dim(1);
+  for (int64_t r = 0; r < x.dim(0); ++r) {
+    const float* in_row = x.row(r);
+    float* out_row = out.row(r);
+    double ssq = 0.0;
+    for (int64_t i = 0; i < dim; ++i) {
+      ssq += static_cast<double>(in_row[i]) * in_row[i];
+    }
+    const float scale = 1.0f / std::sqrt(static_cast<float>(ssq / static_cast<double>(dim)) + eps);
+    for (int64_t i = 0; i < dim; ++i) {
+      out_row[i] = in_row[i] * scale * weight[i];
+    }
+  }
+}
+
+void LayerNorm(const Tensor& x, const float* weight, const float* bias, float eps,
+               Tensor& out) {
+  CHECK_EQ(x.rank(), 2);
+  CHECK(x.shape() == out.shape());
+  const int64_t dim = x.dim(1);
+  for (int64_t r = 0; r < x.dim(0); ++r) {
+    const float* in_row = x.row(r);
+    float* out_row = out.row(r);
+    double mean = 0.0;
+    for (int64_t i = 0; i < dim; ++i) {
+      mean += in_row[i];
+    }
+    mean /= static_cast<double>(dim);
+    double var = 0.0;
+    for (int64_t i = 0; i < dim; ++i) {
+      const double d = in_row[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(dim);
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    for (int64_t i = 0; i < dim; ++i) {
+      out_row[i] = (in_row[i] - static_cast<float>(mean)) * inv * weight[i] + bias[i];
+    }
+  }
+}
+
+void SiluInPlace(Tensor& t) {
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    const float x = t.at(i);
+    t.at(i) = x / (1.0f + std::exp(-x));
+  }
+}
+
+void GeluInPlace(Tensor& t) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    const float x = t.at(i);
+    const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+    t.at(i) = 0.5f * x * (1.0f + std::tanh(inner));
+  }
+}
+
+void ReluInPlace(Tensor& t) {
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = std::max(0.0f, t.at(i));
+  }
+}
+
+void AddInPlace(Tensor& out, const Tensor& a) {
+  CHECK(out.shape() == a.shape());
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out.at(i) += a.at(i);
+  }
+}
+
+void MulInPlace(Tensor& out, const Tensor& a) {
+  CHECK(out.shape() == a.shape());
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out.at(i) *= a.at(i);
+  }
+}
+
+}  // namespace hcache

@@ -1,0 +1,42 @@
+#include "src/tensor/rope.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace hcache {
+
+void ApplyRope(Tensor& x, const int32_t* positions, int64_t num_heads, int64_t head_dim,
+               float theta_base) {
+  CHECK_EQ(x.rank(), 2);
+  CHECK_EQ(x.dim(1), num_heads * head_dim);
+  CHECK_EQ(head_dim % 2, 0);
+  const int64_t half = head_dim / 2;
+  for (int64_t t = 0; t < x.dim(0); ++t) {
+    float* row = x.row(t);
+    const float pos = static_cast<float>(positions[t]);
+    for (int64_t h = 0; h < num_heads; ++h) {
+      float* head = row + h * head_dim;
+      for (int64_t i = 0; i < half; ++i) {
+        const float freq =
+            std::pow(theta_base, -2.0f * static_cast<float>(i) / static_cast<float>(head_dim));
+        const float angle = pos * freq;
+        const float cos_a = std::cos(angle);
+        const float sin_a = std::sin(angle);
+        const float a = head[2 * i];
+        const float b = head[2 * i + 1];
+        head[2 * i] = a * cos_a - b * sin_a;
+        head[2 * i + 1] = a * sin_a + b * cos_a;
+      }
+    }
+  }
+}
+
+void ApplyRopeContiguous(Tensor& x, int32_t start_pos, int64_t num_heads, int64_t head_dim,
+                         float theta_base) {
+  std::vector<int32_t> positions(static_cast<size_t>(x.dim(0)));
+  std::iota(positions.begin(), positions.end(), start_pos);
+  ApplyRope(x, positions.data(), num_heads, head_dim, theta_base);
+}
+
+}  // namespace hcache

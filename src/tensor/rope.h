@@ -1,0 +1,30 @@
+// Rotary position embedding (RoPE, Su et al.).
+//
+// HCache-relevant detail (§5 of the paper): the KV projection from hidden states yields
+// *pre-rotation* keys, so restoration must re-apply RoPE with each token's original
+// absolute position. ApplyRope therefore takes an explicit per-token position array
+// instead of assuming positions 0..n-1 — the restoration path passes the historical
+// positions, and bit-exactness versus the original forward pass follows from using the
+// identical kernel in both places.
+#ifndef HCACHE_SRC_TENSOR_ROPE_H_
+#define HCACHE_SRC_TENSOR_ROPE_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace hcache {
+
+// Rotates `x` in place. x is [num_tokens, num_heads * head_dim]; positions has
+// num_tokens entries. Pairs (x[2i], x[2i+1]) within each head are rotated by
+// pos * theta^(-2i/head_dim). `theta_base` is 10000 for Llama-family models.
+void ApplyRope(Tensor& x, const int32_t* positions, int64_t num_heads, int64_t head_dim,
+               float theta_base = 10000.0f);
+
+// Convenience for contiguous positions [start, start + num_tokens).
+void ApplyRopeContiguous(Tensor& x, int32_t start_pos, int64_t num_heads, int64_t head_dim,
+                         float theta_base = 10000.0f);
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_TENSOR_ROPE_H_

@@ -1,0 +1,87 @@
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace hcache {
+
+namespace {
+
+int64_t ComputeNumel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  numel_ = ComputeNumel(shape_);
+  data_.assign(static_cast<size_t>(numel_), 0.0f);
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.data_ = data_;
+  t.numel_ = numel_;
+  return t;
+}
+
+Tensor Tensor::FromData(std::vector<int64_t> shape, std::vector<float> data) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = ComputeNumel(t.shape_);
+  CHECK_EQ(static_cast<size_t>(t.numel_), data.size());
+  t.data_ = std::move(data);
+  return t;
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  CHECK_GE(i, 0);
+  CHECK_LT(i, rank());
+  return shape_[static_cast<size_t>(i)];
+}
+
+void Tensor::Reshape(std::vector<int64_t> new_shape) {
+  CHECK_EQ(ComputeNumel(new_shape), numel_);
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::Fill(float value) {
+  for (auto& v : data_) {
+    v = value;
+  }
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    os << (i ? ", " : "") << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  CHECK(a.shape() == b.shape());
+  float max_diff = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.at(i) - b.at(i)));
+  }
+  return max_diff;
+}
+
+bool Tensor::BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    return false;
+  }
+  return std::memcmp(a.data(), b.data(), static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+}  // namespace hcache

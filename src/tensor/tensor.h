@@ -1,0 +1,104 @@
+// A small dense FP32 tensor type, sufficient for a real transformer forward pass.
+//
+// Design notes:
+//   * Row-major, owning, contiguous storage. No strided views: every op in this
+//     codebase works on contiguous data, which keeps kernels simple and fast.
+//   * Rank <= 4 in practice (e.g. [tokens, hidden] activations, [heads, t, t] scores).
+//   * Copy is explicit via Clone() to keep accidental O(n) copies out of hot loops;
+//     move is cheap and implicit.
+//   * All computation in the functional plane is FP32. The performance plane (src/sim)
+//     models FP16 sizes analytically; mixing the two is never required.
+#ifndef HCACHE_SRC_TENSOR_TENSOR_H_
+#define HCACHE_SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Allocates a zero-initialized tensor with the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+  Tensor(std::initializer_list<int64_t> shape) : Tensor(std::vector<int64_t>(shape)) {}
+
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+  Tensor(const Tensor&) = delete;
+  Tensor& operator=(const Tensor&) = delete;
+
+  Tensor Clone() const;
+
+  static Tensor FromData(std::vector<int64_t> shape, std::vector<float> data);
+
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int64_t i) const;
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  // Flat element access.
+  float& at(int64_t i) {
+    DCHECK(i >= 0 && i < numel_);
+    return data_[static_cast<size_t>(i)];
+  }
+  float at(int64_t i) const {
+    DCHECK(i >= 0 && i < numel_);
+    return data_[static_cast<size_t>(i)];
+  }
+
+  // 2-D element access (requires rank()==2).
+  float& at(int64_t r, int64_t c) {
+    DCHECK(rank() == 2);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    DCHECK(rank() == 2);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+
+  // Pointer to the start of row `r` of a rank-2 tensor.
+  float* row(int64_t r) {
+    DCHECK(rank() == 2);
+    return data_.data() + static_cast<size_t>(r * shape_[1]);
+  }
+  const float* row(int64_t r) const {
+    DCHECK(rank() == 2);
+    return data_.data() + static_cast<size_t>(r * shape_[1]);
+  }
+
+  // Reinterprets the shape; the element count must match.
+  void Reshape(std::vector<int64_t> new_shape);
+
+  void Fill(float value);
+  void Zero() { Fill(0.0f); }
+
+  // Byte size of the payload (FP32).
+  uint64_t byte_size() const { return static_cast<uint64_t>(numel_) * sizeof(float); }
+
+  std::string ShapeString() const;
+
+  // Max |a-b| over all elements; both tensors must have identical shapes.
+  static float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+  // True when every element is bitwise identical.
+  static bool BitwiseEqual(const Tensor& a, const Tensor& b);
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+  int64_t numel_ = 0;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,33 @@
+#include "src/workload/arrival.h"
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+PoissonArrivals::PoissonArrivals(double rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  CHECK_GT(rate, 0.0);
+}
+
+double PoissonArrivals::NextArrivalTime() {
+  now_ += rng_.NextExponential(rate_);
+  return now_;
+}
+
+std::vector<double> PoissonArrivals::Take(int64_t n) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    times.push_back(NextArrivalTime());
+  }
+  return times;
+}
+
+ZipfianContextChooser::ZipfianContextChooser(int64_t num_contexts, double alpha,
+                                             uint64_t seed)
+    : zipf_(static_cast<uint64_t>(num_contexts), alpha), rng_(seed) {}
+
+int64_t ZipfianContextChooser::NextContext() {
+  return static_cast<int64_t>(zipf_.Next(rng_));
+}
+
+}  // namespace hcache

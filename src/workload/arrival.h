@@ -1,0 +1,52 @@
+// Request arrival processes used by the serving experiments.
+//
+// Fig 9 draws session arrivals from a Poisson process (as prior work does); Fig 15
+// synthesizes the reuse pattern of long contexts with a Zipfian popularity of varying
+// skew (alpha), uniform at alpha == 0.
+#ifndef HCACHE_SRC_WORKLOAD_ARRIVAL_H_
+#define HCACHE_SRC_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace hcache {
+
+class PoissonArrivals {
+ public:
+  // `rate` in arrivals per second.
+  PoissonArrivals(double rate, uint64_t seed);
+
+  // Absolute time of the next arrival (monotonically increasing).
+  double NextArrivalTime();
+
+  // Convenience: the first `n` arrival times.
+  std::vector<double> Take(int64_t n);
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  double now_ = 0.0;
+  Rng rng_;
+};
+
+// Chooses which stored context each incoming request reuses (Fig 15's arrival
+// synthesis): rank 0 is the hottest context.
+class ZipfianContextChooser {
+ public:
+  ZipfianContextChooser(int64_t num_contexts, double alpha, uint64_t seed);
+
+  int64_t NextContext();
+
+  int64_t num_contexts() const { return static_cast<int64_t>(zipf_.num_items()); }
+
+ private:
+  ZipfianGenerator zipf_;
+  Rng rng_;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_WORKLOAD_ARRIVAL_H_

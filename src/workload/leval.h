@@ -1,0 +1,52 @@
+// Synthetic long-context tasks matching the L-Eval statistics in the paper's Table 1:
+//
+//   Task             Context   Input   Output
+//   Paper Assistant  10603.5   142.7   404.8
+//   GSM-100           5451.7    77.4     4.3
+//   QuALITY           7053.9    92.4    19.2
+//   Mixed (20 tasks) 16340.2    44.7    50.2
+//
+// The "mixed" workload samples 200 requests across sub-task profiles, as §6.1.2 does.
+#ifndef HCACHE_SRC_WORKLOAD_LEVAL_H_
+#define HCACHE_SRC_WORKLOAD_LEVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace hcache {
+
+enum class LEvalTask { kPaperAssistant, kGsm100, kQuality, kMixed };
+
+const char* LEvalTaskName(LEvalTask t);
+
+struct LongContextRequest {
+  LEvalTask task = LEvalTask::kMixed;
+  int64_t context_tokens = 0;  // the reusable long context (document / few-shot bank)
+  int64_t input_tokens = 0;    // the user question appended to it
+  int64_t output_tokens = 0;   // the answer
+};
+
+class LEvalGenerator {
+ public:
+  explicit LEvalGenerator(uint64_t seed);
+
+  LongContextRequest Next(LEvalTask task);
+
+  // A 200-request sample across sub-tasks — the "Mixed" bar of Fig 10.
+  std::vector<LongContextRequest> MixedTrace(int64_t num_requests = 200);
+
+  // Mean statistics per Table 1.
+  static double MeanContext(LEvalTask t);
+  static double MeanInput(LEvalTask t);
+  static double MeanOutput(LEvalTask t);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_WORKLOAD_LEVAL_H_

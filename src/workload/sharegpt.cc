@@ -1,0 +1,61 @@
+#include "src/workload/sharegpt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+int64_t Conversation::HistoryBefore(size_t i) const {
+  CHECK_LE(i, rounds.size());
+  int64_t h = 0;
+  for (size_t r = 0; r < i; ++r) {
+    h += rounds[r].input_tokens + rounds[r].output_tokens;
+  }
+  return h;
+}
+
+int64_t Conversation::TotalTokens() const { return HistoryBefore(rounds.size()); }
+
+ShareGptGenerator::ShareGptGenerator(uint64_t seed, int64_t max_history_tokens)
+    : rng_(seed), max_history_tokens_(max_history_tokens) {
+  CHECK_GT(max_history_tokens_, 0);
+}
+
+int64_t ShareGptGenerator::SampleLogNormalMean(double mean, double sigma, int64_t lo,
+                                               int64_t hi) {
+  // For LogNormal(mu, sigma): E = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+  const double mu = std::log(mean) - sigma * sigma / 2.0;
+  const double v = rng_.NextLogNormal(mu, sigma);
+  return std::clamp(static_cast<int64_t>(std::llround(v)), lo, hi);
+}
+
+Conversation ShareGptGenerator::Next() {
+  Conversation conv;
+  // Round count: log-normal with median ~6 and a heavy tail. With ~425 tokens per
+  // round this induces a history CDF whose median lands near the paper's 2.5K.
+  const double rounds_mu = std::log(6.0);
+  const double rounds_sigma = 0.75;
+  const int64_t num_rounds = std::clamp(
+      static_cast<int64_t>(std::llround(rng_.NextLogNormal(rounds_mu, rounds_sigma))),
+      int64_t{1}, int64_t{38});
+
+  int64_t total = 0;
+  for (int64_t r = 0; r < num_rounds; ++r) {
+    ConversationRound round;
+    round.input_tokens = SampleLogNormalMean(kMeanInputTokens, 0.9, 1, 4096);
+    round.output_tokens = SampleLogNormalMean(kMeanOutputTokens, 0.7, 1, 4096);
+    if (total + round.input_tokens + round.output_tokens > max_history_tokens_) {
+      break;  // Fig 3b truncates accumulated histories at 16K (or the deployment cap)
+    }
+    total += round.input_tokens + round.output_tokens;
+    conv.rounds.push_back(round);
+  }
+  if (conv.rounds.empty()) {
+    conv.rounds.push_back(ConversationRound{64, 256});
+  }
+  return conv;
+}
+
+}  // namespace hcache

@@ -1,0 +1,90 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace hcache {
+namespace {
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 5050.0);
+}
+
+TEST(HistogramTest, PercentilesExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+  EXPECT_NEAR(h.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(h.P99(), 99.01, 1e-9);
+}
+
+TEST(HistogramTest, PercentileAfterLateAdd) {
+  Histogram h;
+  h.Add(10.0);
+  h.Add(20.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 15.0);
+  h.Add(0.0);  // invalidates sort cache
+  EXPECT_DOUBLE_EQ(h.Median(), 10.0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(h.Stddev(), 0.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  b.Add(3.0);
+  b.Add(4.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.Max(), 4.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+  Histogram empty;
+  EXPECT_EQ(empty.Summary(), "n=0");
+}
+
+TEST(RunningStatTest, MatchesClosedForm) {
+  RunningStat s;
+  for (int i = 1; i <= 9; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(s.count(), 9u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 7.5);  // sample variance of 1..9
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStatTest, EmptyAndSingle) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace hcache

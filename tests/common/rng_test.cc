@@ -1,0 +1,184 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace hcache {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    counts[rng.NextBounded(8)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);  // each bucket ~1000; wildly skewed would indicate bias
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(9);
+  const double lambda = 4.0;
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(lambda);
+  }
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextNormal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(17);
+  for (const double mean : {0.5, 3.0, 20.0, 100.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.NextPoisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += parent.Next() == child.Next();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfianTest, AlphaZeroIsUniform) {
+  Rng rng(31);
+  ZipfianGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 2000, 300);
+  }
+}
+
+TEST(ZipfianTest, HighAlphaConcentratesOnHead) {
+  Rng rng(37);
+  ZipfianGenerator zipf(1000, 1.8);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    head += zipf.Next(rng) < 10;
+  }
+  // With alpha=1.8 the top-10 items dominate.
+  EXPECT_GT(head, n * 0.8);
+}
+
+TEST(ZipfianTest, RanksWithinRange) {
+  Rng rng(41);
+  for (const double alpha : {0.0, 0.8, 1.0, 1.4, 2.0}) {
+    ZipfianGenerator zipf(57, alpha);
+    for (int i = 0; i < 5000; ++i) {
+      EXPECT_LT(zipf.Next(rng), 57u);
+    }
+  }
+}
+
+TEST(ZipfianTest, MonotonicPopularity) {
+  Rng rng(43);
+  ZipfianGenerator zipf(20, 1.2);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  // Rank 0 must be clearly more popular than rank 5, which beats rank 15.
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[15]);
+}
+
+TEST(EmpiricalCdfTest, QuantileInterpolates) {
+  EmpiricalCdfSampler cdf({{0.0, 0.1}, {10.0, 0.5}, {100.0, 1.0}});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.05), 0.0);   // below first knot clamps
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.3), 5.0);    // midway between knots 1 and 2
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 100.0);
+}
+
+TEST(EmpiricalCdfTest, SampleRespectsMedian) {
+  EmpiricalCdfSampler cdf({{0.0, 0.01}, {2500.0, 0.5}, {16000.0, 1.0}});
+  Rng rng(47);
+  int below = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    below += cdf.Sample(rng) <= 2500.0;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace hcache

@@ -1,0 +1,85 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace hcache {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, DrainWaitsForSlowTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      done.fetch_add(1);
+    });
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 4);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPoolTest, DrainOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Drain();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPoolTest, MultipleDrainCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Drain();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorCompletesQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Drain: destructor must still run every queued task before joining.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ConcurrentProducers) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 25; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  pool.Drain();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace hcache

@@ -1,0 +1,29 @@
+#include "src/common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace hcache {
+namespace {
+
+TEST(UnitsTest, Constants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+  EXPECT_DOUBLE_EQ(kGB, 1e9);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(210 * kKiB), "210.0 KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB / 2), "1.50 MiB");
+  EXPECT_EQ(FormatBytes(2 * kGiB), "2.00 GiB");
+}
+
+TEST(UnitsTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(250e-6), "250.0 us");
+  EXPECT_EQ(FormatSeconds(1.93e-3), "1.93 ms");
+  EXPECT_EQ(FormatSeconds(3.2), "3.20 s");
+}
+
+}  // namespace
+}  // namespace hcache

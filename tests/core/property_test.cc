@@ -1,0 +1,137 @@
+// Parameterized property sweeps over the restoration stack: for every combination of
+// platform and model the paper touches (and several it doesn't), the scheduler and the
+// executors must uphold the paper's structural invariants.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/core/restorer.h"
+
+namespace hcache {
+namespace {
+
+struct SweepCase {
+  std::string gpu;
+  int num_gpus;
+  int ssds;  // 0 = DRAM backend
+  std::string model;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  const auto& c = info.param;
+  return c.gpu + "x" + std::to_string(c.num_gpus) + "_" +
+         (c.ssds == 0 ? std::string("dram") : std::to_string(c.ssds) + "ssd") + "_" +
+         c.model;
+}
+
+class RestorationSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static Platform MakePlatform(const SweepCase& c) {
+    if (c.ssds == 0) {
+      return Platform::CloudDram(GpuSpec::ByName(c.gpu), c.num_gpus);
+    }
+    Platform p = Platform::DefaultTestbed(c.num_gpus, c.ssds);
+    p.gpu = GpuSpec::ByName(c.gpu);
+    return p;
+  }
+  static ModelConfig MakeModel(const std::string& name) {
+    if (name == "7B") {
+      return ModelConfig::Llama2_7B();
+    }
+    if (name == "13B") {
+      return ModelConfig::Llama2_13B();
+    }
+    if (name == "30B") {
+      return ModelConfig::Opt30B();
+    }
+    return ModelConfig::WithGqa(ModelConfig::Llama2_7B(), 8);
+  }
+};
+
+TEST_P(RestorationSweep, SchedulerInvariants) {
+  const SweepCase& c = GetParam();
+  Restorer r(MakePlatform(c), MakeModel(c.model));
+  for (const int64_t n : {64, 1024, 8192}) {
+    const PartitionScheme s = r.Schedule(n);
+    EXPECT_EQ(s.layers_hidden + s.layers_other, MakeModel(c.model).num_layers);
+    EXPECT_GE(s.layers_hidden, 0);
+    EXPECT_GE(s.layers_other, 0);
+    EXPECT_GT(s.predicted_time, 0.0);
+    // Bubble-free promise: residual imbalance under one layer of the larger stream.
+    // Pure fallback plans (layers_hidden == 0, e.g. under strong GQA) intentionally
+    // run single-resource and are exempt.
+    if (s.layers_hidden > 0) {
+      const LayerProfile p = r.Profile(n);
+      const double one_layer = std::max({p.c_hidden, p.io_hidden, p.io_kv, p.c_token});
+      EXPECT_LE(s.predicted_bubble, one_layer + 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST_P(RestorationSweep, HCachePlanDominatesAlternatives) {
+  const SweepCase& c = GetParam();
+  Restorer r(MakePlatform(c), MakeModel(c.model));
+  for (const int64_t n : {256, 2048}) {
+    const double t_h = r.Restore(RestoreMethod::kHCache, n).total_time;
+    EXPECT_LE(t_h, r.Restore(RestoreMethod::kKvOffload, n).total_time * 1.001);
+    EXPECT_LE(t_h, r.Restore(RestoreMethod::kRecompute, n).total_time * 1.001);
+    EXPECT_LE(t_h, r.Restore(RestoreMethod::kHCacheOnly, n).total_time * 1.001);
+  }
+}
+
+TEST_P(RestorationSweep, ResourceAccountingSane) {
+  const SweepCase& c = GetParam();
+  Restorer r(MakePlatform(c), MakeModel(c.model));
+  const RestoreResult res = r.Restore(RestoreMethod::kHCache, 1024);
+  EXPECT_GT(res.total_time, 0.0);
+  EXPECT_GE(res.compute_busy, 0.0);
+  EXPECT_GE(res.io_busy, 0.0);
+  EXPECT_LE(res.compute_busy, res.total_time + 1e-12);
+  EXPECT_LE(res.io_busy, res.total_time + 1e-12);
+  // HCache never reads more bytes than pure KV offload would.
+  const RestoreResult kv = r.Restore(RestoreMethod::kKvOffload, 1024);
+  EXPECT_LE(res.bytes_read, kv.bytes_read + 1e-6);
+}
+
+TEST_P(RestorationSweep, TimeScalesRoughlyLinearlyInHistory) {
+  const SweepCase& c = GetParam();
+  Restorer r(MakePlatform(c), MakeModel(c.model));
+  const double t1 = r.Restore(RestoreMethod::kHCache, 2048).total_time;
+  const double t2 = r.Restore(RestoreMethod::kHCache, 4096).total_time;
+  EXPECT_GT(t2, t1);
+  EXPECT_LT(t2, t1 * 2.6);  // at most mildly superlinear (recompute complement's n^2)
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlatformsAndModels, RestorationSweep,
+    ::testing::Values(SweepCase{"A100", 1, 4, "7B"}, SweepCase{"A100", 1, 1, "7B"},
+                      SweepCase{"A100", 1, 0, "7B"}, SweepCase{"A30", 1, 4, "7B"},
+                      SweepCase{"4090", 1, 0, "7B"}, SweepCase{"A100", 1, 4, "13B"},
+                      SweepCase{"L20", 1, 0, "13B"}, SweepCase{"H800", 1, 0, "13B"},
+                      SweepCase{"A100", 4, 4, "30B"}, SweepCase{"H800", 2, 0, "30B"},
+                      SweepCase{"A100", 1, 4, "GQA8"}, SweepCase{"A100", 1, 1, "GQA8"}),
+    CaseName);
+
+// SSD-count monotonicity: adding disks never slows any IO-using method down.
+class SsdScalingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsdScalingSweep, MoreDisksNeverSlower) {
+  const int ssds = GetParam();
+  const ModelConfig cfg = ModelConfig::Llama2_7B();
+  Restorer fewer(Platform::DefaultTestbed(1, ssds), cfg);
+  Restorer more(Platform::DefaultTestbed(1, ssds + 1), cfg);
+  for (const auto m : {RestoreMethod::kHCache, RestoreMethod::kKvOffload}) {
+    EXPECT_LE(more.Restore(m, 1024).total_time,
+              fewer.Restore(m, 1024).total_time * 1.0001)
+        << RestoreMethodName(m) << " ssds=" << ssds;
+  }
+  // Recompute is IO-free: disk count must not matter at all.
+  EXPECT_DOUBLE_EQ(more.Restore(RestoreMethod::kRecompute, 1024).total_time,
+                   fewer.Restore(RestoreMethod::kRecompute, 1024).total_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToSeven, SsdScalingSweep, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace hcache

@@ -1,0 +1,85 @@
+#include "src/core/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace hcache {
+namespace {
+
+Tensor RandomRows(int64_t r, int64_t c, uint64_t seed, double scale = 1.0) {
+  Rng rng(seed);
+  Tensor t({r, c});
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = static_cast<float>(rng.NextNormal(0, scale));
+  }
+  return t;
+}
+
+TEST(QuantizeTest, RoundTripWithinErrorBound) {
+  const Tensor t = RandomRows(16, 64, 1);
+  const QuantizedRows q = QuantizeRows(t);
+  const Tensor back = DequantizeRows(q);
+  for (int64_t r = 0; r < t.dim(0); ++r) {
+    const float bound = RowErrorBound(q, r);
+    for (int64_t c = 0; c < t.dim(1); ++c) {
+      EXPECT_LE(std::fabs(t.at(r, c) - back.at(r, c)), bound + 1e-7f)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(QuantizeTest, PerRowScalesAdaptToMagnitude) {
+  // A huge row must not destroy a tiny row's precision (per-row scaling).
+  Tensor t({2, 4});
+  t.at(0, 0) = 1000.0f;
+  t.at(1, 0) = 0.001f;
+  t.at(1, 1) = -0.0005f;
+  const QuantizedRows q = QuantizeRows(t);
+  const Tensor back = DequantizeRows(q);
+  EXPECT_NEAR(back.at(1, 0), 0.001f, 0.001f / 100);
+  EXPECT_NEAR(back.at(0, 0), 1000.0f, 1000.0f / 100);
+}
+
+TEST(QuantizeTest, ExtremesMapToFullRange) {
+  Tensor t = Tensor::FromData({1, 3}, {-2.0f, 0.0f, 2.0f});
+  const QuantizedRows q = QuantizeRows(t);
+  EXPECT_EQ(q.values[0], -127);
+  EXPECT_EQ(q.values[1], 0);
+  EXPECT_EQ(q.values[2], 127);
+}
+
+TEST(QuantizeTest, AllZeroRowSurvives) {
+  Tensor t({2, 8});
+  const QuantizedRows q = QuantizeRows(t);
+  const Tensor back = DequantizeRows(q);
+  EXPECT_TRUE(Tensor::BitwiseEqual(t, back));
+}
+
+TEST(QuantizeTest, CompressionNearTwoForWideRows) {
+  const Tensor t = RandomRows(8, 4096, 2);
+  const QuantizedRows q = QuantizeRows(t);
+  // INT8 payload + one float scale per 4096-wide row: ~2x vs FP16.
+  EXPECT_GT(CompressionVsFp16(q), 1.95);
+  EXPECT_LE(CompressionVsFp16(q), 2.0);
+}
+
+TEST(QuantizeTest, DeterministicAcrossCalls) {
+  const Tensor t = RandomRows(5, 32, 3);
+  const QuantizedRows a = QuantizeRows(t);
+  const QuantizedRows b = QuantizeRows(t);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.scales, b.scales);
+}
+
+TEST(QuantizeTest, RelativeErrorSmallForTypicalActivations) {
+  const Tensor t = RandomRows(64, 128, 4);
+  const Tensor back = DequantizeRows(QuantizeRows(t));
+  // Gaussian rows: max|row| ~ 3.5 sigma -> bound ~ 3.5/254 ~ 1.4% of sigma.
+  EXPECT_LT(Tensor::MaxAbsDiff(t, back), 0.03f);
+}
+
+}  // namespace
+}  // namespace hcache

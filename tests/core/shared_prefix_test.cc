@@ -1,0 +1,184 @@
+#include "src/core/shared_prefix.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "src/common/rng.h"
+
+namespace hcache {
+namespace {
+
+class SharedPrefixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_ = ModelConfig::TinyLlama(3, 32, 2);
+    base_ = std::filesystem::temp_directory_path() /
+            ("hcache_prefix_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    store_ = std::make_unique<ChunkStore>(
+        std::vector<std::string>{(base_ / "d0").string()}, 1 << 20);
+    weights_ = std::make_unique<ModelWeights>(ModelWeights::Random(cfg_, 5));
+    model_ = std::make_unique<Transformer>(weights_.get());
+    pool_ = std::make_unique<KvBlockPool>(KvPoolConfig::ForModel(cfg_, 128, 8));
+    mgr_ = std::make_unique<SharedPrefixManager>(model_.get(), store_.get(),
+                                                 /*chunk_tokens=*/8);
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::vector<int32_t> RandomTokens(int64_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<int32_t> t(static_cast<size_t>(n));
+    for (auto& x : t) {
+      x = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(cfg_.vocab_size)));
+    }
+    return t;
+  }
+
+  ModelConfig cfg_;
+  std::filesystem::path base_;
+  std::unique_ptr<ChunkStore> store_;
+  std::unique_ptr<ModelWeights> weights_;
+  std::unique_ptr<Transformer> model_;
+  std::unique_ptr<KvBlockPool> pool_;
+  std::unique_ptr<SharedPrefixManager> mgr_;
+};
+
+TEST_F(SharedPrefixTest, InternDedupsIdenticalPrefixes) {
+  const auto sys_prompt = RandomTokens(12, 1);
+  const int64_t a = mgr_->InternPrefix(sys_prompt, pool_.get());
+  const int64_t chunks_after_first = store_->chunks_stored();
+  const int64_t b = mgr_->InternPrefix(sys_prompt, pool_.get());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store_->chunks_stored(), chunks_after_first);  // nothing re-written
+  EXPECT_EQ(mgr_->GetPrefix(a)->ref_count, 2);
+  EXPECT_GT(mgr_->bytes_deduped(), 0);
+  EXPECT_EQ(mgr_->num_prefixes(), 1);
+}
+
+TEST_F(SharedPrefixTest, DistinctPrefixesGetDistinctIds) {
+  const int64_t a = mgr_->InternPrefix(RandomTokens(10, 2), pool_.get());
+  const int64_t b = mgr_->InternPrefix(RandomTokens(10, 3), pool_.get());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(mgr_->num_prefixes(), 2);
+}
+
+TEST_F(SharedPrefixTest, RestoreWithSharedPrefixIsBitExact) {
+  const auto prefix = RandomTokens(11, 4);  // deliberately not chunk-aligned
+  const auto suffix = RandomTokens(7, 5);
+  const int64_t pid = mgr_->InternPrefix(prefix, pool_.get());
+
+  // Reference: plain prefill of prefix+suffix.
+  std::vector<int32_t> full = prefix;
+  full.insert(full.end(), suffix.begin(), suffix.end());
+  PagedKvSequence ref(pool_.get());
+  model_->Forward(full, &ref);
+
+  // Context 1: forward with suffix-only capture, evict, restore from shared + own.
+  PagedKvSequence seq(pool_.get());
+  HiddenStateSink* sink = mgr_->BeginSuffixCapture(1, pid);
+  model_->Forward(full, &seq, sink);
+  mgr_->SealContext(1);
+  seq.Evict();
+  ASSERT_TRUE(mgr_->RestoreContext(1, pid, &seq));
+
+  for (int64_t layer = 0; layer < cfg_.num_layers; ++layer) {
+    Tensor ka, va, kb, vb;
+    ref.ReadKv(layer, 0, ref.num_tokens(), &ka, &va);
+    seq.ReadKv(layer, 0, seq.num_tokens(), &kb, &vb);
+    EXPECT_TRUE(Tensor::BitwiseEqual(ka, kb)) << "K layer " << layer;
+    EXPECT_TRUE(Tensor::BitwiseEqual(va, vb)) << "V layer " << layer;
+  }
+}
+
+TEST_F(SharedPrefixTest, TwoContextsShareOnePrefixCopy) {
+  const auto prefix = RandomTokens(16, 6);
+  const int64_t pid = mgr_->InternPrefix(prefix, pool_.get());
+  mgr_->InternPrefix(prefix, pool_.get());  // second user
+
+  const auto suffix_a = RandomTokens(5, 7);
+  const auto suffix_b = RandomTokens(9, 8);
+  std::vector<int32_t> full_a = prefix, full_b = prefix;
+  full_a.insert(full_a.end(), suffix_a.begin(), suffix_a.end());
+  full_b.insert(full_b.end(), suffix_b.begin(), suffix_b.end());
+
+  PagedKvSequence sa(pool_.get()), sb(pool_.get());
+  model_->Forward(full_a, &sa, mgr_->BeginSuffixCapture(10, pid));
+  model_->Forward(full_b, &sb, mgr_->BeginSuffixCapture(11, pid));
+  mgr_->SealContext(10);
+  mgr_->SealContext(11);
+  sa.Evict();
+  sb.Evict();
+  ASSERT_TRUE(mgr_->RestoreContext(10, pid, &sa));
+  ASSERT_TRUE(mgr_->RestoreContext(11, pid, &sb));
+
+  // Both restored sequences decode identically to fresh prefills.
+  PagedKvSequence ra(pool_.get()), rb(pool_.get());
+  model_->Forward(full_a, &ra);
+  model_->Forward(full_b, &rb);
+  EXPECT_EQ(model_->GreedyDecode(full_a.back(), 4, &sa),
+            model_->GreedyDecode(full_a.back(), 4, &ra));
+  EXPECT_EQ(model_->GreedyDecode(full_b.back(), 4, &sb),
+            model_->GreedyDecode(full_b.back(), 4, &rb));
+}
+
+TEST_F(SharedPrefixTest, DecodePhaseTokensAlsoCaptured) {
+  const auto prefix = RandomTokens(8, 9);
+  const int64_t pid = mgr_->InternPrefix(prefix, pool_.get());
+  const auto suffix = RandomTokens(3, 10);
+  std::vector<int32_t> full = prefix;
+  full.insert(full.end(), suffix.begin(), suffix.end());
+
+  PagedKvSequence seq(pool_.get());
+  HiddenStateSink* sink = mgr_->BeginSuffixCapture(20, pid);
+  model_->Forward(full, &seq, sink);
+  const auto generated = model_->GreedyDecode(full.back(), 4, &seq, sink);
+  mgr_->SealContext(20);
+
+  PagedKvSequence ref(pool_.get());
+  model_->Forward(full, &ref);
+  const auto ref_gen = model_->GreedyDecode(full.back(), 4, &ref);
+  ASSERT_EQ(generated, ref_gen);
+
+  seq.Evict();
+  ASSERT_TRUE(mgr_->RestoreContext(20, pid, &seq));
+  EXPECT_EQ(seq.num_tokens(), ref.num_tokens());
+  EXPECT_EQ(model_->GreedyDecode(generated.back(), 3, &seq),
+            model_->GreedyDecode(ref_gen.back(), 3, &ref));
+}
+
+TEST_F(SharedPrefixTest, ReleaseDeletesAtZeroRefs) {
+  const auto prefix = RandomTokens(10, 11);
+  const int64_t pid = mgr_->InternPrefix(prefix, pool_.get());
+  mgr_->InternPrefix(prefix, pool_.get());
+  EXPECT_GT(store_->chunks_stored(), 0);
+  mgr_->ReleasePrefix(pid);
+  EXPECT_NE(mgr_->GetPrefix(pid), nullptr);  // one ref remains
+  mgr_->ReleasePrefix(pid);
+  EXPECT_EQ(mgr_->GetPrefix(pid), nullptr);
+  EXPECT_EQ(store_->chunks_stored(), 0);
+  // Re-interning after release re-creates the prefix.
+  const int64_t pid2 = mgr_->InternPrefix(prefix, pool_.get());
+  EXPECT_NE(pid2, pid);
+  EXPECT_GT(store_->chunks_stored(), 0);
+}
+
+TEST_F(SharedPrefixTest, RestoreFailsWhenSuffixMissing) {
+  const auto prefix = RandomTokens(8, 12);
+  const int64_t pid = mgr_->InternPrefix(prefix, pool_.get());
+  std::vector<int32_t> full = prefix;
+  const auto suffix = RandomTokens(4, 13);
+  full.insert(full.end(), suffix.begin(), suffix.end());
+  PagedKvSequence seq(pool_.get());
+  model_->Forward(full, &seq, mgr_->BeginSuffixCapture(30, pid));
+  mgr_->SealContext(30);
+  seq.Evict();
+  mgr_->DropContext(30);  // lose the suffix, keep the prefix
+  EXPECT_FALSE(mgr_->RestoreContext(30, pid, &seq));
+  EXPECT_FALSE(seq.has_kv());
+  EXPECT_EQ(seq.num_tokens(), 12);
+}
+
+}  // namespace
+}  // namespace hcache

@@ -1,0 +1,75 @@
+#include "src/model/config.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace hcache {
+namespace {
+
+TEST(ConfigTest, Llama7BShape) {
+  const ModelConfig c = ModelConfig::Llama2_7B();
+  EXPECT_EQ(c.num_layers, 32);
+  EXPECT_EQ(c.hidden_dim, 4096);
+  EXPECT_EQ(c.num_heads, 32);
+  EXPECT_EQ(c.head_dim(), 128);
+  EXPECT_TRUE(c.IsMha());
+  EXPECT_EQ(c.kv_dim(), 4096);
+}
+
+TEST(ConfigTest, Llama13BShape) {
+  const ModelConfig c = ModelConfig::Llama2_13B();
+  EXPECT_EQ(c.num_layers, 40);
+  EXPECT_EQ(c.hidden_dim, 5120);
+  EXPECT_EQ(c.head_dim(), 128);
+}
+
+TEST(ConfigTest, Opt30BShape) {
+  const ModelConfig c = ModelConfig::Opt30B();
+  EXPECT_EQ(c.num_layers, 48);
+  EXPECT_EQ(c.hidden_dim, 7168);
+  EXPECT_EQ(c.num_heads, 56);
+  EXPECT_EQ(c.head_dim(), 128);
+  EXPECT_EQ(c.norm, NormKind::kLayerNorm);
+  EXPECT_EQ(c.position, PositionKind::kLearned);
+}
+
+TEST(ConfigTest, PerTokenStateSizes) {
+  const ModelConfig c = ModelConfig::Llama2_7B();
+  // FP16: hidden = 4096*2 = 8 KiB per token-layer; KV doubles it.
+  EXPECT_EQ(c.HiddenBytesPerTokenLayer(), 8192);
+  EXPECT_EQ(c.KvBytesPerTokenLayer(), 16384);
+  EXPECT_EQ(c.HiddenBytesPerToken(), 32 * 8192);
+  EXPECT_EQ(c.KvBytesPerToken(), 2 * c.HiddenBytesPerToken());
+}
+
+TEST(ConfigTest, HiddenIsHalfOfKvForMha) {
+  // The paper's central size claim, for all three evaluated models.
+  for (const auto& c :
+       {ModelConfig::Llama2_7B(), ModelConfig::Llama2_13B(), ModelConfig::Opt30B()}) {
+    EXPECT_EQ(2 * c.HiddenBytesPerToken(), c.KvBytesPerToken()) << c.name;
+  }
+}
+
+TEST(ConfigTest, GqaShrinksKvOnly) {
+  const ModelConfig c = ModelConfig::TinyGqa(4, 64, 4, 2);
+  EXPECT_FALSE(c.IsMha());
+  EXPECT_EQ(c.kv_dim(), 32);
+  EXPECT_EQ(c.HiddenBytesPerTokenLayer(), 64 * 2);
+  EXPECT_EQ(c.KvBytesPerTokenLayer(), 2 * 32 * 2);
+  // With 2x GQA grouping, hidden states and KV are the *same* size: the paper's 2x IO
+  // advantage is MHA-specific (discussed in §7).
+  EXPECT_EQ(c.HiddenBytesPerToken(), c.KvBytesPerToken());
+}
+
+TEST(ConfigTest, TinyModelsAreRunnable) {
+  const ModelConfig t = ModelConfig::TinyLlama();
+  EXPECT_GT(t.vocab_size, 0);
+  EXPECT_EQ(t.hidden_dim % t.num_heads, 0);
+  EXPECT_EQ(t.head_dim() % 2, 0);  // RoPE needs even head_dim
+  const ModelConfig o = ModelConfig::TinyOpt();
+  EXPECT_EQ(o.position, PositionKind::kLearned);
+}
+
+}  // namespace
+}  // namespace hcache

@@ -1,0 +1,72 @@
+#include "src/model/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace hcache {
+namespace {
+
+TEST(CostModelTest, HiddenIoIsHalfKvIo) {
+  const ModelConfig c = ModelConfig::Llama2_7B();
+  for (const double n : {1.0, 64.0, 1024.0, 16384.0}) {
+    EXPECT_DOUBLE_EQ(2.0 * HiddenIoBytesPerLayer(c, n), KvIoBytesPerLayer(c, n));
+  }
+}
+
+TEST(CostModelTest, PaperFormulaValues) {
+  const ModelConfig c = ModelConfig::Llama2_7B();
+  const double n = 1024.0;
+  const double d = 4096.0;
+  EXPECT_DOUBLE_EQ(HiddenToKvFlopsPerLayer(c, n), 4 * n * d * d);
+  EXPECT_DOUBLE_EQ(AttnFlopsPerLayer(c, n), 8 * n * d * d + n * n * d);
+  EXPECT_DOUBLE_EQ(FfnFlopsPerLayer(c, n), 16 * n * d * d);
+  EXPECT_DOUBLE_EQ(RecomputeFlopsPerLayer(c, n), 24 * n * d * d + n * n * d);
+}
+
+TEST(CostModelTest, SpeedupLowerBoundIsSix) {
+  const ModelConfig c = ModelConfig::Llama2_13B();
+  EXPECT_GT(TheoreticalComputeSpeedup(c, 1.0), 6.0);
+  // Ratio of the two formulas equals the closed form 6 + n/(4D).
+  for (const double n : {16.0, 1024.0, 16384.0}) {
+    const double ratio = RecomputeFlopsPerLayer(c, n) / HiddenToKvFlopsPerLayer(c, n);
+    EXPECT_NEAR(ratio, TheoreticalComputeSpeedup(c, n), 1e-9);
+  }
+}
+
+TEST(CostModelTest, SpeedupGrowsWithContext) {
+  const ModelConfig c = ModelConfig::Llama2_7B();
+  EXPECT_LT(TheoreticalComputeSpeedup(c, 1024), TheoreticalComputeSpeedup(c, 16384));
+  // At 16K context on a 4K-dim model the quadratic term adds a full 1x.
+  EXPECT_NEAR(TheoreticalComputeSpeedup(c, 16384), 7.0, 1e-9);
+}
+
+TEST(CostModelTest, CostsScaleLinearlyInTokensExceptAttn) {
+  const ModelConfig c = ModelConfig::Llama2_7B();
+  EXPECT_DOUBLE_EQ(HiddenToKvFlopsPerLayer(c, 2048), 2 * HiddenToKvFlopsPerLayer(c, 1024));
+  EXPECT_DOUBLE_EQ(HiddenIoBytesPerLayer(c, 2048), 2 * HiddenIoBytesPerLayer(c, 1024));
+  // Attention is superlinear.
+  EXPECT_GT(AttnFlopsPerLayer(c, 2048), 2 * AttnFlopsPerLayer(c, 1024));
+}
+
+TEST(CostModelTest, ExactMatchesPaperForMhaKv) {
+  const ModelConfig c = ModelConfig::Llama2_7B();  // MHA: kv_dim == hidden
+  EXPECT_DOUBLE_EQ(ExactHiddenToKvFlopsPerLayer(c, 512), HiddenToKvFlopsPerLayer(c, 512));
+}
+
+TEST(CostModelTest, ExactFfnUsesTrueWidth) {
+  const ModelConfig c = ModelConfig::Llama2_7B();  // ffn 11008, SwiGLU (3 matrices)
+  EXPECT_DOUBLE_EQ(ExactFfnFlopsPerLayer(c, 10), 3 * 2 * 10.0 * 4096 * 11008);
+  const ModelConfig o = ModelConfig::Opt30B();  // fc1+fc2 only
+  EXPECT_DOUBLE_EQ(ExactFfnFlopsPerLayer(o, 10), 2 * 2 * 10.0 * 7168 * 28672);
+}
+
+TEST(CostModelTest, GqaReducesRestorationFlopsAndKvIo) {
+  const ModelConfig gqa = ModelConfig::TinyGqa(4, 64, 4, 2);
+  const ModelConfig mha = ModelConfig::TinyLlama(4, 64, 4);
+  EXPECT_LT(ExactHiddenToKvFlopsPerLayer(gqa, 100), ExactHiddenToKvFlopsPerLayer(mha, 100));
+  EXPECT_LT(KvIoBytesPerLayer(gqa, 100), KvIoBytesPerLayer(mha, 100));
+  // Hidden-state IO is unchanged by GQA.
+  EXPECT_DOUBLE_EQ(HiddenIoBytesPerLayer(gqa, 100), HiddenIoBytesPerLayer(mha, 100));
+}
+
+}  // namespace
+}  // namespace hcache

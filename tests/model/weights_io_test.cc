@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "src/model/transformer.h"
+#include "src/model/weights.h"
+
+namespace hcache {
+namespace {
+
+class WeightsIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("hcache_ckpt_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".bin"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+TEST_F(WeightsIoTest, RoundTripLlama) {
+  const ModelWeights w = ModelWeights::Random(ModelConfig::TinyLlama(3, 32, 2), 11);
+  ASSERT_TRUE(w.SaveToFile(path_));
+  ModelWeights loaded;
+  ASSERT_TRUE(ModelWeights::LoadFromFile(path_, &loaded));
+  EXPECT_EQ(loaded.config.name, "TinyLlama");
+  EXPECT_EQ(loaded.config.num_layers, 3);
+  EXPECT_EQ(loaded.config.activation, ActivationKind::kSwiGlu);
+  EXPECT_TRUE(Tensor::BitwiseEqual(w.embedding, loaded.embedding));
+  EXPECT_TRUE(Tensor::BitwiseEqual(w.lm_head, loaded.lm_head));
+  for (size_t l = 0; l < w.layers.size(); ++l) {
+    EXPECT_TRUE(Tensor::BitwiseEqual(w.layers[l].wk, loaded.layers[l].wk)) << l;
+    EXPECT_TRUE(Tensor::BitwiseEqual(w.layers[l].w_down, loaded.layers[l].w_down)) << l;
+  }
+  // Absent tensors (Llama has no biases) stay absent.
+  EXPECT_TRUE(loaded.layers[0].bq.empty());
+  EXPECT_TRUE(loaded.pos_embedding.empty());
+}
+
+TEST_F(WeightsIoTest, RoundTripOptWithBiases) {
+  const ModelWeights w = ModelWeights::Random(ModelConfig::TinyOpt(2, 32, 2), 12);
+  ASSERT_TRUE(w.SaveToFile(path_));
+  ModelWeights loaded;
+  ASSERT_TRUE(ModelWeights::LoadFromFile(path_, &loaded));
+  EXPECT_EQ(loaded.config.position, PositionKind::kLearned);
+  EXPECT_TRUE(Tensor::BitwiseEqual(w.pos_embedding, loaded.pos_embedding));
+  EXPECT_EQ(loaded.layers[0].bq.numel(), 32);
+  EXPECT_TRUE(Tensor::BitwiseEqual(w.layers[1].attn_norm_bias,
+                                   loaded.layers[1].attn_norm_bias));
+}
+
+TEST_F(WeightsIoTest, LoadedModelComputesIdentically) {
+  // The real guarantee: a checkpoint round trip does not perturb a single output bit.
+  const ModelConfig cfg = ModelConfig::TinyLlama(3, 32, 2);
+  const ModelWeights w = ModelWeights::Random(cfg, 13);
+  ASSERT_TRUE(w.SaveToFile(path_));
+  ModelWeights loaded;
+  ASSERT_TRUE(ModelWeights::LoadFromFile(path_, &loaded));
+
+  Transformer a(&w), b(&loaded);
+  KvBlockPool pa(KvPoolConfig::ForModel(cfg, 32, 8)), pb(KvPoolConfig::ForModel(cfg, 32, 8));
+  PagedKvSequence sa(&pa), sb(&pb);
+  const std::vector<int32_t> prompt = {1, 2, 3, 4, 5, 6, 7};
+  Tensor oa = a.Forward(prompt, &sa);
+  Tensor ob = b.Forward(prompt, &sb);
+  EXPECT_TRUE(Tensor::BitwiseEqual(oa, ob));
+  EXPECT_EQ(a.GreedyDecode(7, 5, &sa), b.GreedyDecode(7, 5, &sb));
+}
+
+TEST_F(WeightsIoTest, MissingFileFails) {
+  ModelWeights loaded;
+  EXPECT_FALSE(ModelWeights::LoadFromFile("/nonexistent/ckpt.bin", &loaded));
+}
+
+TEST_F(WeightsIoTest, CorruptMagicFails) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  const char junk[] = "not a checkpoint at all";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  ModelWeights loaded;
+  EXPECT_FALSE(ModelWeights::LoadFromFile(path_, &loaded));
+}
+
+TEST_F(WeightsIoTest, TruncatedFileFails) {
+  const ModelWeights w = ModelWeights::Random(ModelConfig::TinyLlama(2, 16, 2), 14);
+  ASSERT_TRUE(w.SaveToFile(path_));
+  // Chop the file in half.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size / 2);
+  ModelWeights loaded;
+  EXPECT_FALSE(ModelWeights::LoadFromFile(path_, &loaded));
+}
+
+}  // namespace
+}  // namespace hcache

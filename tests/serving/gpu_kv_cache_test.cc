@@ -1,0 +1,74 @@
+#include "src/serving/gpu_kv_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace hcache {
+namespace {
+
+TEST(LruCacheTest, HitAfterInsert) {
+  LruContextCache cache(100);
+  EXPECT_FALSE(cache.Lookup(1));
+  EXPECT_TRUE(cache.Insert(1, 40));
+  EXPECT_TRUE(cache.Lookup(1));
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_DOUBLE_EQ(cache.HitRatio(), 0.5);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruContextCache cache(100);
+  cache.Insert(1, 40);
+  cache.Insert(2, 40);
+  cache.Lookup(1);        // 2 becomes LRU
+  cache.Insert(3, 40);    // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.used_tokens(), 80);
+}
+
+TEST(LruCacheTest, EvictsMultipleForLargeInsert) {
+  LruContextCache cache(100);
+  cache.Insert(1, 30);
+  cache.Insert(2, 30);
+  cache.Insert(3, 30);
+  cache.Insert(4, 90);  // must evict 1, 2, 3
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_EQ(cache.used_tokens(), 90);
+}
+
+TEST(LruCacheTest, OversizedContextRejected) {
+  LruContextCache cache(100);
+  cache.Insert(1, 50);
+  EXPECT_FALSE(cache.Insert(2, 200));
+  EXPECT_TRUE(cache.Contains(1));  // rejection does not disturb residents
+  EXPECT_EQ(cache.used_tokens(), 50);
+}
+
+TEST(LruCacheTest, ReinsertResizes) {
+  LruContextCache cache(100);
+  cache.Insert(1, 40);
+  cache.Insert(1, 70);  // conversation grew
+  EXPECT_EQ(cache.used_tokens(), 70);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(LruCacheTest, EraseFreesSpace) {
+  LruContextCache cache(100);
+  cache.Insert(1, 60);
+  cache.Erase(1);
+  EXPECT_EQ(cache.used_tokens(), 0);
+  cache.Erase(99);  // no-op
+  EXPECT_TRUE(cache.Insert(2, 100));
+}
+
+TEST(LruCacheTest, ZeroCapacityNeverHits) {
+  LruContextCache cache(0);
+  EXPECT_FALSE(cache.Insert(1, 10));
+  EXPECT_FALSE(cache.Lookup(1));
+  EXPECT_DOUBLE_EQ(cache.HitRatio(), 0.0);
+}
+
+}  // namespace
+}  // namespace hcache

@@ -1,0 +1,75 @@
+#include "src/sim/hardware.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace hcache {
+namespace {
+
+TEST(HardwareTest, Table2Values) {
+  // The paper's Table 2, verbatim.
+  struct Row {
+    const char* name;
+    double flops_t;
+    double bw_gb;
+  };
+  const Row rows[] = {
+      {"A100", 312, 32}, {"A30", 165, 32}, {"4090", 330, 32}, {"L20", 120, 32},
+      {"H800", 990, 64},
+  };
+  for (const auto& r : rows) {
+    const GpuSpec g = GpuSpec::ByName(r.name);
+    EXPECT_DOUBLE_EQ(g.peak_fp16_flops, r.flops_t * kTeraFlops) << r.name;
+    EXPECT_DOUBLE_EQ(g.pcie_bw, r.bw_gb * kGB) << r.name;
+  }
+}
+
+TEST(HardwareTest, SsdMatchesPaperReadBw) {
+  const SsdSpec s = SsdSpec::Pm9a3();
+  EXPECT_DOUBLE_EQ(s.read_bw, 6.9 * kGB);
+}
+
+TEST(HardwareTest, SsdSmallIoIsIopsBound) {
+  const SsdSpec s = SsdSpec::Pm9a3();
+  // 4 KiB random reads sit at the latency-bandwidth knee: well under half line rate.
+  EXPECT_LT(s.EffectiveReadBw(4096), 0.5 * s.read_bw);
+  // 512 KiB chunks stream at ~full bandwidth.
+  EXPECT_GT(s.EffectiveReadBw(512.0 * 1024), 0.95 * s.read_bw);
+  EXPECT_GT(s.EffectiveReadBw(512.0 * 1024), s.EffectiveReadBw(4096));
+}
+
+TEST(HardwareTest, FourSsdsSaturateA100Pcie) {
+  // §6.2.2: "using 4 disks can saturate the upstream PCIe bandwidth of the A100".
+  Platform p = Platform::DefaultTestbed(1, 4);
+  EXPECT_DOUBLE_EQ(p.StorageReadBwPerGpu(), 27.6 * kGB);  // min(4*6.9, 32)
+  Platform p8 = Platform::DefaultTestbed(1, 8);
+  EXPECT_DOUBLE_EQ(p8.StorageReadBwPerGpu(), 32 * kGB);  // PCIe-capped
+}
+
+TEST(HardwareTest, DramBackendIsPcieBound) {
+  Platform p = Platform::CloudDram(GpuSpec::H800());
+  EXPECT_DOUBLE_EQ(p.StorageReadBwPerGpu(), 64 * kGB);
+}
+
+TEST(HardwareTest, MultiGpuSplitsSsds) {
+  // The testbed gives each of 4 GPUs one of the 4 SSDs.
+  Platform p = Platform::DefaultTestbed(4, 4);
+  EXPECT_EQ(p.ssds_per_gpu(), 1);
+  EXPECT_DOUBLE_EQ(p.StorageReadBwPerGpu(), 6.9 * kGB);
+}
+
+TEST(HardwareTest, Fig12Presets) {
+  EXPECT_EQ(Platform::IoSufficient().gpu.name, "A30");
+  EXPECT_EQ(Platform::ComputeSufficient().storage.num_devices, 1);
+  EXPECT_EQ(Platform::Balanced().storage.num_devices, 4);
+}
+
+TEST(HardwareTest, DescribeMentionsParts) {
+  const std::string d = Platform::DefaultTestbed(4, 4).Describe();
+  EXPECT_NE(d.find("A100"), std::string::npos);
+  EXPECT_NE(d.find("PM9A3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcache

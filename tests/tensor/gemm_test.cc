@@ -1,0 +1,115 @@
+#include "src/tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace hcache {
+namespace {
+
+Tensor RandomMatrix(int64_t r, int64_t c, Rng& rng) {
+  Tensor t({r, c});
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = static_cast<float>(rng.NextNormal(0, 1));
+  }
+  return t;
+}
+
+// Reference triple loop without blocking.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  Tensor c({a.dim(0), b.dim(1)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < b.dim(1); ++j) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < a.dim(1); ++k) {
+        acc += static_cast<double>(a.at(i, k)) * b.at(k, j);
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST(GemmTest, SmallKnownResult) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(GemmTest, MatchesNaiveAcrossShapes) {
+  Rng rng(1);
+  // Shapes straddling the blocking boundaries (64/256).
+  const int64_t shapes[][3] = {{1, 1, 1},   {3, 5, 7},    {64, 64, 64},
+                               {65, 257, 3}, {100, 300, 50}, {2, 512, 9}};
+  for (const auto& s : shapes) {
+    Tensor a = RandomMatrix(s[0], s[1], rng);
+    Tensor b = RandomMatrix(s[1], s[2], rng);
+    Tensor got = MatMul(a, b);
+    Tensor want = NaiveMatMul(a, b);
+    EXPECT_LT(Tensor::MaxAbsDiff(got, want), 1e-3f)
+        << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(GemmTest, TransposedBMatchesExplicitTranspose) {
+  Rng rng(2);
+  Tensor x = RandomMatrix(9, 33, rng);
+  Tensor w = RandomMatrix(17, 33, rng);  // [out, in]
+  Tensor wt({33, 17});
+  for (int64_t i = 0; i < 17; ++i) {
+    for (int64_t j = 0; j < 33; ++j) {
+      wt.at(j, i) = w.at(i, j);
+    }
+  }
+  Tensor got = MatMulTransposedB(x, w);
+  Tensor want = MatMul(x, wt);
+  EXPECT_LT(Tensor::MaxAbsDiff(got, want), 1e-4f);
+}
+
+TEST(GemmTest, AccumulateAddsIntoC) {
+  Tensor a = Tensor::FromData({1, 2}, {1, 1});
+  Tensor b = Tensor::FromData({2, 1}, {2, 3});
+  Tensor c({1, 1});
+  c.at(0) = 100.0f;
+  GemmNN(a.data(), b.data(), c.data(), 1, 2, 1, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c.at(0), 105.0f);
+  GemmNN(a.data(), b.data(), c.data(), 1, 2, 1, /*accumulate=*/false);
+  EXPECT_FLOAT_EQ(c.at(0), 5.0f);
+}
+
+TEST(GemmTest, GemmNTRowsIndependentOfBatch) {
+  // Determinism contract: the result for a given row must not depend on how many other
+  // rows are in the batch. The lossless restoration guarantee rests on this.
+  Rng rng(3);
+  Tensor w = RandomMatrix(13, 29, rng);
+  Tensor big = RandomMatrix(8, 29, rng);
+  Tensor one({1, 29});
+  for (int64_t i = 0; i < 29; ++i) {
+    one.at(0, i) = big.at(5, i);
+  }
+  Tensor full = MatMulTransposedB(big, w);
+  Tensor single = MatMulTransposedB(one, w);
+  for (int64_t j = 0; j < 13; ++j) {
+    // Bitwise equality, not approximate: identical accumulation order is required.
+    EXPECT_EQ(full.at(5, j), single.at(0, j));
+  }
+}
+
+TEST(GemmTest, FlopCountConvention) {
+  EXPECT_DOUBLE_EQ(GemmFlops(2, 3, 4), 48.0);  // 2*m*k*n
+}
+
+TEST(GemmTest, ZeroSizedDims) {
+  Tensor a({0, 5});
+  Tensor b({5, 3});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.dim(0), 0);
+  EXPECT_EQ(c.dim(1), 3);
+}
+
+}  // namespace
+}  // namespace hcache

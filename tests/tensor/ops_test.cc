@@ -1,0 +1,130 @@
+#include "src/tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hcache {
+namespace {
+
+TEST(OpsTest, SoftmaxSumsToOne) {
+  Tensor t = Tensor::FromData({2, 4}, {1, 2, 3, 4, -1, 0, 1, 2});
+  SoftmaxLastDim(t);
+  for (int64_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c < 4; ++c) {
+      sum += t.at(r, c);
+      EXPECT_GT(t.at(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  }
+}
+
+TEST(OpsTest, SoftmaxMonotone) {
+  Tensor t = Tensor::FromData({1, 3}, {1, 2, 3});
+  SoftmaxLastDim(t);
+  EXPECT_LT(t.at(0, 0), t.at(0, 1));
+  EXPECT_LT(t.at(0, 1), t.at(0, 2));
+}
+
+TEST(OpsTest, SoftmaxStableWithLargeValues) {
+  Tensor t = Tensor::FromData({1, 2}, {1000.0f, 1001.0f});
+  SoftmaxLastDim(t);
+  EXPECT_FALSE(std::isnan(t.at(0, 0)));
+  EXPECT_NEAR(t.at(0, 0) + t.at(0, 1), 1.0f, 1e-6f);
+  EXPECT_GT(t.at(0, 1), t.at(0, 0));
+}
+
+TEST(OpsTest, SoftmaxUniformInput) {
+  Tensor t = Tensor::FromData({1, 4}, {5, 5, 5, 5});
+  SoftmaxLastDim(t);
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(t.at(0, c), 0.25f, 1e-6f);
+  }
+}
+
+TEST(OpsTest, RmsNormUnitWeight) {
+  Tensor x = Tensor::FromData({1, 4}, {2, 2, 2, 2});
+  Tensor w = Tensor::FromData({4}, {1, 1, 1, 1});
+  Tensor out({1, 4});
+  RmsNorm(x, w.data(), 0.0f, out);
+  // rms = 2 -> every element becomes 1.
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(out.at(0, c), 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, RmsNormAppliesWeight) {
+  Tensor x = Tensor::FromData({1, 2}, {3, 4});
+  Tensor w = Tensor::FromData({2}, {2, 0.5});
+  Tensor out({1, 2});
+  RmsNorm(x, w.data(), 0.0f, out);
+  const float rms = std::sqrt((9.0f + 16.0f) / 2.0f);
+  EXPECT_NEAR(out.at(0, 0), 3.0f / rms * 2.0f, 1e-5f);
+  EXPECT_NEAR(out.at(0, 1), 4.0f / rms * 0.5f, 1e-5f);
+}
+
+TEST(OpsTest, LayerNormZeroMeanUnitVar) {
+  Tensor x = Tensor::FromData({1, 4}, {1, 2, 3, 4});
+  Tensor w = Tensor::FromData({4}, {1, 1, 1, 1});
+  Tensor b = Tensor::FromData({4}, {0, 0, 0, 0});
+  Tensor out({1, 4});
+  LayerNorm(x, w.data(), b.data(), 0.0f, out);
+  float mean = 0.0f, var = 0.0f;
+  for (int64_t c = 0; c < 4; ++c) {
+    mean += out.at(0, c);
+  }
+  mean /= 4.0f;
+  for (int64_t c = 0; c < 4; ++c) {
+    var += (out.at(0, c) - mean) * (out.at(0, c) - mean);
+  }
+  var /= 4.0f;
+  EXPECT_NEAR(mean, 0.0f, 1e-5f);
+  EXPECT_NEAR(var, 1.0f, 1e-4f);
+}
+
+TEST(OpsTest, LayerNormScaleAndBias) {
+  Tensor x = Tensor::FromData({1, 2}, {-1, 1});
+  Tensor w = Tensor::FromData({2}, {3, 3});
+  Tensor b = Tensor::FromData({2}, {10, 10});
+  Tensor out({1, 2});
+  LayerNorm(x, w.data(), b.data(), 0.0f, out);
+  EXPECT_NEAR(out.at(0, 0), 10.0f - 3.0f, 1e-5f);
+  EXPECT_NEAR(out.at(0, 1), 10.0f + 3.0f, 1e-5f);
+}
+
+TEST(OpsTest, Silu) {
+  Tensor t = Tensor::FromData({3}, {0.0f, 10.0f, -10.0f});
+  SiluInPlace(t);
+  EXPECT_NEAR(t.at(0), 0.0f, 1e-6f);
+  EXPECT_NEAR(t.at(1), 10.0f, 1e-3f);   // x*sigmoid(x) -> x for large x
+  EXPECT_NEAR(t.at(2), 0.0f, 1e-3f);    // -> 0 for very negative x
+}
+
+TEST(OpsTest, Gelu) {
+  Tensor t = Tensor::FromData({3}, {0.0f, 5.0f, -5.0f});
+  GeluInPlace(t);
+  EXPECT_NEAR(t.at(0), 0.0f, 1e-6f);
+  EXPECT_NEAR(t.at(1), 5.0f, 1e-3f);
+  EXPECT_NEAR(t.at(2), 0.0f, 1e-3f);
+}
+
+TEST(OpsTest, Relu) {
+  Tensor t = Tensor::FromData({3}, {-2.0f, 0.0f, 2.0f});
+  ReluInPlace(t);
+  EXPECT_EQ(t.at(0), 0.0f);
+  EXPECT_EQ(t.at(1), 0.0f);
+  EXPECT_EQ(t.at(2), 2.0f);
+}
+
+TEST(OpsTest, AddMulInPlace) {
+  Tensor a = Tensor::FromData({3}, {1, 2, 3});
+  Tensor b = Tensor::FromData({3}, {10, 20, 30});
+  AddInPlace(a, b);
+  EXPECT_EQ(a.at(2), 33.0f);
+  MulInPlace(a, b);
+  EXPECT_EQ(a.at(0), 110.0f);
+}
+
+}  // namespace
+}  // namespace hcache

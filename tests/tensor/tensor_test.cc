@@ -1,0 +1,89 @@
+#include "src/tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace hcache {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.numel(), 12);
+  EXPECT_EQ(t.rank(), 2);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t.at(i), 0.0f);
+  }
+}
+
+TEST(TensorTest, RowMajorIndexing) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t.at(5), 7.0f);
+  t.row(0)[1] = 3.0f;
+  EXPECT_EQ(t.at(0, 1), 3.0f);
+}
+
+TEST(TensorTest, FromDataAndClone) {
+  Tensor t = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor c = t.Clone();
+  c.at(0) = 99.0f;
+  EXPECT_EQ(t.at(0), 1.0f);
+  EXPECT_EQ(c.at(0), 99.0f);
+  EXPECT_TRUE(t.shape() == c.shape());
+}
+
+TEST(TensorTest, Reshape) {
+  Tensor t({2, 6});
+  t.Reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 4);
+  EXPECT_EQ(t.numel(), 12);
+}
+
+TEST(TensorTest, FillAndByteSize) {
+  Tensor t({5});
+  t.Fill(2.5f);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(t.at(i), 2.5f);
+  }
+  EXPECT_EQ(t.byte_size(), 20u);
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a = Tensor::FromData({3}, {1, 2, 3});
+  Tensor b = Tensor::FromData({3}, {1, 2.5, 2});
+  EXPECT_FLOAT_EQ(Tensor::MaxAbsDiff(a, b), 1.0f);
+}
+
+TEST(TensorTest, BitwiseEqual) {
+  Tensor a = Tensor::FromData({2}, {1.0f, -0.0f});
+  Tensor b = Tensor::FromData({2}, {1.0f, -0.0f});
+  Tensor c = Tensor::FromData({2}, {1.0f, 0.0f});  // +0 vs -0 differ bitwise
+  EXPECT_TRUE(Tensor::BitwiseEqual(a, b));
+  EXPECT_FALSE(Tensor::BitwiseEqual(a, c));
+  Tensor d({3});
+  EXPECT_FALSE(Tensor::BitwiseEqual(a, d));
+}
+
+TEST(TensorTest, EmptyTensor) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+  Tensor z({0, 4});
+  EXPECT_TRUE(z.empty());
+}
+
+TEST(TensorTest, ShapeString) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ShapeString(), "[2, 3, 4]");
+}
+
+TEST(TensorTest, MoveLeavesSourceReusable) {
+  Tensor a({4});
+  a.Fill(1.0f);
+  Tensor b = std::move(a);
+  EXPECT_EQ(b.numel(), 4);
+  EXPECT_EQ(b.at(0), 1.0f);
+}
+
+}  // namespace
+}  // namespace hcache

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "src/common/histogram.h"
+#include "src/workload/arrival.h"
+#include "src/workload/leval.h"
+#include "src/workload/sharegpt.h"
+
+namespace hcache {
+namespace {
+
+TEST(ShareGptTest, DeterministicForSeed) {
+  ShareGptGenerator a(42), b(42);
+  for (int i = 0; i < 10; ++i) {
+    const Conversation ca = a.Next();
+    const Conversation cb = b.Next();
+    ASSERT_EQ(ca.rounds.size(), cb.rounds.size());
+    for (size_t r = 0; r < ca.rounds.size(); ++r) {
+      EXPECT_EQ(ca.rounds[r].input_tokens, cb.rounds[r].input_tokens);
+      EXPECT_EQ(ca.rounds[r].output_tokens, cb.rounds[r].output_tokens);
+    }
+  }
+}
+
+TEST(ShareGptTest, MeansMatchPublishedStats) {
+  // Fig 3a: mean input 66.8, mean output 358.8 per round. Allow 15% sampling slack.
+  ShareGptGenerator gen(1);
+  Histogram inputs, outputs;
+  for (int i = 0; i < 3000; ++i) {
+    for (const auto& r : gen.Next().rounds) {
+      inputs.Add(static_cast<double>(r.input_tokens));
+      outputs.Add(static_cast<double>(r.output_tokens));
+    }
+  }
+  EXPECT_NEAR(inputs.Mean(), 66.8, 10.0);
+  EXPECT_NEAR(outputs.Mean(), 358.8, 45.0);
+}
+
+TEST(ShareGptTest, HistoryCdfMedianNear2500) {
+  // Fig 3b: the median accumulated history across restoration points is ~2.5K.
+  ShareGptGenerator gen(2);
+  Histogram history;
+  for (int i = 0; i < 2000; ++i) {
+    const Conversation c = gen.Next();
+    // History observed at each round after the first (the restoration workload).
+    for (size_t r = 1; r < c.rounds.size(); ++r) {
+      history.Add(static_cast<double>(c.HistoryBefore(r)));
+    }
+  }
+  EXPECT_GT(history.Median(), 1200.0);
+  EXPECT_LT(history.Median(), 4000.0);
+}
+
+TEST(ShareGptTest, HistoriesRespectTruncation) {
+  ShareGptGenerator gen(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Conversation c = gen.Next();
+    EXPECT_LE(c.TotalTokens(), ShareGptGenerator::kMaxHistoryTokens);
+    EXPECT_GE(c.rounds.size(), 1u);
+    for (const auto& r : c.rounds) {
+      EXPECT_GE(r.input_tokens, 1);
+      EXPECT_GE(r.output_tokens, 1);
+    }
+  }
+}
+
+TEST(ShareGptTest, HistoryBeforeAccumulates) {
+  Conversation c;
+  c.rounds = {{10, 20}, {5, 15}, {1, 1}};
+  EXPECT_EQ(c.HistoryBefore(0), 0);
+  EXPECT_EQ(c.HistoryBefore(1), 30);
+  EXPECT_EQ(c.HistoryBefore(2), 50);
+  EXPECT_EQ(c.TotalTokens(), 52);
+}
+
+TEST(LEvalTest, SubTaskMeansMatchTable1) {
+  LEvalGenerator gen(4);
+  for (const auto task :
+       {LEvalTask::kPaperAssistant, LEvalTask::kGsm100, LEvalTask::kQuality}) {
+    Histogram ctx, in;
+    for (int i = 0; i < 3000; ++i) {
+      const LongContextRequest r = gen.Next(task);
+      ctx.Add(static_cast<double>(r.context_tokens));
+      in.Add(static_cast<double>(r.input_tokens));
+    }
+    EXPECT_NEAR(ctx.Mean(), LEvalGenerator::MeanContext(task),
+                LEvalGenerator::MeanContext(task) * 0.12)
+        << LEvalTaskName(task);
+    EXPECT_NEAR(in.Mean(), LEvalGenerator::MeanInput(task),
+                LEvalGenerator::MeanInput(task) * 0.2)
+        << LEvalTaskName(task);
+  }
+}
+
+TEST(LEvalTest, ContextsSpan4KTo16K) {
+  // §6.1.2: "history length spans within a large range from 4K to 16K".
+  LEvalGenerator gen(5);
+  const auto trace = gen.MixedTrace(500);
+  EXPECT_EQ(trace.size(), 500u);
+  Histogram ctx;
+  for (const auto& r : trace) {
+    EXPECT_GE(r.context_tokens, 512);
+    EXPECT_LE(r.context_tokens, 32768);
+    ctx.Add(static_cast<double>(r.context_tokens));
+  }
+  EXPECT_GT(ctx.Percentile(90), 8000.0);
+  EXPECT_LT(ctx.Percentile(10), 8000.0);
+}
+
+TEST(LEvalTest, OutputsShortForReasoningTasks) {
+  LEvalGenerator gen(6);
+  Histogram out;
+  for (int i = 0; i < 1000; ++i) {
+    out.Add(static_cast<double>(gen.Next(LEvalTask::kGsm100).output_tokens));
+  }
+  EXPECT_LT(out.Mean(), 10.0);  // Table 1: 4.3
+  EXPECT_GE(out.Min(), 1.0);
+}
+
+TEST(ArrivalTest, PoissonRateMatches) {
+  PoissonArrivals arr(2.0, 7);
+  const auto times = arr.Take(20000);
+  EXPECT_EQ(times.size(), 20000u);
+  // 20000 arrivals at rate 2/s take ~10000s.
+  EXPECT_NEAR(times.back() / 10000.0, 1.0, 0.05);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
+}
+
+TEST(ArrivalTest, ZipfSkewConcentratesContexts) {
+  ZipfianContextChooser uniform(100, 0.0, 8);
+  ZipfianContextChooser skewed(100, 2.0, 8);
+  int uniform_head = 0, skewed_head = 0;
+  for (int i = 0; i < 5000; ++i) {
+    uniform_head += uniform.NextContext() < 5;
+    skewed_head += skewed.NextContext() < 5;
+  }
+  EXPECT_LT(uniform_head, 500);   // ~5%
+  EXPECT_GT(skewed_head, 3000);   // head-dominated
+}
+
+}  // namespace
+}  // namespace hcache
