@@ -11,6 +11,7 @@
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/core/shared_prefix.h"
+#include "src/storage/file_backend.h"
 
 using namespace hcache;
 
@@ -35,7 +36,7 @@ int main() {
   std::printf("  %7s | %14s %14s | %8s | %s\n", "users", "shared bytes", "naive bytes",
               "saving", "verified");
   for (const int num_users : {1, 4, 16, 64}) {
-    ChunkStore store({(dir / ("d" + std::to_string(num_users))).string()}, 1 << 20);
+    FileBackend store({(dir / ("d" + std::to_string(num_users))).string()}, 1 << 20);
     SharedPrefixManager mgr(&model, &store, /*chunk_tokens=*/8);
     Rng user_rng(100 + num_users);
 

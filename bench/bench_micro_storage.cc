@@ -1,15 +1,19 @@
-// Microbenchmarks (google-benchmark) for the real storage path: chunk-store writes and
-// reads, the two-stage saver's snapshot stage, and full save/restore round trips.
+// Microbenchmarks (google-benchmark) for the real storage path: chunk writes and
+// reads swept across every StorageBackend (file / memory / tiered), the two-stage
+// saver's snapshot stage, and full save/restore round trips.
 #include <benchmark/benchmark.h>
 #include <unistd.h>
 
 #include <filesystem>
+#include <memory>
 #include <numeric>
 
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
-#include "src/storage/chunk_store.h"
+#include "src/storage/file_backend.h"
 #include "src/storage/hidden_saver.h"
+#include "src/storage/memory_backend.h"
+#include "src/storage/tiered_backend.h"
 
 namespace hcache {
 namespace {
@@ -26,41 +30,112 @@ std::vector<std::string> TempDirs(const char* tag, int n) {
   return dirs;
 }
 
+// Backend selector for swept benchmarks: 0 = file, 1 = memory, 2 = tiered
+// (DRAM budget of 64 chunks over a file cold tier, so steady-state writes evict).
+enum BackendKind : int64_t { kFile = 0, kMemory = 1, kTiered = 2 };
+
+struct BackendUnderTest {
+  std::unique_ptr<StorageBackend> cold;
+  std::unique_ptr<StorageBackend> backend;
+};
+
+BackendUnderTest MakeBackend(BackendKind kind, const char* tag, int64_t chunk_bytes) {
+  BackendUnderTest b;
+  switch (kind) {
+    case kFile:
+      b.backend = std::make_unique<FileBackend>(TempDirs(tag, 4), chunk_bytes);
+      break;
+    case kMemory:
+      b.backend = std::make_unique<MemoryBackend>(chunk_bytes);
+      break;
+    case kTiered:
+      b.cold = std::make_unique<FileBackend>(TempDirs(tag, 4), chunk_bytes);
+      b.backend = std::make_unique<TieredBackend>(b.cold.get(), 64 * chunk_bytes);
+      break;
+  }
+  return b;
+}
+
 void BM_ChunkWrite(benchmark::State& state) {
-  const int64_t chunk_bytes = state.range(0);
-  ChunkStore store(TempDirs("write", 4), chunk_bytes);
+  const auto kind = static_cast<BackendKind>(state.range(0));
+  const int64_t chunk_bytes = state.range(1);
+  BackendUnderTest b = MakeBackend(kind, "write", chunk_bytes);
   std::vector<char> payload(static_cast<size_t>(chunk_bytes), 'x');
   int64_t idx = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(store.WriteChunk({1, 0, idx++}, payload.data(), chunk_bytes));
+    benchmark::DoNotOptimize(
+        b.backend->WriteChunk({1, 0, idx++}, payload.data(), chunk_bytes));
   }
   state.SetBytesProcessed(state.iterations() * chunk_bytes);
-  state.counters["chunks"] = static_cast<double>(store.chunks_stored());
+  state.SetLabel(b.backend->Name());
+  state.counters["chunks"] = static_cast<double>(b.backend->chunks_stored());
 }
-BENCHMARK(BM_ChunkWrite)->Arg(64 * 1024)->Arg(512 * 1024);
+BENCHMARK(BM_ChunkWrite)
+    ->ArgNames({"backend", "bytes"})
+    ->Args({kFile, 64 * 1024})
+    ->Args({kFile, 512 * 1024})
+    ->Args({kMemory, 64 * 1024})
+    ->Args({kMemory, 512 * 1024})
+    ->Args({kTiered, 64 * 1024})
+    ->Args({kTiered, 512 * 1024});
 
 void BM_ChunkRead(benchmark::State& state) {
-  const int64_t chunk_bytes = state.range(0);
-  ChunkStore store(TempDirs("read", 4), chunk_bytes);
+  const auto kind = static_cast<BackendKind>(state.range(0));
+  const int64_t chunk_bytes = state.range(1);
+  BackendUnderTest b = MakeBackend(kind, "read", chunk_bytes);
   std::vector<char> payload(static_cast<size_t>(chunk_bytes), 'y');
   constexpr int64_t kChunks = 64;
   for (int64_t c = 0; c < kChunks; ++c) {
-    store.WriteChunk({1, 0, c}, payload.data(), chunk_bytes);
+    b.backend->WriteChunk({1, 0, c}, payload.data(), chunk_bytes);
   }
   std::vector<char> buf(static_cast<size_t>(chunk_bytes));
   int64_t idx = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        store.ReadChunk({1, 0, idx++ % kChunks}, buf.data(), chunk_bytes));
+        b.backend->ReadChunk({1, 0, idx++ % kChunks}, buf.data(), chunk_bytes));
   }
   state.SetBytesProcessed(state.iterations() * chunk_bytes);
+  state.SetLabel(b.backend->Name());
+  const StorageStats s = b.backend->Stats();
+  const int64_t reads = s.dram_hits + s.cold_hits;
+  state.counters["dram_hit"] =
+      reads > 0 ? static_cast<double>(s.dram_hits) / static_cast<double>(reads) : 0.0;
 }
-BENCHMARK(BM_ChunkRead)->Arg(64 * 1024)->Arg(512 * 1024);
+BENCHMARK(BM_ChunkRead)
+    ->ArgNames({"backend", "bytes"})
+    ->Args({kFile, 64 * 1024})
+    ->Args({kFile, 512 * 1024})
+    ->Args({kMemory, 64 * 1024})
+    ->Args({kMemory, 512 * 1024})
+    ->Args({kTiered, 64 * 1024})
+    ->Args({kTiered, 512 * 1024});
+
+void BM_TieredEvictionChurn(benchmark::State& state) {
+  // Worst case for the tiered backend: each context exceeds the DRAM budget, so every
+  // round of writes pays context-granular eviction plus write-back to the file tier.
+  const int64_t chunk_bytes = 64 * 1024;
+  auto cold = std::make_unique<FileBackend>(TempDirs("churn", 4), chunk_bytes);
+  TieredBackend tiered(cold.get(), 4 * chunk_bytes);
+  std::vector<char> payload(static_cast<size_t>(chunk_bytes), 'z');
+  int64_t ctx = 0;
+  for (auto _ : state) {
+    for (int64_t c = 0; c < 8; ++c) {  // 8 chunks per context, 2x the budget
+      tiered.WriteChunk({ctx, 0, c}, payload.data(), chunk_bytes);
+    }
+    tiered.DeleteContext(ctx);
+    ++ctx;
+  }
+  state.SetBytesProcessed(state.iterations() * 8 * chunk_bytes);
+  const StorageStats s = tiered.Stats();
+  state.counters["evictions"] = static_cast<double>(s.evicted_contexts);
+  state.counters["writeback_mb"] = static_cast<double>(s.writeback_bytes) / (1 << 20);
+}
+BENCHMARK(BM_TieredEvictionChurn);
 
 void BM_TwoStageSaveDecodeStep(benchmark::State& state) {
   // One decode iteration's stage-1 snapshot across all layers of a tiny model.
   const ModelConfig cfg = ModelConfig::TinyLlama(8, 128, 4);
-  ChunkStore store(TempDirs("save", 4), 64 * cfg.hidden_dim * sizeof(float));
+  FileBackend store(TempDirs("save", 4), 64 * cfg.hidden_dim * sizeof(float));
   ThreadPool pool(4);
   HiddenStateWriter writer(&store, &pool, cfg, 1, 64);
   Tensor row({1, cfg.hidden_dim});
@@ -78,9 +153,11 @@ void BM_TwoStageSaveDecodeStep(benchmark::State& state) {
 BENCHMARK(BM_TwoStageSaveDecodeStep);
 
 void BM_SaveRestoreRoundTrip(benchmark::State& state) {
+  const auto kind = static_cast<BackendKind>(state.range(0));
   const ModelConfig cfg = ModelConfig::TinyLlama(4, 128, 4);
-  const int64_t n = state.range(0);
-  ChunkStore store(TempDirs("trip", 2), 64 * cfg.hidden_dim * sizeof(float));
+  const int64_t n = state.range(1);
+  BackendUnderTest b =
+      MakeBackend(kind, "trip", 64 * cfg.hidden_dim * static_cast<int64_t>(sizeof(float)));
   Rng rng(1);
   Tensor batch({n, cfg.hidden_dim});
   for (int64_t i = 0; i < batch.numel(); ++i) {
@@ -90,20 +167,28 @@ void BM_SaveRestoreRoundTrip(benchmark::State& state) {
   std::iota(positions.begin(), positions.end(), 0);
   int64_t ctx = 0;
   for (auto _ : state) {
-    HiddenStateWriter writer(&store, nullptr, cfg, ctx, 64);
+    HiddenStateWriter writer(b.backend.get(), nullptr, cfg, ctx, 64);
     for (int64_t layer = 0; layer < cfg.num_layers; ++layer) {
       writer.OnLayerInput(layer, batch, positions.data(), n);
     }
     writer.Seal();
-    HiddenStateReader reader(&store, cfg, 64);
+    HiddenStateReader reader(b.backend.get(), cfg, 64);
     Tensor back = reader.ReadLayer(ctx, cfg.num_layers - 1, n);
     benchmark::DoNotOptimize(back.data());
-    store.DeleteContext(ctx);
+    b.backend->DeleteContext(ctx);
     ++ctx;
   }
+  state.SetLabel(b.backend->Name());
   state.SetItemsProcessed(state.iterations() * n * cfg.num_layers);
 }
-BENCHMARK(BM_SaveRestoreRoundTrip)->Arg(64)->Arg(256);
+BENCHMARK(BM_SaveRestoreRoundTrip)
+    ->ArgNames({"backend", "tokens"})
+    ->Args({kFile, 64})
+    ->Args({kFile, 256})
+    ->Args({kMemory, 64})
+    ->Args({kMemory, 256})
+    ->Args({kTiered, 64})
+    ->Args({kTiered, 256});
 
 }  // namespace
 }  // namespace hcache

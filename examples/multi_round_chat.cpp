@@ -13,6 +13,7 @@
 #include "src/core/functional_engine.h"
 #include "src/core/restorer.h"
 #include "src/model/transformer.h"
+#include "src/storage/file_backend.h"
 #include "src/workload/sharegpt.h"
 
 using namespace hcache;
@@ -25,7 +26,7 @@ int main() {
   KvBlockPool pool(KvPoolConfig::ForModel(cfg, 128, 8));
   const auto dir = std::filesystem::temp_directory_path() / "hcache_chat_example";
   std::filesystem::remove_all(dir);
-  ChunkStore store({(dir / "d0").string(), (dir / "d1").string()}, 1 << 20);
+  FileBackend store({(dir / "d0").string(), (dir / "d1").string()}, 1 << 20);
   FunctionalHCache engine(&model, &store, /*flush_pool=*/nullptr, /*chunk_tokens=*/8);
 
   // --- performance plane: the paper's testbed pricing the same conversation ---

@@ -14,6 +14,7 @@
 #include "src/core/functional_engine.h"
 #include "src/core/partition.h"
 #include "src/model/transformer.h"
+#include "src/storage/file_backend.h"
 
 using namespace hcache;
 
@@ -26,7 +27,7 @@ int main() {
 
   const auto dir = std::filesystem::temp_directory_path() / "hcache_quickstart";
   std::filesystem::remove_all(dir);
-  ChunkStore store({(dir / "ssd0").string(), (dir / "ssd1").string()},
+  FileBackend store({(dir / "ssd0").string(), (dir / "ssd1").string()},
                    /*chunk_bytes=*/1 << 20);
   ThreadPool flush_pool(2);
   FunctionalHCache engine(&model, &store, &flush_pool, /*chunk_tokens=*/8);

@@ -20,6 +20,7 @@
 #include "src/core/functional_engine.h"
 #include "src/core/restorer.h"
 #include "src/model/transformer.h"
+#include "src/storage/file_backend.h"
 
 using namespace hcache;
 
@@ -30,7 +31,7 @@ int main() {
   KvBlockPool pool(KvPoolConfig::ForModel(cfg, 256, 8));
   const auto dir = std::filesystem::temp_directory_path() / "hcache_rag_example";
   std::filesystem::remove_all(dir);
-  ChunkStore store(
+  FileBackend store(
       {(dir / "d0").string(), (dir / "d1").string(), (dir / "d2").string()}, 1 << 20);
   ThreadPool flush_pool(3);
   FunctionalHCache engine(&model, &store, &flush_pool, /*chunk_tokens=*/8);

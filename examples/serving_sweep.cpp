@@ -3,17 +3,25 @@
 // Reproduces any point of the paper's Fig 9 grid (or configurations the paper never
 // measured) without writing code:
 //
-//   ./build/examples/serving_sweep --model=7b --method=hcache --load=0.2 \
-//       --sessions=200 --interval=30 --ssds=4
+//   ./build/serving_sweep --model=7b --method=hcache --load=0.2
+//       --sessions=200 --interval=30 --ssds=4 --backend=tiered --dram-mb=1
 //
-// Prints TTFT/TBT distributions, completed-round throughput, and the restoration
-// schedule in effect.
+// Prints TTFT/TBT distributions, completed-round throughput, the restoration
+// schedule in effect, and — when a storage backend is selected — what the storage
+// tier saw (reads split across DRAM/cold, evictions, write-back volume).
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 
 #include "src/core/restorer.h"
 #include "src/serving/engine.h"
+#include "src/storage/file_backend.h"
+#include "src/storage/memory_backend.h"
+#include "src/storage/tiered_backend.h"
 
 using namespace hcache;
 
@@ -55,6 +63,8 @@ int main(int argc, char** argv) {
   const double interval = std::stod(ArgValue(argc, argv, "--interval", "30"));
   const int ssds = std::stoi(ArgValue(argc, argv, "--ssds", "4"));
   const uint64_t seed = std::stoull(ArgValue(argc, argv, "--seed", "97"));
+  const std::string backend_name = ArgValue(argc, argv, "--backend", "none");
+  const int64_t dram_mb = std::stoll(ArgValue(argc, argv, "--dram-mb", "4"));
 
   const ModelConfig cfg = model_name == "30b"   ? ModelConfig::Opt30B()
                           : model_name == "13b" ? ModelConfig::Llama2_13B()
@@ -66,6 +76,27 @@ int main(int argc, char** argv) {
   if (model_name == "13b") {
     o.max_history_tokens = 8192;  // the 13B pool holds ~15K tokens; cap the whales
   }
+
+  // Optional storage backend the run registers context state with.
+  constexpr int64_t kChunkBytes = 64 * 1024;
+  const auto store_dir = std::filesystem::temp_directory_path() /
+                         ("hcache_sweep_" + std::to_string(::getpid()));
+  std::unique_ptr<StorageBackend> cold_tier;
+  std::unique_ptr<StorageBackend> backend;
+  auto make_file = [&] {
+    return std::make_unique<FileBackend>(
+        std::vector<std::string>{(store_dir / "d0").string(), (store_dir / "d1").string()},
+        kChunkBytes);
+  };
+  if (backend_name == "file") {
+    backend = make_file();
+  } else if (backend_name == "memory") {
+    backend = std::make_unique<MemoryBackend>(kChunkBytes);
+  } else if (backend_name == "tiered") {
+    cold_tier = make_file();
+    backend = std::make_unique<TieredBackend>(cold_tier.get(), dram_mb << 20);
+  }
+  o.state_backend = backend.get();
   ServingEngine engine(platform, cfg, o);
 
   std::printf("model    : %s on %s\n", cfg.name.c_str(), platform.Describe().c_str());
@@ -88,5 +119,17 @@ int main(int argc, char** argv) {
               rep.RoundsPerSecond());
   std::printf("TTFT     : %s\n", rep.ttft.Summary(" s").c_str());
   std::printf("TBT      : %s\n", rep.tbt.Summary(" s").c_str());
+  if (backend != nullptr) {
+    const StorageStats& s = rep.storage;
+    std::printf("storage  : %s — %lld writes, %lld reads (%.0f%% DRAM)\n",
+                backend->Name().c_str(), static_cast<long long>(s.total_writes),
+                static_cast<long long>(s.total_reads), 100.0 * s.DramHitRatio());
+    if (s.evicted_contexts > 0) {
+      std::printf("           %lld contexts evicted, %.1f MB written back\n",
+                  static_cast<long long>(s.evicted_contexts),
+                  static_cast<double>(s.writeback_bytes) / (1 << 20));
+    }
+    std::filesystem::remove_all(store_dir);
+  }
   return 0;
 }

@@ -7,7 +7,7 @@
 
 namespace hcache {
 
-FunctionalHCache::FunctionalHCache(Transformer* model, ChunkStore* store,
+FunctionalHCache::FunctionalHCache(Transformer* model, StorageBackend* store,
                                    ThreadPool* flush_pool, int64_t chunk_tokens)
     : model_(model), store_(store), flush_pool_(flush_pool), chunk_tokens_(chunk_tokens) {
   CHECK(model != nullptr);

@@ -1,5 +1,5 @@
 // Functional HCache engine: the end-to-end save → evict → restore path executed with
-// real computation and real (file-backed) storage.
+// real computation and real storage (any StorageBackend: file, DRAM, or tiered).
 //
 // This is where the paper's pieces compose: the transformer forward pass captures
 // hidden states through the two-stage saver into the chunk store; eviction releases the
@@ -20,8 +20,8 @@
 #include "src/core/partition.h"
 #include "src/model/kv_cache.h"
 #include "src/model/transformer.h"
-#include "src/storage/chunk_store.h"
 #include "src/storage/hidden_saver.h"
+#include "src/storage/storage_backend.h"
 
 namespace hcache {
 
@@ -30,7 +30,7 @@ class FunctionalHCache {
   // `model`, `store`, and `flush_pool` must outlive the engine. `flush_pool` may be
   // null (synchronous chunk flushes). A single store holds both hidden-state and KV
   // chunks; KV chunks live in a disjoint layer-key namespace.
-  FunctionalHCache(Transformer* model, ChunkStore* store, ThreadPool* flush_pool,
+  FunctionalHCache(Transformer* model, StorageBackend* store, ThreadPool* flush_pool,
                    int64_t chunk_tokens = kDefaultChunkTokens);
 
   // Starts (or resumes) capturing hidden states for a context. The returned sink is
@@ -75,7 +75,7 @@ class FunctionalHCache {
   void LoadKvLayer(int64_t context_id, int64_t layer, int64_t n, Tensor* k, Tensor* v) const;
 
   Transformer* model_;
-  ChunkStore* store_;
+  StorageBackend* store_;
   ThreadPool* flush_pool_;
   int64_t chunk_tokens_;
   std::map<int64_t, std::unique_ptr<HiddenStateWriter>> writers_;

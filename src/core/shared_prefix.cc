@@ -24,7 +24,7 @@ uint64_t HashTokens(const std::vector<int32_t>& tokens) {
 
 }  // namespace
 
-SharedPrefixManager::SuffixSink::SuffixSink(ChunkStore* store, const ModelConfig& cfg,
+SharedPrefixManager::SuffixSink::SuffixSink(StorageBackend* store, const ModelConfig& cfg,
                                             int64_t context_id, int64_t offset,
                                             int64_t chunk_tokens)
     : writer_(store, /*flush_pool=*/nullptr, cfg, context_id, chunk_tokens),
@@ -53,7 +53,7 @@ void SharedPrefixManager::SuffixSink::OnLayerInput(int64_t layer, const Tensor& 
   writer_.OnLayerInput(layer, rows, rebased.data(), static_cast<int64_t>(keep.size()));
 }
 
-SharedPrefixManager::SharedPrefixManager(Transformer* model, ChunkStore* store,
+SharedPrefixManager::SharedPrefixManager(Transformer* model, StorageBackend* store,
                                          int64_t chunk_tokens)
     : model_(model), store_(store), chunk_tokens_(chunk_tokens) {
   CHECK(model != nullptr);

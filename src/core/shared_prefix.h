@@ -28,7 +28,7 @@
 #include "src/common/thread_pool.h"
 #include "src/model/kv_cache.h"
 #include "src/model/transformer.h"
-#include "src/storage/chunk_store.h"
+#include "src/storage/storage_backend.h"
 #include "src/storage/hidden_saver.h"
 
 namespace hcache {
@@ -43,7 +43,7 @@ class SharedPrefixManager {
 
   // `model` and `store` must outlive the manager. Prefix ids live in their own
   // context-id namespace (>= kPrefixIdBase) inside `store`.
-  SharedPrefixManager(Transformer* model, ChunkStore* store,
+  SharedPrefixManager(Transformer* model, StorageBackend* store,
                       int64_t chunk_tokens = kDefaultChunkTokens);
 
   // Interns a prefix: on first sight, runs the model over it (scratch KV from `pool`)
@@ -81,7 +81,7 @@ class SharedPrefixManager {
   // Skips the first `offset` positions and rebases the rest onto an inner writer.
   class SuffixSink : public HiddenStateSink {
    public:
-    SuffixSink(ChunkStore* store, const ModelConfig& cfg, int64_t context_id,
+    SuffixSink(StorageBackend* store, const ModelConfig& cfg, int64_t context_id,
                int64_t offset, int64_t chunk_tokens);
     void OnLayerInput(int64_t layer, const Tensor& hidden, const int32_t* positions,
                       int64_t n) override;
@@ -94,7 +94,7 @@ class SharedPrefixManager {
   };
 
   Transformer* model_;
-  ChunkStore* store_;
+  StorageBackend* store_;
   int64_t chunk_tokens_;
   int64_t next_prefix_id_ = kPrefixIdBase;
   std::map<uint64_t, int64_t> hash_to_prefix_;  // content hash -> prefix id

@@ -194,6 +194,47 @@ ServingReport ServingEngine::RunConversations(double sessions_per_second,
   ServingReport report;
   double now = 0;
 
+  // --- storage-backend state registry ---
+  // Context state is persisted through the configured backend as descriptor chunks
+  // (state_bytes_per_token per history token, context id = session id). Saving appends
+  // from the first incomplete chunk (the two-stage saver's seal-and-rewrite pattern);
+  // restoration streams every chunk back, which is what drives per-tier hit counts.
+  StorageBackend* backend = options_.state_backend;
+  const int64_t bytes_per_token = options_.state_bytes_per_token;
+  if (backend != nullptr) {
+    CHECK_GT(bytes_per_token, 0) << "state_bytes_per_token must be positive";
+    CHECK_LE(bytes_per_token, backend->chunk_bytes())
+        << "state_bytes_per_token exceeds the backend's chunk capacity";
+  }
+  const int64_t chunk_capacity_tokens =
+      backend != nullptr ? std::max<int64_t>(1, backend->chunk_bytes() / bytes_per_token)
+                         : 1;
+  std::vector<char> state_buf(
+      backend != nullptr ? static_cast<size_t>(backend->chunk_bytes()) : 0, '\0');
+  auto save_state = [&](int64_t sid, int64_t old_tokens, int64_t new_tokens) {
+    if (backend == nullptr || new_tokens <= old_tokens) {
+      return;
+    }
+    const int64_t first_chunk = old_tokens / chunk_capacity_tokens;
+    const int64_t last_chunk = (new_tokens - 1) / chunk_capacity_tokens;
+    for (int64_t c = first_chunk; c <= last_chunk; ++c) {
+      const int64_t chunk_tokens =
+          std::min(chunk_capacity_tokens, new_tokens - c * chunk_capacity_tokens);
+      backend->WriteChunk(ChunkKey{sid, 0, c}, state_buf.data(),
+                          chunk_tokens * bytes_per_token);
+    }
+  };
+  auto load_state = [&](int64_t sid, int64_t tokens) {
+    if (backend == nullptr || tokens <= 0) {
+      return;
+    }
+    const int64_t num_chunks = (tokens + chunk_capacity_tokens - 1) / chunk_capacity_tokens;
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      backend->ReadChunk(ChunkKey{sid, 0, c}, state_buf.data(),
+                         static_cast<int64_t>(state_buf.size()));
+    }
+  };
+
   auto make_round = [&](int64_t sid) {
     Session& s = sessions[static_cast<size_t>(sid)];
     const ConversationRound& cr = s.conv.rounds[s.next_round];
@@ -210,10 +251,14 @@ ServingReport ServingEngine::RunConversations(double sessions_per_second,
     kv_free += a.kv_reserved;
     ++report.rounds_completed;
     Session& s = sessions[static_cast<size_t>(a.r.session)];
+    const int64_t old_history = s.history;
     s.history += a.r.input + a.r.output;
     ++s.next_round;
     if (s.next_round < s.conv.rounds.size()) {
+      save_state(a.r.session, old_history, s.history);
       arrivals.push(Arrival{now + round_interval_s, a.r.session});
+    } else if (backend != nullptr) {
+      backend->DeleteContext(a.r.session);  // session over: drop its stored state
     }
   };
 
@@ -256,6 +301,7 @@ ServingReport ServingEngine::RunConversations(double sessions_per_second,
         if (restoring.active) {
           break;  // one restoration channel; keep FCFS order
         }
+        load_state(r.session, r.history);
         double compute_busy = 0;
         const double t = RestoreTime(r.history, &compute_busy);
         restoring.r = r;
@@ -353,6 +399,9 @@ ServingReport ServingEngine::RunConversations(double sessions_per_second,
   }
 
   report.makespan = now;
+  if (backend != nullptr) {
+    report.storage = backend->Stats();
+  }
   return report;
 }
 

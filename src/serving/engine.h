@@ -22,6 +22,7 @@
 #include "src/serving/gpu_kv_cache.h"
 #include "src/sim/gpu_timing.h"
 #include "src/sim/hardware.h"
+#include "src/storage/storage_backend.h"
 #include "src/workload/leval.h"
 #include "src/workload/sharegpt.h"
 
@@ -45,6 +46,18 @@ struct ServingOptions {
   double max_sim_seconds = 7200.0;
   // Fixed per-round engine overhead (scheduling, tokenization, API) added to TTFT.
   double request_overhead = 20e-3;
+  // Storage backend the engine registers evicted context state with (must outlive the
+  // engine; may be shared across engines). When set, RunConversations writes each
+  // completed round's state descriptor through it, reads it back before restoration,
+  // and deletes it when the session ends — so a TieredBackend sees the real context
+  // reuse pattern and ServingReport can surface per-tier hit ratios. Null = no
+  // storage accounting (timing is unaffected either way; the performance plane models
+  // transfer time via Platform::storage).
+  StorageBackend* state_backend = nullptr;
+  // Descriptor bytes written per history token (a scaled stand-in for the
+  // HiddenBytesPerTokenLayer() * num_layers real footprint, keeping simulated runs
+  // cheap while preserving relative context sizes for eviction decisions).
+  int64_t state_bytes_per_token = 8;
 };
 
 struct ServingReport {
@@ -54,6 +67,10 @@ struct ServingReport {
   int64_t rounds_submitted = 0;
   double makespan = 0;
   double cache_hit_ratio = 0;  // only for RunWithGpuCache
+  // Snapshot of ServingOptions::state_backend counters at run end (zeros when no
+  // backend was attached). storage.DramHitRatio() is the DRAM-tier hit ratio of the
+  // restoration read path.
+  StorageStats storage;
 
   double RoundsPerSecond() const {
     return makespan > 0 ? static_cast<double>(rounds_completed) / makespan : 0.0;

@@ -5,7 +5,7 @@
 
 namespace hcache {
 
-HiddenStateWriter::HiddenStateWriter(ChunkStore* store, ThreadPool* flush_pool,
+HiddenStateWriter::HiddenStateWriter(StorageBackend* store, ThreadPool* flush_pool,
                                      const ModelConfig& cfg, int64_t context_id,
                                      int64_t chunk_tokens)
     : store_(store),
@@ -59,7 +59,7 @@ void HiddenStateWriter::FlushChunk(int64_t layer, LayerBuffer& lb) {
     lb.fill_tokens = 0;
   }
   lb.dirty = false;
-  ChunkStore* store = store_;
+  StorageBackend* store = store_;
   auto task = [store, key, payload] {
     // A failed flush must not take down the process (it may run on a background
     // thread); the chunk simply stays absent and restoration reports the context
@@ -91,7 +91,7 @@ void HiddenStateWriter::Seal() {
 
 int64_t HiddenStateWriter::tokens_saved() const { return layers_.empty() ? 0 : layers_[0].tokens_seen; }
 
-DirectHiddenWriter::DirectHiddenWriter(ChunkStore* store, const ModelConfig& cfg,
+DirectHiddenWriter::DirectHiddenWriter(StorageBackend* store, const ModelConfig& cfg,
                                        int64_t context_id, int64_t chunk_tokens)
     : inner_(store, /*flush_pool=*/nullptr, cfg, context_id, chunk_tokens) {}
 
@@ -106,7 +106,7 @@ void DirectHiddenWriter::OnLayerInput(int64_t layer, const Tensor& hidden,
 
 void DirectHiddenWriter::Seal() { inner_.Seal(); }
 
-HiddenStateReader::HiddenStateReader(const ChunkStore* store, const ModelConfig& cfg,
+HiddenStateReader::HiddenStateReader(const StorageBackend* store, const ModelConfig& cfg,
                                      int64_t chunk_tokens)
     : store_(store), cfg_(cfg), chunk_tokens_(chunk_tokens) {
   CHECK(store != nullptr);

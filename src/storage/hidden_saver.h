@@ -7,7 +7,7 @@
 //
 // Stage 2 — chunk management: a background pool (the paper uses 8 host threads)
 // assembles staged rows into 64-token chunks and flushes sealed chunks to the
-// ChunkStore. Generation never blocks on storage.
+// StorageBackend (file, DRAM, or tiered). Generation never blocks on storage.
 //
 // `HiddenStateWriter` is the per-sequence sink; `DirectHiddenWriter` is the Fig 14
 // ablation variant that performs storage writes synchronously inside OnLayerInput.
@@ -20,8 +20,8 @@
 
 #include "src/common/thread_pool.h"
 #include "src/model/transformer.h"
-#include "src/storage/chunk_store.h"
 #include "src/storage/layout.h"
+#include "src/storage/storage_backend.h"
 
 namespace hcache {
 
@@ -30,7 +30,7 @@ class HiddenStateWriter : public HiddenStateSink {
   // `flush_pool` may be null, in which case sealed chunks flush synchronously (still
   // chunk-granular — the distinction DirectHiddenWriter ablates is *row*-granular
   // synchronous writes).
-  HiddenStateWriter(ChunkStore* store, ThreadPool* flush_pool, const ModelConfig& cfg,
+  HiddenStateWriter(StorageBackend* store, ThreadPool* flush_pool, const ModelConfig& cfg,
                     int64_t context_id, int64_t chunk_tokens = kDefaultChunkTokens);
   ~HiddenStateWriter() override;
 
@@ -62,7 +62,7 @@ class HiddenStateWriter : public HiddenStateSink {
   // the buffer so the chunk can be rewritten once it fills.
   void FlushChunk(int64_t layer, LayerBuffer& buf);
 
-  ChunkStore* store_;
+  StorageBackend* store_;
   ThreadPool* flush_pool_;
   ModelConfig cfg_;
   int64_t context_id_;
@@ -75,7 +75,7 @@ class HiddenStateWriter : public HiddenStateSink {
 // on the critical path).
 class DirectHiddenWriter : public HiddenStateSink {
  public:
-  DirectHiddenWriter(ChunkStore* store, const ModelConfig& cfg, int64_t context_id,
+  DirectHiddenWriter(StorageBackend* store, const ModelConfig& cfg, int64_t context_id,
                      int64_t chunk_tokens = kDefaultChunkTokens);
 
   void OnLayerInput(int64_t layer, const Tensor& hidden, const int32_t* positions,
@@ -95,7 +95,7 @@ class DirectHiddenWriter : public HiddenStateSink {
 // token-before-layer read path of Fig 6b.
 class HiddenStateReader {
  public:
-  HiddenStateReader(const ChunkStore* store, const ModelConfig& cfg,
+  HiddenStateReader(const StorageBackend* store, const ModelConfig& cfg,
                     int64_t chunk_tokens = kDefaultChunkTokens);
 
   // Reads tokens [0, n) of `layer`. CHECK-fails if chunks are missing or short.
@@ -109,7 +109,7 @@ class HiddenStateReader {
   bool LayerComplete(int64_t context_id, int64_t layer, int64_t n) const;
 
  private:
-  const ChunkStore* store_;
+  const StorageBackend* store_;
   ModelConfig cfg_;
   int64_t chunk_tokens_;
 };

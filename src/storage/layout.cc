@@ -26,7 +26,7 @@ IoPattern RestoreLayerPattern(StorageLayout layout, const ModelConfig& cfg, int6
 }
 
 IoPattern DirectSavePattern(StorageLayout layout, const ModelConfig& cfg, int64_t batch,
-                            int64_t chunk_tokens) {
+                            int64_t /*chunk_tokens*/) {
   IoPattern p;
   if (batch <= 0) {
     return p;

@@ -1,0 +1,69 @@
+#include "src/storage/memory_backend.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+MemoryBackend::MemoryBackend(int64_t chunk_bytes) : StorageBackend(chunk_bytes) {}
+
+bool MemoryBackend::WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) {
+  CHECK_GT(bytes, 0);
+  CHECK_LE(bytes, chunk_bytes());
+  const char* src = static_cast<const char*>(data);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& chunk = chunks_[key];
+  bytes_stored_ += bytes - static_cast<int64_t>(chunk.size());
+  chunk.assign(src, src + bytes);
+  ++total_writes_;
+  return true;
+}
+
+int64_t MemoryBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = chunks_.find(key);
+  if (it == chunks_.end()) {
+    return -1;
+  }
+  const int64_t size = static_cast<int64_t>(it->second.size());
+  if (size > buf_bytes) {
+    return -1;
+  }
+  ++total_reads_;
+  std::memcpy(buf, it->second.data(), static_cast<size_t>(size));
+  return size;
+}
+
+bool MemoryBackend::HasChunk(const ChunkKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_.count(key) != 0;
+}
+
+int64_t MemoryBackend::ChunkSize(const ChunkKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = chunks_.find(key);
+  return it == chunks_.end() ? -1 : static_cast<int64_t>(it->second.size());
+}
+
+void MemoryBackend::DeleteContext(int64_t context_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = chunks_.lower_bound(ChunkKey{context_id, 0, 0});
+       it != chunks_.end() && it->first.context_id == context_id;) {
+    bytes_stored_ -= static_cast<int64_t>(it->second.size());
+    it = chunks_.erase(it);
+  }
+}
+
+StorageStats MemoryBackend::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StorageStats s;
+  s.chunks_stored = static_cast<int64_t>(chunks_.size());
+  s.bytes_stored = bytes_stored_;
+  s.total_writes = total_writes_;
+  s.total_reads = total_reads_;
+  s.dram_hits = total_reads_;  // every read is served from DRAM
+  return s;
+}
+
+}  // namespace hcache

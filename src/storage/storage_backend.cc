@@ -1,0 +1,11 @@
+#include "src/storage/storage_backend.h"
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+StorageBackend::StorageBackend(int64_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+  CHECK_GT(chunk_bytes_, 0);
+}
+
+}  // namespace hcache

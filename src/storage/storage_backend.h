@@ -1,0 +1,96 @@
+// Abstract storage backend — the seam under the paper's storage manager (§4.2).
+//
+// Everything above this interface (the two-stage saver, the restoration read path,
+// the functional engine, the serving engine's state registry) speaks in fixed-size
+// chunks keyed by (context, layer, chunk_index). Everything below it decides where
+// the bytes live:
+//
+//   FileBackend   — one chunk per file, striped round-robin across N device
+//                   directories (the paper's NVMe array, §4.2.1).
+//   MemoryBackend — DRAM-resident chunks (the paper's host-memory tier, §6.2.1;
+//                   also the fast path for tests).
+//   TieredBackend — DRAM over a cold backend with a capacity budget, context-granular
+//                   LRU eviction and write-back (the DRAM→SSD hierarchy the storage
+//                   manager assumes).
+//
+// Restoration speed is bounded by how fast a backend streams chunks back, so each
+// backend exposes uniform stats — including per-tier hit counts — that serving
+// reports surface.
+#ifndef HCACHE_SRC_STORAGE_STORAGE_BACKEND_H_
+#define HCACHE_SRC_STORAGE_STORAGE_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hcache {
+
+struct ChunkKey {
+  int64_t context_id = 0;
+  int64_t layer = 0;
+  int64_t chunk_index = 0;
+
+  friend auto operator<=>(const ChunkKey&, const ChunkKey&) = default;
+};
+
+// Uniform counters every backend maintains. Tier fields stay zero for single-tier
+// backends; for TieredBackend a read is either a `dram_hits` (hot tier) or a
+// `cold_hits` (served by the backing store).
+struct StorageStats {
+  int64_t chunks_stored = 0;
+  int64_t bytes_stored = 0;
+  int64_t total_writes = 0;
+  int64_t total_reads = 0;
+
+  int64_t dram_hits = 0;
+  int64_t cold_hits = 0;
+  int64_t evicted_contexts = 0;   // contexts pushed out of the hot tier
+  int64_t writeback_chunks = 0;   // dirty chunks flushed to the cold tier
+  int64_t writeback_bytes = 0;
+
+  // Fraction of reads served from DRAM (1.0 for MemoryBackend, 0.0 for FileBackend).
+  double DramHitRatio() const {
+    const int64_t total = dram_hits + cold_hits;
+    return total > 0 ? static_cast<double>(dram_hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class StorageBackend {
+ public:
+  explicit StorageBackend(int64_t chunk_bytes);
+  virtual ~StorageBackend() = default;
+
+  StorageBackend(const StorageBackend&) = delete;
+  StorageBackend& operator=(const StorageBackend&) = delete;
+
+  // Durably stores a chunk (<= chunk_bytes). Overwrites any existing chunk at `key`.
+  // Returns false on IO failure. Concurrent writers on distinct chunks are safe.
+  virtual bool WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) = 0;
+
+  // Reads a chunk into `buf` (capacity `buf_bytes`). Returns the chunk's byte count,
+  // or -1 if the chunk does not exist or the buffer is too small.
+  virtual int64_t ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const = 0;
+
+  virtual bool HasChunk(const ChunkKey& key) const = 0;
+  virtual int64_t ChunkSize(const ChunkKey& key) const = 0;  // -1 when absent
+
+  // Removes every chunk belonging to a context (session ended / state dropped).
+  virtual void DeleteContext(int64_t context_id) = 0;
+
+  virtual StorageStats Stats() const = 0;
+  virtual std::string Name() const = 0;
+
+  int64_t chunk_bytes() const { return chunk_bytes_; }
+
+  // --- stat accessors shared by tests and benches ---
+  int64_t chunks_stored() const { return Stats().chunks_stored; }
+  int64_t bytes_stored() const { return Stats().bytes_stored; }
+  int64_t total_writes() const { return Stats().total_writes; }
+  int64_t total_reads() const { return Stats().total_reads; }
+
+ private:
+  int64_t chunk_bytes_;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_STORAGE_STORAGE_BACKEND_H_

@@ -1,0 +1,168 @@
+#include "src/storage/tiered_backend.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+TieredBackend::TieredBackend(StorageBackend* cold, int64_t dram_capacity_bytes)
+    : StorageBackend(cold->chunk_bytes()),
+      cold_(cold),
+      dram_capacity_bytes_(dram_capacity_bytes) {
+  CHECK(cold != nullptr);
+  CHECK_GE(dram_capacity_bytes_, 0);
+}
+
+void TieredBackend::TouchLocked(int64_t context_id) const {
+  auto it = contexts_.find(context_id);
+  if (it == contexts_.end()) {
+    lru_.push_back(context_id);
+    contexts_[context_id] = ContextLru{std::prev(lru_.end())};
+  } else {
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+  }
+}
+
+void TieredBackend::InsertHotLocked(const ChunkKey& key, const char* data, int64_t bytes,
+                                    bool dirty) const {
+  auto& chunk = hot_[key];
+  const int64_t delta = bytes - static_cast<int64_t>(chunk.data.size());
+  chunk.data.assign(data, data + bytes);
+  chunk.dirty = dirty;
+  dram_bytes_ += delta;
+}
+
+void TieredBackend::EvictToBudgetLocked() const {
+  while (dram_bytes_ > dram_capacity_bytes_ && !lru_.empty()) {
+    const int64_t victim = lru_.front();
+    // Write-back: flush the victim's dirty chunks to the cold tier, then drop all of
+    // its hot-tier copies.
+    auto it = hot_.lower_bound(ChunkKey{victim, 0, 0});
+    while (it != hot_.end() && it->first.context_id == victim) {
+      if (it->second.dirty) {
+        const int64_t bytes = static_cast<int64_t>(it->second.data.size());
+        if (!cold_->WriteChunk(it->first, it->second.data.data(), bytes)) {
+          // Never drop a dirty chunk the cold tier refused: keep the victim resident
+          // (requeued at the MRU end so other contexts get evicted first) and stop
+          // this round. The capacity budget degrades to best-effort rather than the
+          // backend losing data or wedging on one failing context.
+          HCACHE_LOG_ERROR << "tiered write-back failed: ctx=" << it->first.context_id
+                           << " L=" << it->first.layer << " C=" << it->first.chunk_index
+                           << "; keeping context in DRAM";
+          lru_.splice(lru_.end(), lru_, contexts_.at(victim).lru_pos);
+          return;
+        }
+        ++writeback_chunks_;
+        writeback_bytes_ += bytes;
+      }
+      dram_bytes_ -= static_cast<int64_t>(it->second.data.size());
+      it = hot_.erase(it);
+    }
+    lru_.pop_front();
+    contexts_.erase(victim);
+    ++evicted_contexts_;
+  }
+}
+
+bool TieredBackend::WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) {
+  CHECK_GT(bytes, 0);
+  CHECK_LE(bytes, chunk_bytes());
+  std::lock_guard<std::mutex> lock(mu_);
+  TouchLocked(key.context_id);
+  InsertHotLocked(key, static_cast<const char*>(data), bytes, /*dirty=*/true);
+  auto& indexed = index_[key];
+  bytes_stored_ += bytes - indexed;
+  indexed = bytes;
+  ++total_writes_;
+  // The chunk is durably in the hot tier at this point; a write-back failure while
+  // rebalancing concerns *other* contexts and must not fail this write.
+  EvictToBudgetLocked();
+  return true;
+}
+
+int64_t TieredBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto hot_it = hot_.find(key);
+  if (hot_it != hot_.end()) {
+    const int64_t size = static_cast<int64_t>(hot_it->second.data.size());
+    if (size > buf_bytes) {
+      return -1;
+    }
+    std::memcpy(buf, hot_it->second.data.data(), static_cast<size_t>(size));
+    TouchLocked(key.context_id);
+    ++total_reads_;
+    ++dram_hits_;
+    return size;
+  }
+  const int64_t got = cold_->ReadChunk(key, buf, buf_bytes);
+  if (got < 0) {
+    return got;
+  }
+  ++total_reads_;
+  ++cold_hits_;
+  // Promote: a restored context is likely to be restored again soon (the §6.2.1
+  // caching argument); admit the chunk clean so re-eviction is free.
+  TouchLocked(key.context_id);
+  InsertHotLocked(key, static_cast<const char*>(buf), got, /*dirty=*/false);
+  EvictToBudgetLocked();
+  return got;
+}
+
+bool TieredBackend::HasChunk(const ChunkKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(key) != 0;
+}
+
+int64_t TieredBackend::ChunkSize(const ChunkKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? -1 : it->second;
+}
+
+void TieredBackend::DeleteContext(int64_t context_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = hot_.lower_bound(ChunkKey{context_id, 0, 0});
+       it != hot_.end() && it->first.context_id == context_id;) {
+    dram_bytes_ -= static_cast<int64_t>(it->second.data.size());
+    it = hot_.erase(it);
+  }
+  const auto ctx_it = contexts_.find(context_id);
+  if (ctx_it != contexts_.end()) {
+    lru_.erase(ctx_it->second.lru_pos);
+    contexts_.erase(ctx_it);
+  }
+  for (auto it = index_.lower_bound(ChunkKey{context_id, 0, 0});
+       it != index_.end() && it->first.context_id == context_id;) {
+    bytes_stored_ -= it->second;
+    it = index_.erase(it);
+  }
+  cold_->DeleteContext(context_id);
+}
+
+int64_t TieredBackend::dram_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dram_bytes_;
+}
+
+bool TieredBackend::IsDramResident(const ChunkKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hot_.count(key) != 0;
+}
+
+StorageStats TieredBackend::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StorageStats s;
+  s.chunks_stored = static_cast<int64_t>(index_.size());
+  s.bytes_stored = bytes_stored_;
+  s.total_writes = total_writes_;
+  s.total_reads = total_reads_;
+  s.dram_hits = dram_hits_;
+  s.cold_hits = cold_hits_;
+  s.evicted_contexts = evicted_contexts_;
+  s.writeback_chunks = writeback_chunks_;
+  s.writeback_bytes = writeback_bytes_;
+  return s;
+}
+
+}  // namespace hcache

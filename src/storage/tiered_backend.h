@@ -1,0 +1,94 @@
+// Tiered storage backend: a DRAM hot tier with a capacity budget layered over a cold
+// backend — the DRAM→SSD hierarchy the paper's storage manager assumes (§4.2). Writes
+// land in DRAM and flow to the cold tier lazily (write-back): when the budget is
+// exceeded, whole contexts are evicted in LRU order, flushing their dirty chunks down.
+// Reads served from DRAM are `dram_hits`; misses fall through to the cold tier
+// (`cold_hits`) and promote the chunk back into DRAM.
+//
+// Eviction is context-granular, matching the access pattern: restoration streams every
+// chunk of one context, so partial-context residency would still pay a cold read on
+// the critical path. LRU order advances whenever any chunk of a context is touched.
+//
+// Thread safety: all operations are serialized on one mutex, which is held across
+// cold-tier IO during eviction and promotion. Concurrent writers on distinct chunks
+// are safe (the interface contract); they just serialize.
+#ifndef HCACHE_SRC_STORAGE_TIERED_BACKEND_H_
+#define HCACHE_SRC_STORAGE_TIERED_BACKEND_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/storage_backend.h"
+
+namespace hcache {
+
+class TieredBackend : public StorageBackend {
+ public:
+  // `cold` must outlive the backend; it defines chunk_bytes. `dram_capacity_bytes`
+  // is the hot-tier budget (0 = write-through: every chunk evicts immediately).
+  TieredBackend(StorageBackend* cold, int64_t dram_capacity_bytes);
+
+  bool WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) override;
+  int64_t ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const override;
+  bool HasChunk(const ChunkKey& key) const override;
+  int64_t ChunkSize(const ChunkKey& key) const override;
+  void DeleteContext(int64_t context_id) override;
+  StorageStats Stats() const override;
+  std::string Name() const override { return "tiered(" + cold_->Name() + ")"; }
+
+  int64_t dram_capacity_bytes() const { return dram_capacity_bytes_; }
+  int64_t dram_bytes() const;
+
+  // True when the chunk currently resides in the hot tier (test/inspection hook).
+  bool IsDramResident(const ChunkKey& key) const;
+
+  StorageBackend* cold() const { return cold_; }
+
+ private:
+  struct HotChunk {
+    std::vector<char> data;
+    bool dirty = false;  // newer than (or absent from) the cold tier
+  };
+  struct ContextLru {
+    std::list<int64_t>::iterator lru_pos;
+  };
+
+  // Moves `context_id` to the MRU end, creating its LRU entry if new. mu_ held.
+  void TouchLocked(int64_t context_id) const;
+  // Evicts LRU contexts (write-back) until dram_bytes_ <= dram_capacity_bytes_. On a
+  // cold-tier write failure the victim is kept resident (requeued MRU) and eviction
+  // stops for this round — the budget is best-effort under cold-tier errors, never a
+  // reason to drop dirty data. mu_ held.
+  void EvictToBudgetLocked() const;
+  // Inserts a chunk into the hot tier, adjusting byte accounting. mu_ held.
+  void InsertHotLocked(const ChunkKey& key, const char* data, int64_t bytes,
+                       bool dirty) const;
+
+  StorageBackend* cold_;
+  int64_t dram_capacity_bytes_;
+
+  // Promotion and LRU bookkeeping happen on the (const) read path, so the hot tier is
+  // mutable state guarded by mu_.
+  mutable std::mutex mu_;
+  mutable std::map<ChunkKey, HotChunk> hot_;          // context-major key order
+  mutable std::map<int64_t, ContextLru> contexts_;    // ctx -> LRU handle + bytes
+  mutable std::list<int64_t> lru_;                    // front = coldest context
+  mutable int64_t dram_bytes_ = 0;
+  std::map<ChunkKey, int64_t> index_;                 // logical contents: key -> size
+  int64_t bytes_stored_ = 0;                          // sum of index_ sizes
+  int64_t total_writes_ = 0;
+  mutable int64_t total_reads_ = 0;
+  mutable int64_t dram_hits_ = 0;
+  mutable int64_t cold_hits_ = 0;
+  mutable int64_t evicted_contexts_ = 0;
+  mutable int64_t writeback_chunks_ = 0;
+  mutable int64_t writeback_bytes_ = 0;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_STORAGE_TIERED_BACKEND_H_

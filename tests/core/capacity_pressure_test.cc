@@ -13,6 +13,7 @@
 
 #include "src/core/functional_engine.h"
 #include "src/common/rng.h"
+#include "src/storage/file_backend.h"
 
 namespace hcache {
 namespace {
@@ -23,7 +24,7 @@ class CapacityPressureTest : public ::testing::Test {
     cfg_ = ModelConfig::TinyLlama(3, 32, 2);
     base_ = std::filesystem::temp_directory_path() /
             ("hcache_pressure_" + std::to_string(::getpid()));
-    store_ = std::make_unique<ChunkStore>(
+    store_ = std::make_unique<FileBackend>(
         std::vector<std::string>{(base_ / "d0").string(), (base_ / "d1").string()},
         1 << 20);
     weights_ = std::make_unique<ModelWeights>(ModelWeights::Random(cfg_, 3));
@@ -38,7 +39,7 @@ class CapacityPressureTest : public ::testing::Test {
 
   ModelConfig cfg_;
   std::filesystem::path base_;
-  std::unique_ptr<ChunkStore> store_;
+  std::unique_ptr<FileBackend> store_;
   std::unique_ptr<ModelWeights> weights_;
   std::unique_ptr<Transformer> model_;
   std::unique_ptr<FunctionalHCache> engine_;

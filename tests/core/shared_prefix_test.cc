@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "src/common/rng.h"
+#include "src/storage/file_backend.h"
 
 namespace hcache {
 namespace {
@@ -17,7 +18,7 @@ class SharedPrefixTest : public ::testing::Test {
     base_ = std::filesystem::temp_directory_path() /
             ("hcache_prefix_" + std::to_string(::getpid()) + "_" +
              ::testing::UnitTest::GetInstance()->current_test_info()->name());
-    store_ = std::make_unique<ChunkStore>(
+    store_ = std::make_unique<FileBackend>(
         std::vector<std::string>{(base_ / "d0").string()}, 1 << 20);
     weights_ = std::make_unique<ModelWeights>(ModelWeights::Random(cfg_, 5));
     model_ = std::make_unique<Transformer>(weights_.get());
@@ -38,7 +39,7 @@ class SharedPrefixTest : public ::testing::Test {
 
   ModelConfig cfg_;
   std::filesystem::path base_;
-  std::unique_ptr<ChunkStore> store_;
+  std::unique_ptr<FileBackend> store_;
   std::unique_ptr<ModelWeights> weights_;
   std::unique_ptr<Transformer> model_;
   std::unique_ptr<KvBlockPool> pool_;

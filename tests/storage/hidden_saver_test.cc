@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "src/common/rng.h"
+#include "src/storage/file_backend.h"
 #include "src/common/thread_pool.h"
 
 namespace hcache {
@@ -19,7 +20,7 @@ class HiddenSaverTest : public ::testing::Test {
     base_ = std::filesystem::temp_directory_path() /
             ("hcache_saver_" + std::to_string(::getpid()) + "_" +
              ::testing::UnitTest::GetInstance()->current_test_info()->name());
-    store_ = std::make_unique<ChunkStore>(
+    store_ = std::make_unique<FileBackend>(
         std::vector<std::string>{(base_ / "d0").string(), (base_ / "d1").string()},
         /*chunk_bytes=*/1 << 20);
   }
@@ -49,7 +50,7 @@ class HiddenSaverTest : public ::testing::Test {
 
   ModelConfig cfg_;
   std::filesystem::path base_;
-  std::unique_ptr<ChunkStore> store_;
+  std::unique_ptr<FileBackend> store_;
 };
 
 TEST_F(HiddenSaverTest, RoundTripExactMultipleOfChunk) {

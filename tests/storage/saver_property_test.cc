@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "src/common/rng.h"
+#include "src/storage/file_backend.h"
 #include "src/storage/hidden_saver.h"
 
 namespace hcache {
@@ -24,7 +25,7 @@ class SaverRoundTripSweep : public ::testing::TestWithParam<SweepParam> {
     base_ = std::filesystem::temp_directory_path() /
             ("hcache_saver_sweep_" + std::to_string(::getpid()) + "_" +
              std::to_string(reinterpret_cast<uintptr_t>(this)));
-    store_ = std::make_unique<ChunkStore>(std::vector<std::string>{(base_ / "d").string()},
+    store_ = std::make_unique<FileBackend>(std::vector<std::string>{(base_ / "d").string()},
                                           1 << 20);
   }
   void TearDown() override {
@@ -34,7 +35,7 @@ class SaverRoundTripSweep : public ::testing::TestWithParam<SweepParam> {
 
   ModelConfig cfg_;
   std::filesystem::path base_;
-  std::unique_ptr<ChunkStore> store_;
+  std::unique_ptr<FileBackend> store_;
 };
 
 TEST_P(SaverRoundTripSweep, ExactRoundTrip) {
