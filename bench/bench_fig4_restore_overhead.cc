@@ -3,6 +3,9 @@
 // Setup follows the paper: L-Eval trace, Llama2-7B/13B on one A100 + 4 SSDs, OPT-30B on
 // 4x A100 (TP) with one SSD each. Paper: recomputation is 20.0-26.0x slower than ideal,
 // KV offload 6.5-13.0x.
+//
+// Results are also persisted to BENCH_fig4.json (per model/method TTFT mean, p50, and
+// slowdown vs ideal) so CI can archive the trajectory.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -12,7 +15,7 @@ using namespace hcache;
 
 namespace {
 
-void RunModel(const ModelConfig& cfg, const Platform& platform) {
+void RunModel(const ModelConfig& cfg, const Platform& platform, JsonValue& rows) {
   LEvalGenerator gen(404);
   const auto trace = gen.MixedTrace(100);
 
@@ -30,6 +33,14 @@ void RunModel(const ModelConfig& cfg, const Platform& platform) {
     }
     std::printf("  %-11s TTFT mean %7.3f s  p50 %7.3f s   (%.1fx ideal)\n",
                 RestoreMethodName(method), mean, rep.ttft.Median(), mean / ideal_mean);
+    JsonValue row = JsonValue::Object();
+    row.Set("model", cfg.name)
+        .Set("platform", platform.Describe())
+        .Set("method", RestoreMethodName(method))
+        .Set("ttft_mean_s", mean)
+        .Set("ttft_p50_s", rep.ttft.Median())
+        .Set("slowdown_vs_ideal", mean / ideal_mean);
+    rows.Push(std::move(row));
   }
 }
 
@@ -37,9 +48,16 @@ void RunModel(const ModelConfig& cfg, const Platform& platform) {
 
 int main() {
   PrintTitle("Figure 4: comparison of state restoration overhead (L-Eval)");
-  RunModel(ModelConfig::Llama2_7B(), Platform::DefaultTestbed(1, 4));
-  RunModel(ModelConfig::Llama2_13B(), Platform::DefaultTestbed(1, 4));
-  RunModel(ModelConfig::Opt30B(), Platform::DefaultTestbed(4, 4));
+  JsonValue rows = JsonValue::Array();
+  RunModel(ModelConfig::Llama2_7B(), Platform::DefaultTestbed(1, 4), rows);
+  RunModel(ModelConfig::Llama2_13B(), Platform::DefaultTestbed(1, 4), rows);
+  RunModel(ModelConfig::Opt30B(), Platform::DefaultTestbed(4, 4), rows);
   PrintNote("recomputation 20.0-26.0x slower than ideal; KV offload 6.5-13.0x (Fig 4).");
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", "fig4_restore_overhead")
+      .Set("paper_note", "recompute 20.0-26.0x ideal; KV offload 6.5-13.0x")
+      .Set("rows", std::move(rows));
+  WriteJsonFile("BENCH_fig4.json", doc);
   return 0;
 }

@@ -1,11 +1,13 @@
 // Fixed-size worker pool used by the two-stage state saver (§4.2.2 of the paper uses 8
-// background host threads to assemble and flush chunks) and by tests that exercise
-// concurrent chunk-store access.
+// background host threads to assemble and flush chunks), by the restore pipeline to
+// overlap chunk reads with projection, and — through ParallelFor — by every compute
+// kernel in the functional plane (GEMM, RoPE, softmax, attention).
 #ifndef HCACHE_SRC_COMMON_THREAD_POOL_H_
 #define HCACHE_SRC_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -29,8 +31,33 @@ class ThreadPool {
   // Blocks until every submitted task has finished executing.
   void Drain();
 
+  // Work-sharing loop: invokes `fn(lo, hi)` over disjoint subranges that exactly cover
+  // [begin, end), each at most `grain` long and aligned to multiples of `grain` from
+  // `begin`. Subranges run concurrently on the pool workers AND the calling thread
+  // (which also consumes subranges, so nested ParallelFor on the same pool cannot
+  // deadlock). Returns once every subrange has finished. An empty range returns
+  // immediately without invoking `fn`; a range that fits in one grain (or a 1-thread
+  // pool) runs fn(begin, end) inline on the caller. The first exception thrown by `fn`
+  // is rethrown on the caller after all subranges complete; worker threads and Drain()
+  // are unaffected.
+  //
+  // Determinism: the subrange boundaries depend only on (begin, end, grain) — never on
+  // the thread count or scheduling — so kernels whose per-element reduction order is
+  // independent of the partitioning produce bit-identical results at any thread count.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
   size_t num_threads() const { return workers_.size(); }
   size_t pending() const;
+
+  // Process-wide pool for compute kernels, sized from HCACHE_NUM_THREADS (falling back
+  // to std::thread::hardware_concurrency). Constructed on first use.
+  static ThreadPool& Shared();
+
+  // Rebuilds the shared pool with `n` threads (bench/test hook for measuring scaling
+  // and for serial-vs-parallel bit-exactness checks). Must not race with kernels that
+  // are concurrently using the shared pool.
+  static void ResizeShared(size_t n);
 
  private:
   void WorkerLoop();
@@ -43,6 +70,22 @@ class ThreadPool {
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
 };
+
+// Shorthand used by the tensor/model kernels: work-share [begin, end) on the shared
+// pool. See ThreadPool::ParallelFor for the contract. A range that fits in one grain
+// runs inline without touching the shared pool (no mutex, no std::function), keeping
+// the decode path (1-row tensors) as cheap as the old serial loops.
+template <typename Fn>
+inline void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  if (end <= begin) {
+    return;
+  }
+  if (end - begin <= grain) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool::Shared().ParallelFor(begin, end, grain, fn);
+}
 
 }  // namespace hcache
 

@@ -1,7 +1,9 @@
 #include "src/core/functional_engine.h"
 
 #include <cstring>
+#include <future>
 #include <numeric>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -156,18 +158,68 @@ bool FunctionalHCache::RestoreContext(int64_t context_id, const PartitionScheme&
   std::iota(positions.begin(), positions.end(), 0);
   const HiddenStateReader reader(store_, cfg, chunk_tokens_);
 
+  // Restoration is a two-stream pipeline, mirroring the paper's dedicated transmission
+  // and computation streams: while the caller projects layer i's hidden states into
+  // K/V (compute stream), the flush pool is already reading layer i+1's chunks from
+  // the backend (transmission stream). Each step consumes data loaded one step ahead,
+  // so file/tiered I/O overlaps the projection GEMMs instead of serializing with them.
+  // KV-offloaded layers join the same pipeline: their chunk reads prefetch behind the
+  // last projections. Without a flush pool the plan degrades to the serial loads the
+  // engine always performed — the bytes and math are identical either way.
+  struct LayerState {
+    int64_t layer = 0;
+    bool from_hidden = false;
+    Tensor hidden;  // from_hidden: the layer's saved input activations
+    Tensor k, v;    // !from_hidden: the layer's offloaded KV rows
+  };
+  std::vector<LayerState> plan;
   for (int64_t layer = first_hidden; layer < first_hidden + scheme.layers_hidden; ++layer) {
-    const Tensor hidden = reader.ReadLayer(context_id, layer, n);
-    Tensor k, v;
-    model_->RestoreLayerKv(layer, hidden, positions.data(), &k, &v);
-    seq->WriteKv(layer, 0, k, v);
+    plan.push_back({layer, /*from_hidden=*/true, {}, {}, {}});
   }
-
   if (scheme.complement == ComplementMethod::kKvOffload) {
     for (int64_t layer = scheme.layers_hidden; layer < nl; ++layer) {
+      plan.push_back({layer, /*from_hidden=*/false, {}, {}, {}});
+    }
+  }
+
+  auto load = [&](LayerState& entry) {
+    if (entry.from_hidden) {
+      entry.hidden = reader.ReadLayer(context_id, entry.layer, n);
+    } else {
+      LoadKvLayer(context_id, entry.layer, n, &entry.k, &entry.v);
+    }
+  };
+  auto submit_load = [&](LayerState& entry) {
+    auto done = std::make_shared<std::promise<void>>();
+    std::future<void> fut = done->get_future();
+    flush_pool_->Submit([&entry, &load, done] {
+      load(entry);
+      done->set_value();
+    });
+    return fut;
+  };
+
+  std::future<void> next_loaded;
+  if (flush_pool_ != nullptr && !plan.empty()) {
+    next_loaded = submit_load(plan.front());
+  }
+  for (size_t idx = 0; idx < plan.size(); ++idx) {
+    LayerState& entry = plan[idx];
+    if (next_loaded.valid()) {
+      next_loaded.get();  // wait for this layer's read...
+      if (idx + 1 < plan.size()) {
+        next_loaded = submit_load(plan[idx + 1]);  // ...and start the next one now
+      }
+    } else {
+      load(entry);
+    }
+    if (entry.from_hidden) {
       Tensor k, v;
-      LoadKvLayer(context_id, layer, n, &k, &v);
-      seq->WriteKv(layer, 0, k, v);
+      model_->RestoreLayerKv(entry.layer, entry.hidden, positions.data(), &k, &v);
+      seq->WriteKv(entry.layer, 0, k, v);
+      entry.hidden = Tensor();  // release the staged activations early
+    } else {
+      seq->WriteKv(entry.layer, 0, entry.k, entry.v);
     }
   }
   return true;

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <utility>
 
+#include "src/common/thread_pool.h"
 #include "src/tensor/gemm.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/rope.h"
@@ -91,39 +92,45 @@ Tensor Transformer::Attention(int64_t layer, const Tensor& q, const PagedKvSeque
   const bool alibi = cfg.position == PositionKind::kAlibi;
 
   Tensor out({n, cfg.hidden_dim});
-  std::vector<float> scores;
-  for (int64_t i = 0; i < n; ++i) {
-    const int64_t causal_len = positions[i] + 1;  // attends to absolute 0..pos inclusive
-    scores.resize(static_cast<size_t>(causal_len));
-    for (int64_t h = 0; h < num_heads; ++h) {
-      const float* q_head = q.row(i) + h * head_dim;
-      const int64_t kv_head_off = (h / group) * head_dim;
-      const float slope = alibi ? AlibiSlope(h) : 0.0f;
-      for (int64_t j = 0; j < causal_len; ++j) {
-        const float* k_row = seq.KeyRow(layer, j) + kv_head_off;
-        float dot = 0.0f;
-        for (int64_t d = 0; d < head_dim; ++d) {
-          dot += q_head[d] * k_row[d];
+  // Every (token, head) pair reads shared K/V but writes only its own slice of `out`,
+  // so tokens parallelize freely; each token's math is untouched, keeping the output
+  // bit-identical to the serial loop at any thread count. Later tokens attend over
+  // longer prefixes, so a fine grain (1 token) load-balances the causal skew.
+  ParallelFor(0, n, 1, [&](int64_t i0, int64_t i1) {
+    thread_local std::vector<float> scores;  // reused across tokens within each thread
+    for (int64_t i = i0; i < i1; ++i) {
+      const int64_t causal_len = positions[i] + 1;  // attends to absolute 0..pos inclusive
+      scores.resize(static_cast<size_t>(causal_len));
+      for (int64_t h = 0; h < num_heads; ++h) {
+        const float* q_head = q.row(i) + h * head_dim;
+        const int64_t kv_head_off = (h / group) * head_dim;
+        const float slope = alibi ? AlibiSlope(h) : 0.0f;
+        for (int64_t j = 0; j < causal_len; ++j) {
+          const float* k_row = seq.KeyRow(layer, j) + kv_head_off;
+          float dot = 0.0f;
+          for (int64_t d = 0; d < head_dim; ++d) {
+            dot += q_head[d] * k_row[d];
+          }
+          float s = dot * scale;
+          if (alibi) {
+            // Linear distance penalty on the score; K stays position-free, which is why
+            // ALiBi models restore with a bare projection.
+            s -= slope * static_cast<float>(positions[i] - static_cast<int32_t>(j));
+          }
+          scores[static_cast<size_t>(j)] = s;
         }
-        float s = dot * scale;
-        if (alibi) {
-          // Linear distance penalty on the score; K stays position-free, which is why
-          // ALiBi models restore with a bare projection.
-          s -= slope * static_cast<float>(positions[i] - static_cast<int32_t>(j));
-        }
-        scores[static_cast<size_t>(j)] = s;
-      }
-      SoftmaxRow(scores.data(), causal_len);
-      float* out_head = out.row(i) + h * head_dim;
-      for (int64_t j = 0; j < causal_len; ++j) {
-        const float a = scores[static_cast<size_t>(j)];
-        const float* v_row = seq.ValueRow(layer, j) + kv_head_off;
-        for (int64_t d = 0; d < head_dim; ++d) {
-          out_head[d] += a * v_row[d];
+        SoftmaxRow(scores.data(), causal_len);
+        float* out_head = out.row(i) + h * head_dim;
+        for (int64_t j = 0; j < causal_len; ++j) {
+          const float a = scores[static_cast<size_t>(j)];
+          const float* v_row = seq.ValueRow(layer, j) + kv_head_off;
+          for (int64_t d = 0; d < head_dim; ++d) {
+            out_head[d] += a * v_row[d];
+          }
         }
       }
     }
-  }
+  });
   return out;
 }
 

@@ -2,38 +2,180 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
+
+#include "src/common/thread_pool.h"
 
 namespace hcache {
 
 namespace {
 
-// Block sizes chosen so one A-panel + B-panel fit in L1/L2 on typical x86 cores.
-constexpr int64_t kBlockM = 64;
-constexpr int64_t kBlockK = 256;
-constexpr int64_t kBlockN = 256;
+// BLIS-style cache blocking: a kKc x kNc B-panel (~256 KiB) stays L2-resident while a
+// kMc x kKc A-block (~64 KiB) streams through L1. The register tile is kMr x kNr
+// (4 x 16 floats = one 4x16 accumulator block the compiler keeps in vector registers).
+constexpr int64_t kMc = 64;
+constexpr int64_t kKc = 256;
+constexpr int64_t kNc = 256;
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 16;
 
-}  // namespace
+// Below this many multiply-adds, skip the shared pool entirely — decode-phase matmuls
+// (m == 1) are latency-sensitive and the packing + dispatch overhead dominates.
+constexpr int64_t kParallelWorkThreshold = 1 << 16;
 
-void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
-            bool accumulate) {
-  if (!accumulate) {
-    std::memset(c, 0, static_cast<size_t>(m) * static_cast<size_t>(n) * sizeof(float));
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Packs the mc x kc block of A starting at `a` (row-major, leading dimension lda) into
+// kMr-row strips: ap[strip][p * kMr + r] = A[strip * kMr + r][p]. Rows past mc are
+// zero-filled so the microkernel always runs a full kMr x kNr tile; the padded rows'
+// outputs are simply never stored.
+void PackA(const float* a, int64_t lda, int64_t mc, int64_t kc, float* ap) {
+  for (int64_t i0 = 0; i0 < mc; i0 += kMr) {
+    const int64_t rows = std::min(kMr, mc - i0);
+    for (int64_t p = 0; p < kc; ++p) {
+      for (int64_t r = 0; r < rows; ++r) {
+        ap[p * kMr + r] = a[(i0 + r) * lda + p];
+      }
+      for (int64_t r = rows; r < kMr; ++r) {
+        ap[p * kMr + r] = 0.0f;
+      }
+    }
+    ap += kc * kMr;
   }
-  for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const int64_t i_end = std::min(i0 + kBlockM, m);
-    for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const int64_t p_end = std::min(p0 + kBlockK, k);
-      for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const int64_t j_end = std::min(j0 + kBlockN, n);
-        for (int64_t i = i0; i < i_end; ++i) {
-          const float* a_row = a + i * k;
-          float* c_row = c + i * n;
-          for (int64_t p = p0; p < p_end; ++p) {
-            const float a_ip = a_row[p];
-            const float* b_row = b + p * n;
-            for (int64_t j = j0; j < j_end; ++j) {
-              c_row[j] += a_ip * b_row[j];
-            }
+}
+
+// Packs the kc x nc block of op(B) with top-left element (p0, j0) into kNr-column
+// strips: bp[strip][p * kNr + j] = op(B)[p0 + p][j0 + strip * kNr + j]. For GemmNN,
+// op(B) = B is row-major [k, n] (ldb == n); for GemmNT, op(B) = B^T where B is
+// row-major [n, k] (ldb == k). Columns past nc are zero-filled.
+template <bool kTransposed>
+void PackB(const float* b, int64_t ldb, int64_t p0, int64_t j0, int64_t kc, int64_t nc,
+           float* bp) {
+  for (int64_t jc = 0; jc < nc; jc += kNr) {
+    const int64_t cols = std::min(kNr, nc - jc);
+    for (int64_t p = 0; p < kc; ++p) {
+      float* dst = bp + p * kNr;
+      if constexpr (kTransposed) {
+        for (int64_t j = 0; j < cols; ++j) {
+          dst[j] = b[(j0 + jc + j) * ldb + (p0 + p)];
+        }
+      } else {
+        const float* src = b + (p0 + p) * ldb + j0 + jc;
+        for (int64_t j = 0; j < cols; ++j) {
+          dst[j] = src[j];
+        }
+      }
+      for (int64_t j = cols; j < kNr; ++j) {
+        dst[j] = 0.0f;
+      }
+    }
+    bp += kc * kNr;
+  }
+}
+
+// Register-tiled inner kernel: accumulates a full kMr x kNr tile over kc in local
+// accumulators, then stores the mr x nr valid region. The k-loop body is one
+// fixed-trip-count j-loop with the four A rows unrolled by hand — the shape GCC's
+// vectorizer reliably turns into four independent fma streams over kNr lanes.
+// `assign` overwrites C (first k-block of a non-accumulating GEMM); otherwise the tile
+// sum is added — so per element C[i][j] receives its k-partial sums in a fixed order
+// that depends only on the k blocking, never on the m/n partitioning or thread count.
+static_assert(kMr == 4, "the microkernel unrolls up to four A rows");
+
+// MR is the number of live A rows in the tile (1..kMr); rows past MR are the zero
+// padding PackA added and their accumulators are never materialized, so a 1-row GEMM
+// (decode, GEMV shape) does 1/4 of the tile work. Each surviving lane's chain
+// `acc_r[j] += a_r * b_j` is textually identical in every instantiation, keeping the
+// result bit-independent of which MR the tile geometry selects.
+template <int MR>
+void MicroKernelImpl(const float* ap, const float* bp, int64_t kc, float* c, int64_t ldc,
+                     int64_t mr, int64_t nr, bool assign) {
+  float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* a_col = ap + p * kMr;
+    const float* b_row = bp + p * kNr;
+    const float a0 = a_col[0];
+    const float a1 = MR > 1 ? a_col[1] : 0.0f;
+    const float a2 = MR > 2 ? a_col[2] : 0.0f;
+    const float a3 = MR > 3 ? a_col[3] : 0.0f;
+    for (int64_t j = 0; j < kNr; ++j) {
+      const float bj = b_row[j];
+      acc0[j] += a0 * bj;
+      if constexpr (MR > 1) acc1[j] += a1 * bj;
+      if constexpr (MR > 2) acc2[j] += a2 * bj;
+      if constexpr (MR > 3) acc3[j] += a3 * bj;
+    }
+  }
+  float* const rows[kMr] = {acc0, acc1, acc2, acc3};
+  if (nr == kNr) {  // full-width tile: fixed-bound stores
+    for (int64_t r = 0; r < mr; ++r) {
+      float* c_row = c + r * ldc;
+      const float* acc = rows[r];
+      if (assign) {
+        for (int64_t j = 0; j < kNr; ++j) {
+          c_row[j] = acc[j];
+        }
+      } else {
+        for (int64_t j = 0; j < kNr; ++j) {
+          c_row[j] += acc[j];
+        }
+      }
+    }
+    return;
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    float* c_row = c + r * ldc;
+    const float* acc = rows[r];
+    if (assign) {
+      for (int64_t j = 0; j < nr; ++j) {
+        c_row[j] = acc[j];
+      }
+    } else {
+      for (int64_t j = 0; j < nr; ++j) {
+        c_row[j] += acc[j];
+      }
+    }
+  }
+}
+
+void MicroKernel(const float* ap, const float* bp, int64_t kc, float* c, int64_t ldc,
+                 int64_t mr, int64_t nr, bool assign) {
+  switch (mr) {
+    case 1: MicroKernelImpl<1>(ap, bp, kc, c, ldc, mr, nr, assign); break;
+    case 2: MicroKernelImpl<2>(ap, bp, kc, c, ldc, mr, nr, assign); break;
+    case 3: MicroKernelImpl<3>(ap, bp, kc, c, ldc, mr, nr, assign); break;
+    default: MicroKernelImpl<4>(ap, bp, kc, c, ldc, mr, nr, assign); break;
+  }
+}
+
+// Computes rows [r0, r1) x cols [c0, c1) of C = A * op(B) (+ C when accumulate) with
+// packed panels, serially. Each output element's reduction runs over k in kKc blocks
+// in ascending order with a fixed intra-block order, so results are bitwise identical
+// no matter how the row/column ranges are partitioned across calls.
+template <bool kTransposed>
+void GemmSlab(const float* a, const float* b, float* c, int64_t k, int64_t ldb,
+              int64_t ldc, int64_t r0, int64_t r1, int64_t c0, int64_t c1,
+              bool accumulate) {
+  thread_local std::vector<float> a_pack;
+  thread_local std::vector<float> b_pack;
+  a_pack.resize(static_cast<size_t>(CeilDiv(kMc, kMr) * kMr * kKc));
+  b_pack.resize(static_cast<size_t>(CeilDiv(kNc, kNr) * kNr * kKc));
+
+  for (int64_t jc = c0; jc < c1; jc += kNc) {
+    const int64_t nc = std::min(kNc, c1 - jc);
+    for (int64_t pc = 0; pc < k; pc += kKc) {
+      const int64_t kc = std::min(kKc, k - pc);
+      PackB<kTransposed>(b, ldb, pc, jc, kc, nc, b_pack.data());
+      const bool assign = !accumulate && pc == 0;
+      for (int64_t ic = r0; ic < r1; ic += kMc) {
+        const int64_t mc = std::min(kMc, r1 - ic);
+        PackA(a + ic * k + pc, k, mc, kc, a_pack.data());
+        for (int64_t jr = 0; jr < nc; jr += kNr) {
+          const float* bp = b_pack.data() + (jr / kNr) * kc * kNr;
+          for (int64_t ir = 0; ir < mc; ir += kMr) {
+            MicroKernel(a_pack.data() + (ir / kMr) * kc * kMr, bp, kc,
+                        c + (ic + ir) * ldc + jc + jr, ldc, std::min(kMr, mc - ir),
+                        std::min(kNr, nc - jr), assign);
           }
         }
       }
@@ -41,22 +183,48 @@ void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int6
   }
 }
 
+// Shared driver: picks the parallel dimension (rows vs columns, whichever has more
+// cache blocks) and work-shares grain-aligned slabs on the shared pool. The slab
+// boundaries never affect per-element reduction order, so any thread count produces
+// bit-identical output.
+template <bool kTransposed>
+void GemmDriver(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+                bool accumulate) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  const int64_t ldb = kTransposed ? k : n;
+  if (k <= 0) {
+    if (!accumulate) {
+      std::memset(c, 0, static_cast<size_t>(m) * static_cast<size_t>(n) * sizeof(float));
+    }
+    return;
+  }
+  if (m * n * k < kParallelWorkThreshold) {
+    GemmSlab<kTransposed>(a, b, c, k, ldb, n, 0, m, 0, n, accumulate);
+    return;
+  }
+  if (CeilDiv(m, kMc) >= CeilDiv(n, kNc)) {
+    ParallelFor(0, m, kMc, [&](int64_t r0, int64_t r1) {
+      GemmSlab<kTransposed>(a, b, c, k, ldb, n, r0, r1, 0, n, accumulate);
+    });
+  } else {
+    ParallelFor(0, n, kNc, [&](int64_t c0, int64_t c1) {
+      GemmSlab<kTransposed>(a, b, c, k, ldb, n, 0, m, c0, c1, accumulate);
+    });
+  }
+}
+
+}  // namespace
+
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+            bool accumulate) {
+  GemmDriver<false>(a, b, c, m, k, n, accumulate);
+}
+
 void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
             bool accumulate) {
-  // Dot-product formulation: rows of A against rows of B. Both operands stream
-  // sequentially, so no packing is needed for the sizes used here.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* b_row = b + j * k;
-      float acc = accumulate ? c_row[j] : 0.0f;
-      for (int64_t p = 0; p < k; ++p) {
-        acc += a_row[p] * b_row[p];
-      }
-      c_row[j] = acc;
-    }
-  }
+  GemmDriver<true>(a, b, c, m, k, n, accumulate);
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {

@@ -4,7 +4,35 @@
 #include <numeric>
 #include <vector>
 
+#include "src/common/thread_pool.h"
+
 namespace hcache {
+
+namespace {
+
+// Tokens per ParallelFor subrange: each token costs num_heads * head_dim trig ops, so
+// a handful of tokens is already enough work to amortize dispatch.
+constexpr int64_t kRopeGrainTokens = 8;
+
+void RopeRow(float* row, float pos, int64_t num_heads, int64_t head_dim, int64_t half,
+             float theta_base) {
+  for (int64_t h = 0; h < num_heads; ++h) {
+    float* head = row + h * head_dim;
+    for (int64_t i = 0; i < half; ++i) {
+      const float freq =
+          std::pow(theta_base, -2.0f * static_cast<float>(i) / static_cast<float>(head_dim));
+      const float angle = pos * freq;
+      const float cos_a = std::cos(angle);
+      const float sin_a = std::sin(angle);
+      const float a = head[2 * i];
+      const float b = head[2 * i + 1];
+      head[2 * i] = a * cos_a - b * sin_a;
+      head[2 * i + 1] = a * sin_a + b * cos_a;
+    }
+  }
+}
+
+}  // namespace
 
 void ApplyRope(Tensor& x, const int32_t* positions, int64_t num_heads, int64_t head_dim,
                float theta_base) {
@@ -12,24 +40,14 @@ void ApplyRope(Tensor& x, const int32_t* positions, int64_t num_heads, int64_t h
   CHECK_EQ(x.dim(1), num_heads * head_dim);
   CHECK_EQ(head_dim % 2, 0);
   const int64_t half = head_dim / 2;
-  for (int64_t t = 0; t < x.dim(0); ++t) {
-    float* row = x.row(t);
-    const float pos = static_cast<float>(positions[t]);
-    for (int64_t h = 0; h < num_heads; ++h) {
-      float* head = row + h * head_dim;
-      for (int64_t i = 0; i < half; ++i) {
-        const float freq =
-            std::pow(theta_base, -2.0f * static_cast<float>(i) / static_cast<float>(head_dim));
-        const float angle = pos * freq;
-        const float cos_a = std::cos(angle);
-        const float sin_a = std::sin(angle);
-        const float a = head[2 * i];
-        const float b = head[2 * i + 1];
-        head[2 * i] = a * cos_a - b * sin_a;
-        head[2 * i + 1] = a * sin_a + b * cos_a;
-      }
+  // Rows are independent (each token's rotation touches only its own row), so the
+  // token partitioning cannot change any result bit.
+  ParallelFor(0, x.dim(0), kRopeGrainTokens, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      RopeRow(x.row(t), static_cast<float>(positions[t]), num_heads, head_dim, half,
+              theta_base);
     }
-  }
+  });
 }
 
 void ApplyRopeContiguous(Tensor& x, int32_t start_pos, int64_t num_heads, int64_t head_dim,

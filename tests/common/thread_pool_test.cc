@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 namespace hcache {
 namespace {
@@ -61,6 +63,97 @@ TEST(ThreadPoolTest, DestructorCompletesQueuedWork) {
     // No Drain: destructor must still run every queued task before joining.
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  // Odd range and grain so the last chunk is ragged.
+  constexpr int64_t kBegin = 3, kEnd = 1003, kGrain = 7;
+  std::vector<std::atomic<int>> hits(kEnd);
+  for (auto& h : hits) {
+    h.store(0);
+  }
+  pool.ParallelFor(kBegin, kEnd, kGrain, [&](int64_t lo, int64_t hi) {
+    EXPECT_LT(lo, hi);
+    EXPECT_LE(hi - lo, kGrain);
+    // Chunk boundaries are grain-aligned from `begin`.
+    EXPECT_EQ((lo - kBegin) % kGrain, 0);
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (int64_t i = 0; i < kEnd; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), i >= kBegin ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  pool.ParallelFor(9, 3, 4, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsInlineOnce) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> calls{0};
+  pool.ParallelFor(10, 14, 100, [&](int64_t lo, int64_t hi) {
+    calls.fetch_add(1);
+    EXPECT_EQ(lo, 10);
+    EXPECT_EQ(hi, 14);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesWithoutDeadlockingDrain) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(0, 64, 1,
+                                [&](int64_t lo, int64_t) {
+                                  ran.fetch_add(1);
+                                  if (lo == 17) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 64);  // every subrange still executed exactly once
+  // The pool must remain fully usable: Submit + Drain cannot deadlock on the tasks
+  // that raced with the failing loop.
+  std::atomic<int> after{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&after] { after.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(after.load(), 10);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ParallelForTest, NestedOnSamePoolCompletes) {
+  ThreadPool pool(2);
+  // A worker running an outer subrange starts an inner loop on the same pool; caller
+  // participation guarantees progress even with every worker busy.
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(0, 4, 1, [&](int64_t, int64_t) {
+    pool.ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+      inner_total.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ParallelForTest, SharedPoolResizes) {
+  ThreadPool::ResizeShared(3);
+  EXPECT_EQ(ThreadPool::Shared().num_threads(), 3u);
+  std::atomic<int> count{0};
+  ParallelFor(0, 100, 10, [&](int64_t lo, int64_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 100);
+  ThreadPool::ResizeShared(2);
+  EXPECT_EQ(ThreadPool::Shared().num_threads(), 2u);
 }
 
 TEST(ThreadPoolTest, ConcurrentProducers) {

@@ -1,0 +1,182 @@
+// The pipelined restore path (chunk reads for layer i+1 prefetched on the flush pool
+// while layer i is projected) must be invisible in the bits: for every StorageBackend,
+// RestoreContext with a flush pool lands KV identical to the serial engine (no pool)
+// and to the never-evicted reference — including when a missing chunk forces the
+// fallback-to-recompute path.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/core/functional_engine.h"
+#include "src/storage/file_backend.h"
+#include "src/storage/memory_backend.h"
+#include "src/storage/tiered_backend.h"
+
+namespace hcache {
+namespace {
+
+class RestorePipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_ = ModelConfig::TinyLlama(4, 32, 2);
+    base_ = std::filesystem::temp_directory_path() /
+            ("hcache_pipeline_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    weights_ = std::make_unique<ModelWeights>(ModelWeights::Random(cfg_, 31));
+    model_ = std::make_unique<Transformer>(weights_.get());
+    pool_ = std::make_unique<KvBlockPool>(KvPoolConfig::ForModel(cfg_, 64, 12));
+    flush_pool_ = std::make_unique<ThreadPool>(3);
+  }
+  void TearDown() override {
+    flush_pool_.reset();
+    std::filesystem::remove_all(base_);
+  }
+
+  std::vector<int32_t> RandomTokens(int64_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<int32_t> t(static_cast<size_t>(n));
+    for (auto& x : t) {
+      x = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(cfg_.vocab_size)));
+    }
+    return t;
+  }
+
+  PartitionScheme Scheme(int64_t lh, ComplementMethod c) {
+    PartitionScheme s;
+    s.layers_hidden = lh;
+    s.layers_other = cfg_.num_layers - lh;
+    s.complement = c;
+    return s;
+  }
+
+  void ExpectKvEqual(const PagedKvSequence& a, const PagedKvSequence& b) {
+    ASSERT_EQ(a.num_tokens(), b.num_tokens());
+    for (int64_t layer = 0; layer < cfg_.num_layers; ++layer) {
+      Tensor ka, va, kb, vb;
+      a.ReadKv(layer, 0, a.num_tokens(), &ka, &va);
+      b.ReadKv(layer, 0, b.num_tokens(), &kb, &vb);
+      EXPECT_TRUE(Tensor::BitwiseEqual(ka, kb)) << "K layer " << layer;
+      EXPECT_TRUE(Tensor::BitwiseEqual(va, vb)) << "V layer " << layer;
+    }
+  }
+
+  // Builds each backend fresh; index 0 = file, 1 = memory, 2 = tiered-over-file.
+  std::unique_ptr<StorageBackend> MakeBackend(int which) {
+    const auto dirs = std::vector<std::string>{
+        (base_ / ("d" + std::to_string(which) + "a")).string(),
+        (base_ / ("d" + std::to_string(which) + "b")).string()};
+    switch (which) {
+      case 0:
+        return std::make_unique<FileBackend>(dirs, /*chunk_bytes=*/1 << 20);
+      case 1:
+        return std::make_unique<MemoryBackend>(/*chunk_bytes=*/1 << 20);
+      default: {
+        cold_ = std::make_unique<FileBackend>(dirs, /*chunk_bytes=*/1 << 20);
+        // Budget of two 8-token chunks so reads also exercise the cold tier.
+        return std::make_unique<TieredBackend>(
+            cold_.get(), 2 * 8 * cfg_.hidden_dim * static_cast<int64_t>(sizeof(float)));
+      }
+    }
+  }
+
+  ModelConfig cfg_;
+  std::filesystem::path base_;
+  std::unique_ptr<ModelWeights> weights_;
+  std::unique_ptr<Transformer> model_;
+  std::unique_ptr<KvBlockPool> pool_;
+  std::unique_ptr<ThreadPool> flush_pool_;
+  std::unique_ptr<FileBackend> cold_;
+};
+
+TEST_F(RestorePipelineTest, PipelinedRestoreMatchesSerialEngineOnEveryBackend) {
+  const auto prompt = RandomTokens(26, 1);
+  PagedKvSequence ref(pool_.get());
+  model_->Forward(prompt, &ref);
+
+  for (int which = 0; which < 3; ++which) {
+    auto store = MakeBackend(which);
+    SCOPED_TRACE(store->Name());
+    // One shared store, two engines: `piped` prefetches reads on the flush pool,
+    // `serial` (null pool) loads layer by layer.
+    FunctionalHCache piped(model_.get(), store.get(), flush_pool_.get(),
+                           /*chunk_tokens=*/8);
+    FunctionalHCache serial(model_.get(), store.get(), /*flush_pool=*/nullptr,
+                            /*chunk_tokens=*/8);
+    const int64_t ctx = 10 + which;
+
+    PagedKvSequence seq(pool_.get());
+    model_->Forward(prompt, &seq, piped.BeginCapture(ctx));
+    piped.SealContext(ctx);
+    // Offload the last layer's KV so the pipeline crosses the hidden->KV boundary.
+    const PartitionScheme s = Scheme(cfg_.num_layers - 1, ComplementMethod::kKvOffload);
+    piped.SaveKvLayers(ctx, seq, {cfg_.num_layers - 1});
+    seq.Evict();
+
+    ASSERT_TRUE(piped.RestoreContext(ctx, s, {}, &seq));
+    ExpectKvEqual(ref, seq);
+
+    PagedKvSequence seq2(pool_.get());
+    model_->Forward(prompt, &seq2);
+    seq2.Evict();
+    ASSERT_TRUE(serial.RestoreContext(ctx, s, {}, &seq2));
+    ExpectKvEqual(seq, seq2);
+
+    seq.Evict();
+    seq2.Evict();
+  }
+}
+
+TEST_F(RestorePipelineTest, PipelinedRecomputeComplementMatchesReference) {
+  const auto prompt = RandomTokens(19, 2);
+  PagedKvSequence ref(pool_.get());
+  model_->Forward(prompt, &ref);
+
+  auto store = MakeBackend(0);
+  FunctionalHCache engine(model_.get(), store.get(), flush_pool_.get(),
+                          /*chunk_tokens=*/8);
+  PagedKvSequence seq(pool_.get());
+  model_->Forward(prompt, &seq, engine.BeginCapture(1));
+  engine.SealContext(1);
+  seq.Evict();
+  ASSERT_TRUE(
+      engine.RestoreContext(1, Scheme(2, ComplementMethod::kRecompute), prompt, &seq));
+  ExpectKvEqual(ref, seq);
+}
+
+TEST_F(RestorePipelineTest, MissingKvChunkFallsBackToRecomputeOnEveryBackend) {
+  const auto prompt = RandomTokens(22, 3);
+  PagedKvSequence ref(pool_.get());
+  model_->Forward(prompt, &ref);
+
+  for (int which = 0; which < 3; ++which) {
+    auto store = MakeBackend(which);
+    SCOPED_TRACE(store->Name());
+    FunctionalHCache engine(model_.get(), store.get(), flush_pool_.get(),
+                            /*chunk_tokens=*/8);
+    const int64_t ctx = 20 + which;
+
+    PagedKvSequence seq(pool_.get());
+    model_->Forward(prompt, &seq, engine.BeginCapture(ctx));
+    engine.SealContext(ctx);
+    // A KV-offload scheme whose KV chunks were never saved: the restore must refuse
+    // (leaving the sequence evicted) rather than land partial state.
+    const PartitionScheme s = Scheme(2, ComplementMethod::kKvOffload);
+    seq.Evict();
+    EXPECT_FALSE(engine.CanRestore(ctx, s, seq.num_tokens()));
+    EXPECT_FALSE(engine.RestoreContext(ctx, s, {}, &seq));
+    EXPECT_FALSE(seq.has_kv());
+    EXPECT_EQ(seq.num_tokens(), 22);
+
+    // Fallback: full recomputation from the raw tokens still restores exactly.
+    ASSERT_TRUE(engine.RestoreContext(ctx, Scheme(0, ComplementMethod::kRecompute),
+                                      prompt, &seq));
+    ExpectKvEqual(ref, seq);
+    seq.Evict();
+  }
+}
+
+}  // namespace
+}  // namespace hcache
