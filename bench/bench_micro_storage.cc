@@ -1,15 +1,27 @@
 // Microbenchmarks (google-benchmark) for the real storage path: chunk writes and
-// reads swept across every StorageBackend (file / memory / tiered), the two-stage
-// saver's snapshot stage, and full save/restore round trips.
+// reads swept across every StorageBackend (file / memory / tiered), codec encode /
+// decode kernels, the two-stage saver's snapshot stage, and full save/restore round
+// trips.
+//
+// A custom main additionally runs a timed per-codec sweep of the functional
+// save+restore path on every backend and persists the rows (encoded bytes, MB/s,
+// simulated restore TTFT) to BENCH_micro_storage.json — the storage plane's entry in
+// the repo's performance trajectory.
 #include <benchmark/benchmark.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <numeric>
+#include <string>
 
+#include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
+#include "src/core/restorer.h"
+#include "src/storage/codec.h"
 #include "src/storage/file_backend.h"
 #include "src/storage/hidden_saver.h"
 #include "src/storage/memory_backend.h"
@@ -33,6 +45,18 @@ std::vector<std::string> TempDirs(const char* tag, int n) {
 // Backend selector for swept benchmarks: 0 = file, 1 = memory, 2 = tiered
 // (DRAM budget of 64 chunks over a file cold tier, so steady-state writes evict).
 enum BackendKind : int64_t { kFile = 0, kMemory = 1, kTiered = 2 };
+
+const char* BackendKindName(BackendKind k) {
+  switch (k) {
+    case kFile:
+      return "file";
+    case kMemory:
+      return "memory";
+    case kTiered:
+      return "tiered";
+  }
+  return "?";
+}
 
 struct BackendUnderTest {
   std::unique_ptr<StorageBackend> cold;
@@ -110,6 +134,62 @@ BENCHMARK(BM_ChunkRead)
     ->Args({kTiered, 64 * 1024})
     ->Args({kTiered, 512 * 1024});
 
+// Codec convert kernels in isolation: encode / decode one 64-token x 4096 chunk
+// (the Llama2-7B hidden geometry).
+void BM_CodecEncode(benchmark::State& state) {
+  const auto codec = static_cast<ChunkCodec>(state.range(0));
+  const int64_t rows = 64, cols = 4096;
+  Rng rng(1);
+  Tensor src({rows, cols});
+  for (int64_t i = 0; i < src.numel(); ++i) {
+    src.at(i) = static_cast<float>(rng.NextNormal(0, 1));
+  }
+  std::vector<uint8_t> chunk(static_cast<size_t>(EncodedChunkBytes(codec, rows, cols)));
+  for (auto _ : state) {
+    WriteChunkHeader(codec, rows, cols, chunk.data());
+    EncodeRowsInto(codec, src.data(), cols, rows, cols, chunk.data() + sizeof(ChunkHeader));
+    benchmark::DoNotOptimize(chunk.data());
+  }
+  state.SetBytesProcessed(state.iterations() * rows * cols * sizeof(float));
+  state.SetLabel(ChunkCodecName(codec));
+}
+BENCHMARK(BM_CodecEncode)
+    ->ArgNames({"codec"})
+    ->Arg(static_cast<int64_t>(ChunkCodec::kFp32))
+    ->Arg(static_cast<int64_t>(ChunkCodec::kFp16))
+    ->Arg(static_cast<int64_t>(ChunkCodec::kInt8));
+
+void BM_CodecDecode(benchmark::State& state) {
+  const auto codec = static_cast<ChunkCodec>(state.range(0));
+  const int64_t rows = 64, cols = 4096;
+  Rng rng(2);
+  Tensor src({rows, cols});
+  for (int64_t i = 0; i < src.numel(); ++i) {
+    src.at(i) = static_cast<float>(rng.NextNormal(0, 1));
+  }
+  std::vector<uint8_t> chunk(static_cast<size_t>(EncodedChunkBytes(codec, rows, cols)));
+  WriteChunkHeader(codec, rows, cols, chunk.data());
+  EncodeRowsInto(codec, src.data(), cols, rows, cols, chunk.data() + sizeof(ChunkHeader));
+  ChunkInfo info;
+  if (!InspectChunk(chunk.data(), static_cast<int64_t>(chunk.size()), cols, &info)) {
+    state.SkipWithError("inspect failed");
+    return;
+  }
+  Tensor dst({rows, cols});
+  for (auto _ : state) {
+    DecodeChunkRange(chunk.data(), static_cast<int64_t>(chunk.size()), info, 0, rows, 0,
+                     cols, dst.data(), cols);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * rows * cols * sizeof(float));
+  state.SetLabel(ChunkCodecName(codec));
+}
+BENCHMARK(BM_CodecDecode)
+    ->ArgNames({"codec"})
+    ->Arg(static_cast<int64_t>(ChunkCodec::kFp32))
+    ->Arg(static_cast<int64_t>(ChunkCodec::kFp16))
+    ->Arg(static_cast<int64_t>(ChunkCodec::kInt8));
+
 void BM_TieredEvictionChurn(benchmark::State& state) {
   // Worst case for the tiered backend: each context exceeds the DRAM budget, so every
   // round of writes pays context-granular eviction plus write-back to the file tier.
@@ -133,11 +213,12 @@ void BM_TieredEvictionChurn(benchmark::State& state) {
 BENCHMARK(BM_TieredEvictionChurn);
 
 void BM_TwoStageSaveDecodeStep(benchmark::State& state) {
-  // One decode iteration's stage-1 snapshot across all layers of a tiny model.
+  // One decode iteration's stage-1 snapshot (with fused encode) across all layers.
+  const auto codec = static_cast<ChunkCodec>(state.range(0));
   const ModelConfig cfg = ModelConfig::TinyLlama(8, 128, 4);
-  FileBackend store(TempDirs("save", 4), 64 * cfg.hidden_dim * sizeof(float));
+  FileBackend store(TempDirs("save", 4), EncodedChunkBytes(ChunkCodec::kFp32, 64, cfg.hidden_dim));
   ThreadPool pool(4);
-  HiddenStateWriter writer(&store, &pool, cfg, 1, 64);
+  HiddenStateWriter writer(&store, &pool, cfg, 1, 64, codec);
   Tensor row({1, cfg.hidden_dim});
   row.Fill(0.5f);
   int32_t pos = 0;
@@ -149,15 +230,20 @@ void BM_TwoStageSaveDecodeStep(benchmark::State& state) {
   }
   writer.Seal();
   state.SetItemsProcessed(state.iterations() * cfg.num_layers);
+  state.SetLabel(ChunkCodecName(codec));
 }
-BENCHMARK(BM_TwoStageSaveDecodeStep);
+BENCHMARK(BM_TwoStageSaveDecodeStep)
+    ->ArgNames({"codec"})
+    ->Arg(static_cast<int64_t>(ChunkCodec::kFp32))
+    ->Arg(static_cast<int64_t>(ChunkCodec::kFp16))
+    ->Arg(static_cast<int64_t>(ChunkCodec::kInt8));
 
 void BM_SaveRestoreRoundTrip(benchmark::State& state) {
   const auto kind = static_cast<BackendKind>(state.range(0));
   const ModelConfig cfg = ModelConfig::TinyLlama(4, 128, 4);
   const int64_t n = state.range(1);
   BackendUnderTest b =
-      MakeBackend(kind, "trip", 64 * cfg.hidden_dim * static_cast<int64_t>(sizeof(float)));
+      MakeBackend(kind, "trip", EncodedChunkBytes(ChunkCodec::kFp32, 64, cfg.hidden_dim));
   Rng rng(1);
   Tensor batch({n, cfg.hidden_dim});
   for (int64_t i = 0; i < batch.numel(); ++i) {
@@ -190,7 +276,102 @@ BENCHMARK(BM_SaveRestoreRoundTrip)
     ->Args({kTiered, 64})
     ->Args({kTiered, 256});
 
+// --- per-codec JSON sweep: the storage plane's persisted perf trajectory ---
+
+double Seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+void EmitCodecSweepJson() {
+  PrintTitle("per-codec storage sweep (BENCH_micro_storage.json)");
+  const ModelConfig cfg = ModelConfig::TinyLlama(4, 512, 8);
+  const int64_t n = 1024;
+  const int64_t chunk_tokens = 64;
+  const int64_t logical_bytes =
+      cfg.num_layers * n * cfg.hidden_dim * static_cast<int64_t>(sizeof(float));
+  Rng rng(9);
+  Tensor batch({n, cfg.hidden_dim});
+  for (int64_t i = 0; i < batch.numel(); ++i) {
+    batch.at(i) = static_cast<float>(rng.NextNormal(0, 1));
+  }
+  std::vector<int32_t> positions(static_cast<size_t>(n));
+  std::iota(positions.begin(), positions.end(), 0);
+
+  JsonValue rows = JsonValue::Array();
+  std::printf("  %-7s %-7s | %9s %6s | %9s %9s | %9s\n", "backend", "codec", "enc MB",
+              "ratio", "save MB/s", "read MB/s", "sim TTFT");
+  for (const BackendKind kind : {kFile, kMemory, kTiered}) {
+    for (const ChunkCodec codec :
+         {ChunkCodec::kFp32, ChunkCodec::kFp16, ChunkCodec::kInt8}) {
+      BackendUnderTest b = MakeBackend(
+          kind, (std::string("sweep_") + BackendKindName(kind) + ChunkCodecName(codec)).c_str(),
+          EncodedChunkBytes(ChunkCodec::kFp32, chunk_tokens, cfg.hidden_dim));
+      HiddenStateWriter writer(b.backend.get(), nullptr, cfg, 1, chunk_tokens, codec);
+      const double save_s = Seconds([&] {
+        for (int64_t layer = 0; layer < cfg.num_layers; ++layer) {
+          writer.OnLayerInput(layer, batch, positions.data(), n);
+        }
+        writer.Seal();
+      });
+      const int64_t encoded_bytes = b.backend->bytes_stored();
+      HiddenStateReader reader(b.backend.get(), cfg, chunk_tokens);
+      Tensor out({n, cfg.hidden_dim});
+      const double read_s = Seconds([&] {
+        for (int64_t layer = 0; layer < cfg.num_layers; ++layer) {
+          reader.ReadLayerInto(1, layer, n, out.data());
+        }
+      });
+      // Simulated restore TTFT on the paper's testbed with this codec's byte model.
+      const Restorer restorer(Platform::DefaultTestbed(1, 4), ModelConfig::Llama2_7B(),
+                              StorageLayout::kLayerChunked, kDefaultChunkTokens, codec);
+      const double sim_ttft =
+          restorer.Restore(RestoreMethod::kHCache, /*history_tokens=*/2048).total_time;
+
+      const double save_mbps = static_cast<double>(logical_bytes) / save_s / 1e6;
+      const double read_mbps = static_cast<double>(logical_bytes) / read_s / 1e6;
+      const double ratio = static_cast<double>(logical_bytes) / encoded_bytes;
+      std::printf("  %-7s %-7s | %9.2f %5.2fx | %9.0f %9.0f | %8.2fms\n",
+                  BackendKindName(kind), ChunkCodecName(codec), encoded_bytes / 1e6, ratio,
+                  save_mbps, read_mbps, sim_ttft * 1e3);
+      JsonValue row = JsonValue::Object();
+      row.Set("backend", BackendKindName(kind))
+          .Set("codec", ChunkCodecName(codec))
+          .Set("tokens", n)
+          .Set("layers", cfg.num_layers)
+          .Set("hidden_dim", cfg.hidden_dim)
+          .Set("logical_bytes", logical_bytes)
+          .Set("encoded_bytes", encoded_bytes)
+          .Set("compression_vs_fp32", ratio)
+          .Set("save_mb_per_s", save_mbps)
+          .Set("read_mb_per_s", read_mbps)
+          .Set("sim_restore_ttft_s_llama7b_2048", sim_ttft);
+      rows.Push(std::move(row));
+      b.backend->DeleteContext(1);
+    }
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", "micro_storage")
+      .Set("note",
+           "functional two-stage save + fused-decode read of a 4-layer x 1024-token x "
+           "512-dim context per backend per codec; MB/s are FP32-equivalent logical "
+           "rates; sim TTFT is Restorer(kHCache) for Llama2-7B n=2048 on the paper "
+           "testbed under the codec's byte model")
+      .Set("rows", std::move(rows));
+  WriteJsonFile("BENCH_micro_storage.json", doc);
+}
+
 }  // namespace
 }  // namespace hcache
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  hcache::EmitCodecSweepJson();
+  return 0;
+}

@@ -4,7 +4,7 @@
 // measured) without writing code:
 //
 //   ./build/serving_sweep --model=7b --method=hcache --load=0.2
-//       --sessions=200 --interval=30 --ssds=4 --backend=tiered --dram-mb=1
+//       --sessions=200 --interval=30 --ssds=4 --backend=tiered --dram-mb=1 --codec=int8
 //
 // Prints TTFT/TBT distributions, completed-round throughput, the restoration
 // schedule in effect, and — when a storage backend is selected — what the storage
@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   const uint64_t seed = std::stoull(ArgValue(argc, argv, "--seed", "97"));
   const std::string backend_name = ArgValue(argc, argv, "--backend", "none");
   const int64_t dram_mb = std::stoll(ArgValue(argc, argv, "--dram-mb", "4"));
+  const std::string codec_name = ArgValue(argc, argv, "--codec", "fp16");
 
   const ModelConfig cfg = model_name == "30b"   ? ModelConfig::Opt30B()
                           : model_name == "13b" ? ModelConfig::Llama2_13B()
@@ -73,6 +74,9 @@ int main(int argc, char** argv) {
 
   ServingOptions o;
   o.method = ParseMethod(method_name);
+  o.state_codec = codec_name == "fp32"   ? ChunkCodec::kFp32
+                  : codec_name == "int8" ? ChunkCodec::kInt8
+                                         : ChunkCodec::kFp16;
   if (model_name == "13b") {
     o.max_history_tokens = 8192;  // the 13B pool holds ~15K tokens; cap the whales
   }
@@ -100,14 +104,16 @@ int main(int argc, char** argv) {
   ServingEngine engine(platform, cfg, o);
 
   std::printf("model    : %s on %s\n", cfg.name.c_str(), platform.Describe().c_str());
-  std::printf("method   : %s\n", RestoreMethodName(o.method));
+  std::printf("method   : %s (hidden-state codec %s)\n", RestoreMethodName(o.method),
+              ChunkCodecName(o.state_codec));
   std::printf("workload : %lld sessions, Poisson %.3f sessions/s, %.0fs round interval\n",
               static_cast<long long>(sessions), load, interval);
   std::printf("KV pool  : %lld tokens\n\n",
               static_cast<long long>(engine.DeriveKvCapacityTokens()));
 
   if (o.method == RestoreMethod::kHCache) {
-    Restorer r(platform, cfg);
+    Restorer r(platform, cfg, StorageLayout::kLayerChunked, kDefaultChunkTokens,
+               o.state_codec);
     std::printf("restoration schedule @2.5K history: %s\n\n",
                 r.Schedule(2500).ToString().c_str());
   }
@@ -121,9 +127,14 @@ int main(int argc, char** argv) {
   std::printf("TBT      : %s\n", rep.tbt.Summary(" s").c_str());
   if (backend != nullptr) {
     const StorageStats& s = rep.storage;
-    std::printf("storage  : %s — %lld writes, %lld reads (%.0f%% DRAM)\n",
+    std::printf("storage  : %s — %lld writes, %lld reads (%.0f%% DRAM by chunks, "
+                "%.0f%% by bytes)\n",
                 backend->Name().c_str(), static_cast<long long>(s.total_writes),
-                static_cast<long long>(s.total_reads), 100.0 * s.DramHitRatio());
+                static_cast<long long>(s.total_reads), 100.0 * s.DramHitRatio(),
+                100.0 * s.DramHitByteRatio());
+    std::printf("           %.1f MB encoded state written (%.2fx vs FP32-equivalent)\n",
+                static_cast<double>(rep.state_encoded_bytes) / (1 << 20),
+                rep.StateCompressionRatio());
     if (s.evicted_contexts > 0) {
       std::printf("           %lld contexts evicted, %.1f MB written back\n",
                   static_cast<long long>(s.evicted_contexts),

@@ -6,17 +6,23 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/storage/codec.h"
 
 namespace hcache {
 
 FunctionalHCache::FunctionalHCache(Transformer* model, StorageBackend* store,
-                                   ThreadPool* flush_pool, int64_t chunk_tokens)
-    : model_(model), store_(store), flush_pool_(flush_pool), chunk_tokens_(chunk_tokens) {
+                                   ThreadPool* flush_pool, int64_t chunk_tokens,
+                                   ChunkCodec codec)
+    : model_(model),
+      store_(store),
+      flush_pool_(flush_pool),
+      chunk_tokens_(chunk_tokens),
+      codec_(codec) {
   CHECK(model != nullptr);
   CHECK(store != nullptr);
-  // KV chunks carry K and V interleaved per token: twice the hidden row size.
+  // KV chunks carry K and V interleaved per token: rows are 2 * kv_dim wide.
   const int64_t kv_chunk_bytes =
-      chunk_tokens_ * 2 * model_->config().kv_dim() * static_cast<int64_t>(sizeof(float));
+      EncodedChunkBytes(codec_, chunk_tokens_, 2 * model_->config().kv_dim());
   CHECK_LE(kv_chunk_bytes, store_->chunk_bytes()) << "chunk store too small for KV chunks";
 }
 
@@ -24,7 +30,7 @@ HiddenStateSink* FunctionalHCache::BeginCapture(int64_t context_id) {
   auto& writer = writers_[context_id];
   if (writer == nullptr) {
     writer = std::make_unique<HiddenStateWriter>(store_, flush_pool_, model_->config(),
-                                                 context_id, chunk_tokens_);
+                                                 context_id, chunk_tokens_, codec_);
   }
   return writer.get();
 }
@@ -41,21 +47,28 @@ void FunctionalHCache::SaveKvLayer(int64_t context_id, const PagedKvSequence& se
   const int64_t n = seq.num_tokens();
   const int64_t kv_dim = cfg.kv_dim();
   const int64_t row_floats = 2 * kv_dim;
+  const int64_t row_stride = CodecRowBytes(codec_, row_floats);
   const int64_t num_chunks = (n + chunk_tokens_ - 1) / chunk_tokens_;
-  std::vector<float> payload(static_cast<size_t>(chunk_tokens_ * row_floats));
+  std::vector<uint8_t> payload(
+      static_cast<size_t>(EncodedChunkBytes(codec_, chunk_tokens_, row_floats)));
+  std::vector<float> row_buf(static_cast<size_t>(row_floats));
   for (int64_t c = 0; c < num_chunks; ++c) {
     const int64_t first = c * chunk_tokens_;
     const int64_t count = std::min(chunk_tokens_, n - first);
     for (int64_t i = 0; i < count; ++i) {
-      float* row = payload.data() + i * row_floats;
-      std::memcpy(row, seq.KeyRow(layer, first + i),
+      // Gather the token's K and V halves once, then encode straight into the chunk —
+      // the interleaved [K | V] row is never staged as a second FP32 buffer.
+      std::memcpy(row_buf.data(), seq.KeyRow(layer, first + i),
                   static_cast<size_t>(kv_dim) * sizeof(float));
-      std::memcpy(row + kv_dim, seq.ValueRow(layer, first + i),
+      std::memcpy(row_buf.data() + kv_dim, seq.ValueRow(layer, first + i),
                   static_cast<size_t>(kv_dim) * sizeof(float));
+      EncodeRowsInto(codec_, row_buf.data(), row_floats, 1, row_floats,
+                     payload.data() + sizeof(ChunkHeader) + i * row_stride);
     }
+    WriteChunkHeader(codec_, count, row_floats, payload.data());
     const ChunkKey key{context_id, kKvLayerBase + layer, c};
     CHECK(store_->WriteChunk(key, payload.data(),
-                             count * row_floats * static_cast<int64_t>(sizeof(float))));
+                             static_cast<int64_t>(sizeof(ChunkHeader)) + count * row_stride));
   }
 }
 
@@ -75,21 +88,22 @@ void FunctionalHCache::LoadKvLayer(int64_t context_id, int64_t layer, int64_t n,
   *k = Tensor({n, kv_dim});
   *v = Tensor({n, kv_dim});
   const int64_t num_chunks = (n + chunk_tokens_ - 1) / chunk_tokens_;
-  std::vector<float> payload(static_cast<size_t>(chunk_tokens_ * row_floats));
+  std::vector<uint8_t> buf(
+      static_cast<size_t>(EncodedChunkBytes(ChunkCodec::kFp32, chunk_tokens_, row_floats)));
   for (int64_t c = 0; c < num_chunks; ++c) {
     const ChunkKey key{context_id, kKvLayerBase + layer, c};
-    const int64_t got = store_->ReadChunk(
-        key, payload.data(), static_cast<int64_t>(payload.size() * sizeof(float)));
+    const int64_t got = store_->ReadChunk(key, buf.data(), static_cast<int64_t>(buf.size()));
     const int64_t first = c * chunk_tokens_;
     const int64_t count = std::min(chunk_tokens_, n - first);
-    CHECK_GE(got, count * row_floats * static_cast<int64_t>(sizeof(float)))
+    ChunkInfo info;
+    CHECK(got > 0 && InspectChunk(buf.data(), got, row_floats, &info) &&
+          info.cols == row_floats && info.rows >= count)
         << "missing/short KV chunk ctx=" << context_id << " L=" << layer << " C=" << c;
-    for (int64_t i = 0; i < count; ++i) {
-      const float* row = payload.data() + i * row_floats;
-      std::memcpy(k->row(first + i), row, static_cast<size_t>(kv_dim) * sizeof(float));
-      std::memcpy(v->row(first + i), row + kv_dim,
-                  static_cast<size_t>(kv_dim) * sizeof(float));
-    }
+    // Fused decode + de-interleave: each stored [K | V] row dequantizes directly into
+    // the two destination tensors via column sub-ranges — no FP32 staging pass.
+    DecodeChunkRange(buf.data(), got, info, 0, count, 0, kv_dim, k->row(first), kv_dim);
+    DecodeChunkRange(buf.data(), got, info, 0, count, kv_dim, row_floats, v->row(first),
+                     kv_dim);
   }
 }
 
@@ -100,19 +114,20 @@ bool FunctionalHCache::CanRestore(int64_t context_id, const PartitionScheme& sch
   const int64_t first_hidden =
       scheme.complement == ComplementMethod::kRecompute ? scheme.layers_other : 0;
   for (int64_t layer = first_hidden; layer < first_hidden + scheme.layers_hidden; ++layer) {
-    if (!reader.LayerComplete(context_id, layer, n)) {
+    if (!reader.LayerComplete(context_id, layer, n, codec_)) {
       return false;
     }
   }
   if (scheme.complement == ComplementMethod::kKvOffload) {
-    const int64_t kv_row_bytes = 2 * cfg.kv_dim() * static_cast<int64_t>(sizeof(float));
+    const int64_t kv_row_floats = 2 * cfg.kv_dim();
     const int64_t num_chunks = (n + chunk_tokens_ - 1) / chunk_tokens_;
     for (int64_t layer = scheme.layers_hidden; layer < cfg.num_layers; ++layer) {
       for (int64_t c = 0; c < num_chunks; ++c) {
         const int64_t first = c * chunk_tokens_;
         const int64_t want = std::min(chunk_tokens_, n - first);
-        if (store_->ChunkSize(ChunkKey{context_id, kKvLayerBase + layer, c}) <
-            want * kv_row_bytes) {
+        if (!ChunkSizeCoversRows(
+                store_->ChunkSize(ChunkKey{context_id, kKvLayerBase + layer, c}), want,
+                chunk_tokens_, kv_row_floats, codec_)) {
           return false;
         }
       }

@@ -29,9 +29,13 @@ class FunctionalHCache {
  public:
   // `model`, `store`, and `flush_pool` must outlive the engine. `flush_pool` may be
   // null (synchronous chunk flushes). A single store holds both hidden-state and KV
-  // chunks; KV chunks live in a disjoint layer-key namespace.
+  // chunks; KV chunks live in a disjoint layer-key namespace. `codec` selects the
+  // stored precision of both chunk kinds: kFp32 (default) restores bit-exactly;
+  // kFp16/kInt8 halve/quarter stored bytes with a bounded, deterministic error
+  // (identical restored floats on every backend).
   FunctionalHCache(Transformer* model, StorageBackend* store, ThreadPool* flush_pool,
-                   int64_t chunk_tokens = kDefaultChunkTokens);
+                   int64_t chunk_tokens = kDefaultChunkTokens,
+                   ChunkCodec codec = ChunkCodec::kFp32);
 
   // Starts (or resumes) capturing hidden states for a context. The returned sink is
   // owned by the engine and stays valid until DropContext.
@@ -65,6 +69,7 @@ class FunctionalHCache {
   Tensor ReadHidden(int64_t context_id, int64_t layer, int64_t n) const;
 
   int64_t chunk_tokens() const { return chunk_tokens_; }
+  ChunkCodec codec() const { return codec_; }
 
  private:
   // KV chunks are stored under layer' = kKvLayerBase + layer so they never collide
@@ -78,6 +83,7 @@ class FunctionalHCache {
   StorageBackend* store_;
   ThreadPool* flush_pool_;
   int64_t chunk_tokens_;
+  ChunkCodec codec_;
   std::map<int64_t, std::unique_ptr<HiddenStateWriter>> writers_;
 };
 

@@ -27,7 +27,7 @@ double AllGatherTime(double total_bytes, int num_gpus, double link_bw) {
 }
 
 LayerProfile ProfileLayer(const Platform& platform, const ModelConfig& cfg, int64_t n,
-                          StorageLayout layout, int64_t chunk_tokens) {
+                          StorageLayout layout, int64_t chunk_tokens, ChunkCodec codec) {
   CHECK_GT(n, 0);
   LayerProfile p;
   p.history_tokens = n;
@@ -39,10 +39,12 @@ LayerProfile ProfileLayer(const Platform& platform, const ModelConfig& cfg, int6
   // restorer adds it once per restoration.
   const int64_t shard_tokens = (n + g - 1) / g;
 
-  // Hidden states: disjoint token shards read in parallel, then all-gather so every TP
-  // rank holds the full activation (it needs all tokens to project its KV heads).
+  // Hidden states: disjoint token shards read in parallel (at the codec's encoded
+  // size), then all-gather so every TP rank holds the full activation (it needs all
+  // tokens to project its KV heads). The gather moves the dequantized FP16 activation
+  // over NVLink — the GPU-side working dtype — regardless of the storage codec.
   const IoPattern hidden_shard =
-      RestoreLayerPattern(layout, cfg, shard_tokens, chunk_tokens);
+      RestoreLayerPattern(layout, cfg, shard_tokens, chunk_tokens, codec);
   const double shard_read =
       static_cast<double>(hidden_shard.total_bytes()) /
       io.EffectiveReadBw(static_cast<double>(hidden_shard.io_size));
@@ -50,11 +52,8 @@ LayerProfile ProfileLayer(const Platform& platform, const ModelConfig& cfg, int6
                                            g, platform.nvlink_bw);
 
   // KV cache: each rank owns its heads' KV shard outright — parallel reads, no gather.
-  // The chunk geometry mirrors the hidden layout but rows are 2*kv_dim wide (== 2x
-  // hidden for MHA; smaller under GQA).
-  IoPattern kv_shard = RestoreLayerPattern(layout, cfg, shard_tokens, chunk_tokens);
-  kv_shard.io_size =
-      kv_shard.io_size / cfg.HiddenBytesPerTokenLayer() * cfg.KvBytesPerTokenLayer();
+  // KV offload ships FP16 KV (2*kv_dim rows), independent of the hidden-state codec.
+  const IoPattern kv_shard = KvRestoreLayerPattern(layout, cfg, shard_tokens, chunk_tokens);
   p.io_kv = static_cast<double>(kv_shard.total_bytes()) /
             io.EffectiveReadBw(static_cast<double>(kv_shard.io_size));
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/storage/codec.h"
 
 namespace hcache {
 
@@ -13,20 +14,11 @@ QuantizedRows QuantizeRows(const Tensor& t) {
   q.cols = t.dim(1);
   q.values.resize(static_cast<size_t>(q.rows * q.cols));
   q.scales.resize(static_cast<size_t>(q.rows));
+  // One kernel, two consumers: the storage plane's kInt8 chunk codec and this
+  // standalone API quantize identically, so RowErrorBound holds for stored chunks too.
   for (int64_t r = 0; r < q.rows; ++r) {
-    const float* row = t.row(r);
-    float max_abs = 0.0f;
-    for (int64_t c = 0; c < q.cols; ++c) {
-      max_abs = std::max(max_abs, std::fabs(row[c]));
-    }
-    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
-    q.scales[static_cast<size_t>(r)] = scale;
-    const float inv = 1.0f / scale;
-    int8_t* out = q.values.data() + r * q.cols;
-    for (int64_t c = 0; c < q.cols; ++c) {
-      const float v = std::round(row[c] * inv);
-      out[c] = static_cast<int8_t>(std::max(-127.0f, std::min(127.0f, v)));
-    }
+    Int8EncodeRow(t.row(r), q.cols, &q.scales[static_cast<size_t>(r)],
+                  q.values.data() + r * q.cols);
   }
   return q;
 }
@@ -34,12 +26,8 @@ QuantizedRows QuantizeRows(const Tensor& t) {
 Tensor DequantizeRows(const QuantizedRows& q) {
   Tensor t({q.rows, q.cols});
   for (int64_t r = 0; r < q.rows; ++r) {
-    const float scale = q.scales[static_cast<size_t>(r)];
-    const int8_t* in = q.values.data() + r * q.cols;
-    float* out = t.row(r);
-    for (int64_t c = 0; c < q.cols; ++c) {
-      out[c] = static_cast<float>(in[c]) * scale;
-    }
+    Int8DecodeRow(q.values.data() + r * q.cols, q.scales[static_cast<size_t>(r)], q.cols,
+                  t.row(r));
   }
   return t;
 }

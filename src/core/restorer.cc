@@ -50,11 +50,15 @@ std::string RestoreResult::ToString() const {
 }
 
 Restorer::Restorer(const Platform& platform, const ModelConfig& cfg, StorageLayout layout,
-                   int64_t chunk_tokens)
-    : platform_(platform), cfg_(cfg), layout_(layout), chunk_tokens_(chunk_tokens) {}
+                   int64_t chunk_tokens, ChunkCodec codec)
+    : platform_(platform),
+      cfg_(cfg),
+      layout_(layout),
+      chunk_tokens_(chunk_tokens),
+      codec_(codec) {}
 
 LayerProfile Restorer::Profile(int64_t history_tokens) const {
-  return ProfileLayer(platform_, cfg_, history_tokens, layout_, chunk_tokens_);
+  return ProfileLayer(platform_, cfg_, history_tokens, layout_, chunk_tokens_, codec_);
 }
 
 PartitionScheme Restorer::Schedule(int64_t history_tokens) const {
@@ -119,7 +123,8 @@ RestoreResult Restorer::Restore(RestoreMethod method, int64_t history_tokens) co
 
     case RestoreMethod::kHCacheOnly:
       io_tasks.assign(static_cast<size_t>(nl), {p.io_hidden, p.c_hidden});
-      r.bytes_read = static_cast<double>(nl) * HiddenIoBytesPerLayer(cfg_, n);
+      r.bytes_read = static_cast<double>(nl) * HiddenIoBytesPerLayer(cfg_, n, codec_);
+      r.hidden_bytes_read = r.bytes_read;
       r.flops = static_cast<double>(nl) * HiddenToKvFlopsPerLayer(cfg_, n);
       r.scheme.layers_hidden = nl;
       r.scheme.complement = ComplementMethod::kNone;
@@ -133,7 +138,8 @@ RestoreResult Restorer::Restore(RestoreMethod method, int64_t history_tokens) co
       switch (s.complement) {
         case ComplementMethod::kNone:
           io_tasks.assign(static_cast<size_t>(nl), {p.io_hidden, p.c_hidden});
-          r.bytes_read = static_cast<double>(nl) * HiddenIoBytesPerLayer(cfg_, n);
+          r.bytes_read = static_cast<double>(nl) * HiddenIoBytesPerLayer(cfg_, n, codec_);
+          r.hidden_bytes_read = r.bytes_read;
           r.flops = static_cast<double>(nl) * HiddenToKvFlopsPerLayer(cfg_, n);
           break;
         case ComplementMethod::kKvOffload:
@@ -142,7 +148,9 @@ RestoreResult Restorer::Restore(RestoreMethod method, int64_t history_tokens) co
           io_tasks.assign(static_cast<size_t>(s.layers_hidden), {p.io_hidden, p.c_hidden});
           io_tasks.insert(io_tasks.end(), static_cast<size_t>(s.layers_other),
                           {p.io_kv, 0.0});
-          r.bytes_read = static_cast<double>(s.layers_hidden) * HiddenIoBytesPerLayer(cfg_, n) +
+          r.hidden_bytes_read =
+              static_cast<double>(s.layers_hidden) * HiddenIoBytesPerLayer(cfg_, n, codec_);
+          r.bytes_read = r.hidden_bytes_read +
                          static_cast<double>(s.layers_other) * KvIoBytesPerLayer(cfg_, n);
           r.flops = static_cast<double>(s.layers_hidden) * HiddenToKvFlopsPerLayer(cfg_, n);
           break;
@@ -151,7 +159,9 @@ RestoreResult Restorer::Restore(RestoreMethod method, int64_t history_tokens) co
           // remaining layers prefetch (§4.1.2).
           pre.assign(static_cast<size_t>(s.layers_other), p.c_token);
           io_tasks.assign(static_cast<size_t>(s.layers_hidden), {p.io_hidden, p.c_hidden});
-          r.bytes_read = static_cast<double>(s.layers_hidden) * HiddenIoBytesPerLayer(cfg_, n);
+          r.bytes_read =
+              static_cast<double>(s.layers_hidden) * HiddenIoBytesPerLayer(cfg_, n, codec_);
+          r.hidden_bytes_read = r.bytes_read;
           r.flops = static_cast<double>(s.layers_other) * RecomputeFlopsPerLayer(cfg_, n) +
                     static_cast<double>(s.layers_hidden) * HiddenToKvFlopsPerLayer(cfg_, n);
           break;
@@ -198,10 +208,11 @@ RestoreResult Restorer::RestorePipelineParallel(RestoreMethod method, int64_t hi
   ModelConfig stage_cfg = cfg_;
   stage_cfg.num_layers = (cfg_.num_layers + num_stages - 1) / num_stages;
 
-  const Restorer stage(stage_platform, stage_cfg, layout_, chunk_tokens_);
+  const Restorer stage(stage_platform, stage_cfg, layout_, chunk_tokens_, codec_);
   RestoreResult r = stage.Restore(method, history_tokens);
   const double g = static_cast<double>(num_stages);
   r.bytes_read *= g;
+  r.hidden_bytes_read *= g;
   r.flops *= g;
   r.compute_busy *= g;
   r.io_busy *= g;
@@ -231,8 +242,10 @@ RestoreResult Restorer::RestoreTokenWise(int64_t history_tokens, bool round_to_t
     // Complement = KV offload for the token suffix, inside every layer.
     const double io_per_layer = p.io_hidden * frac_h + p.io_kv * frac_o;
     io_tasks.assign(static_cast<size_t>(nl), {io_per_layer, c_h_part});
-    r.bytes_read = static_cast<double>(nl) * (HiddenIoBytesPerLayer(cfg_, n) * frac_h +
-                                              KvIoBytesPerLayer(cfg_, n) * frac_o);
+    r.hidden_bytes_read =
+        static_cast<double>(nl) * HiddenIoBytesPerLayer(cfg_, n, codec_) * frac_h;
+    r.bytes_read =
+        r.hidden_bytes_read + static_cast<double>(nl) * KvIoBytesPerLayer(cfg_, n) * frac_o;
     r.flops = static_cast<double>(nl) *
               HiddenToKvFlopsPerLayer(cfg_, static_cast<double>(tp.tokens_hidden));
   } else {
@@ -242,7 +255,8 @@ RestoreResult Restorer::RestoreTokenWise(int64_t history_tokens, bool round_to_t
         tp.tokens_other > 0 ? gpu.TokenRecomputeTimePerLayer(cfg_, tp.tokens_other) : 0.0;
     const double io_per_layer = p.io_hidden * frac_h;
     io_tasks.assign(static_cast<size_t>(nl), {io_per_layer, c_h_part + c_t_part});
-    r.bytes_read = static_cast<double>(nl) * HiddenIoBytesPerLayer(cfg_, n) * frac_h;
+    r.bytes_read = static_cast<double>(nl) * HiddenIoBytesPerLayer(cfg_, n, codec_) * frac_h;
+    r.hidden_bytes_read = r.bytes_read;
     r.flops = static_cast<double>(nl) *
               (HiddenToKvFlopsPerLayer(cfg_, static_cast<double>(tp.tokens_hidden)) +
                RecomputeFlopsPerLayer(cfg_, static_cast<double>(tp.tokens_other)));

@@ -49,8 +49,11 @@ struct RestoreResult {
   double io_busy = 0;         // transmission-stream busy seconds
   double compute_bubble = 0;  // makespan - compute_busy
   double io_bubble = 0;       // makespan - io_busy
-  double bytes_read = 0;      // from the storage backend (all GPUs)
-  double flops = 0;           // restoration compute (all GPUs)
+  double bytes_read = 0;         // from the storage backend (all GPUs)
+  double hidden_bytes_read = 0;  // the hidden-state transport's share of bytes_read —
+                                 // the stream the storage codec scales (KV-offload
+                                 // layers always move FP16 KV)
+  double flops = 0;              // restoration compute (all GPUs)
   PartitionScheme scheme;     // meaningful for kHCache / kHCacheOnly
 
   // Restoration speed (tokens/second) — the §6.2 sensitivity metric.
@@ -60,9 +63,13 @@ struct RestoreResult {
 
 class Restorer {
  public:
+  // `codec` is the hidden-state storage encoding the transmission stream pays for;
+  // the default kFp16 matches the paper's FP16 transport (KV offload always moves
+  // FP16 KV, independent of the hidden codec).
   Restorer(const Platform& platform, const ModelConfig& cfg,
            StorageLayout layout = StorageLayout::kLayerChunked,
-           int64_t chunk_tokens = kDefaultChunkTokens);
+           int64_t chunk_tokens = kDefaultChunkTokens,
+           ChunkCodec codec = ChunkCodec::kFp16);
 
   // Profiles and solves the bubble-free partition for this history length.
   LayerProfile Profile(int64_t history_tokens) const;
@@ -83,6 +90,7 @@ class Restorer {
 
   const Platform& platform() const { return platform_; }
   const ModelConfig& config() const { return cfg_; }
+  ChunkCodec codec() const { return codec_; }
 
  private:
   struct PipelineTotals {
@@ -103,6 +111,7 @@ class Restorer {
   ModelConfig cfg_;
   StorageLayout layout_;
   int64_t chunk_tokens_;
+  ChunkCodec codec_;
 };
 
 }  // namespace hcache

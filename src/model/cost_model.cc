@@ -10,6 +10,10 @@ double HiddenIoBytesPerLayer(const ModelConfig& cfg, double n) {
   return n * D(cfg) * static_cast<double>(cfg.state_dtype_bytes);
 }
 
+double HiddenIoBytesPerLayer(const ModelConfig& cfg, double n, ChunkCodec codec) {
+  return n * static_cast<double>(CodecRowBytes(codec, cfg.hidden_dim));
+}
+
 double KvIoBytesPerLayer(const ModelConfig& cfg, double n) {
   return n * 2.0 * static_cast<double>(cfg.kv_dim()) *
          static_cast<double>(cfg.state_dtype_bytes);

@@ -12,13 +12,20 @@
 #define HCACHE_SRC_MODEL_COST_MODEL_H_
 
 #include "src/model/config.h"
+#include "src/storage/layout.h"
 
 namespace hcache {
 
 // --- I/O volume (bytes, per layer) ---
 
-// Hidden states: n tokens × hidden_dim elements.
+// Hidden states: n tokens × hidden_dim elements at the model's state dtype (FP16 in
+// the paper's deployment, ModelConfig::state_dtype_bytes).
 double HiddenIoBytesPerLayer(const ModelConfig& cfg, double n);
+
+// Hidden states under an explicit storage codec: n tokens × CodecRowBytes. kFp16
+// coincides with the 2-arg form for the default state_dtype_bytes == 2; kFp32 doubles
+// it (raw-float transport), kInt8 roughly halves it again (per-row scale included).
+double HiddenIoBytesPerLayer(const ModelConfig& cfg, double n, ChunkCodec codec);
 
 // KV cache: n tokens × 2 × kv_dim elements (== 2× hidden for MHA — the paper's "half
 // the size" claim).

@@ -16,6 +16,20 @@ namespace {
 // the two-stage saver exists to keep this off the critical path.
 constexpr double kSyncWriteLatency = 120e-6;
 
+// Encoded bytes one history token's descriptor occupies under the configured codec.
+// `state_bytes_per_token` is the FP32-equivalent stand-in size; the codec's byte ratio
+// is taken at the REAL per-token row width (hidden_dim elements), so the INT8 per-row
+// scale amortizes as it does in the actual storage plane instead of being charged
+// against the tiny stand-in row (which would make int8 look bigger than fp16).
+int64_t EncodedStateBytesPerToken(const ServingOptions& o, const ModelConfig& cfg) {
+  const double fp32_row = static_cast<double>(cfg.hidden_dim) * sizeof(float);
+  const double ratio =
+      static_cast<double>(CodecRowBytes(o.state_codec, cfg.hidden_dim)) / fp32_row;
+  const auto bytes =
+      static_cast<int64_t>(static_cast<double>(o.state_bytes_per_token) * ratio + 0.5);
+  return std::max<int64_t>(1, bytes);
+}
+
 bool MethodNeedsRestorePhase(RestoreMethod m) {
   switch (m) {
     case RestoreMethod::kKvOffload:
@@ -38,7 +52,8 @@ ServingEngine::ServingEngine(const Platform& platform, const ModelConfig& cfg,
       cfg_(cfg),
       options_(options),
       gpu_(platform.gpu, platform.num_gpus),
-      restorer_(platform, cfg) {
+      restorer_(platform, cfg, StorageLayout::kLayerChunked, kDefaultChunkTokens,
+                options.state_codec) {
   if (options_.kv_capacity_tokens == 0) {
     options_.kv_capacity_tokens = DeriveKvCapacityTokens();
   }
@@ -72,7 +87,9 @@ double ServingEngine::DirectSaveStall(int64_t batch_size, double iteration_compu
     return 0.0;  // direct stores to DRAM behave like the snapshot stage
   }
   const int ndev = std::max(1, platform_.ssds_per_gpu());
-  const double row = static_cast<double>(cfg_.HiddenBytesPerTokenLayer());
+  // Each row write moves the codec-encoded hidden row.
+  const double row =
+      static_cast<double>(CodecRowBytes(options_.state_codec, cfg_.hidden_dim));
   const double per_io = kSyncWriteLatency + row / platform_.storage.ssd.EffectiveWriteBw(row);
   const double rounds = std::ceil(static_cast<double>(batch_size) / ndev);
   const double per_layer_write = rounds * per_io;
@@ -90,6 +107,7 @@ double ServingEngine::SteadyStateTbt(int64_t batch_size, int64_t history_per_seq
 ServingReport ServingEngine::RunLongContextSerial(
     const std::vector<LongContextRequest>& requests) {
   ServingReport report;
+  report.state_codec = options_.state_codec;
   double now = 0;
   for (const auto& req : requests) {
     double compute_busy = 0;
@@ -117,6 +135,7 @@ ServingReport ServingEngine::RunWithGpuCache(
   CHECK_EQ(requests.size(), context_ids.size());
   LruContextCache cache(cache_capacity_tokens);
   ServingReport report;
+  report.state_codec = options_.state_codec;
   double now = 0;
   for (size_t i = 0; i < requests.size(); ++i) {
     const auto& req = requests[i];
@@ -201,28 +220,34 @@ ServingReport ServingEngine::RunConversations(double sessions_per_second,
   // restoration streams every chunk back, which is what drives per-tier hit counts.
   StorageBackend* backend = options_.state_backend;
   const int64_t bytes_per_token = options_.state_bytes_per_token;
+  const int64_t encoded_bpt = EncodedStateBytesPerToken(options_, cfg_);
+  report.state_codec = options_.state_codec;
   if (backend != nullptr) {
     CHECK_GT(bytes_per_token, 0) << "state_bytes_per_token must be positive";
-    CHECK_LE(bytes_per_token, backend->chunk_bytes())
-        << "state_bytes_per_token exceeds the backend's chunk capacity";
+    CHECK_LE(encoded_bpt, backend->chunk_bytes())
+        << "encoded state bytes per token exceed the backend's chunk capacity";
   }
   const int64_t chunk_capacity_tokens =
-      backend != nullptr ? std::max<int64_t>(1, backend->chunk_bytes() / bytes_per_token)
-                         : 1;
+      backend != nullptr ? std::max<int64_t>(1, backend->chunk_bytes() / encoded_bpt) : 1;
   std::vector<char> state_buf(
       backend != nullptr ? static_cast<size_t>(backend->chunk_bytes()) : 0, '\0');
   auto save_state = [&](int64_t sid, int64_t old_tokens, int64_t new_tokens) {
     if (backend == nullptr || new_tokens <= old_tokens) {
       return;
     }
+    // The backend stores *encoded* chunks: the DRAM/SSD footprint (and the tiered
+    // backend's eviction pressure) reflects the codec, not the FP32 logical size.
     const int64_t first_chunk = old_tokens / chunk_capacity_tokens;
     const int64_t last_chunk = (new_tokens - 1) / chunk_capacity_tokens;
     for (int64_t c = first_chunk; c <= last_chunk; ++c) {
       const int64_t chunk_tokens =
           std::min(chunk_capacity_tokens, new_tokens - c * chunk_capacity_tokens);
       backend->WriteChunk(ChunkKey{sid, 0, c}, state_buf.data(),
-                          chunk_tokens * bytes_per_token);
+                          chunk_tokens * encoded_bpt);
     }
+    const int64_t appended = new_tokens - old_tokens;
+    report.state_logical_bytes += appended * bytes_per_token;
+    report.state_encoded_bytes += appended * encoded_bpt;
   };
   auto load_state = [&](int64_t sid, int64_t tokens) {
     if (backend == nullptr || tokens <= 0) {

@@ -54,10 +54,17 @@ struct ServingOptions {
   // storage accounting (timing is unaffected either way; the performance plane models
   // transfer time via Platform::storage).
   StorageBackend* state_backend = nullptr;
-  // Descriptor bytes written per history token (a scaled stand-in for the
-  // HiddenBytesPerTokenLayer() * num_layers real footprint, keeping simulated runs
-  // cheap while preserving relative context sizes for eviction decisions).
+  // FP32-equivalent descriptor bytes per history token (a scaled stand-in for the
+  // hidden_dim * sizeof(float) * num_layers real footprint, keeping simulated runs
+  // cheap while preserving relative context sizes for eviction decisions). The bytes
+  // actually written through `state_backend` — and the bytes the restoration stream
+  // is charged for — are this scaled by `state_codec`.
   int64_t state_bytes_per_token = 8;
+  // Storage precision of the hidden-state plane. kFp16 is the deployment default (the
+  // paper sizes hidden-state IO for FP16 transport); kFp32 models the raw-float
+  // strawman at 2x the bytes; kInt8 is the §7 CacheGen-style option. Affects both the
+  // restoration timing model and the encoded bytes state_backend sees.
+  ChunkCodec state_codec = ChunkCodec::kFp16;
 };
 
 struct ServingReport {
@@ -69,8 +76,21 @@ struct ServingReport {
   double cache_hit_ratio = 0;  // only for RunWithGpuCache
   // Snapshot of ServingOptions::state_backend counters at run end (zeros when no
   // backend was attached). storage.DramHitRatio() is the DRAM-tier hit ratio of the
-  // restoration read path.
+  // restoration read path; the byte-granular fields (bytes_stored, *_hit_bytes) are
+  // *encoded* sizes — the real DRAM/SSD footprint under the configured codec.
   StorageStats storage;
+  // Codec accounting for the state the run persisted: encoded bytes written vs their
+  // FP32-equivalent logical size.
+  ChunkCodec state_codec = ChunkCodec::kFp16;
+  int64_t state_logical_bytes = 0;
+  int64_t state_encoded_bytes = 0;
+
+  double StateCompressionRatio() const {
+    return state_encoded_bytes > 0
+               ? static_cast<double>(state_logical_bytes) /
+                     static_cast<double>(state_encoded_bytes)
+               : 1.0;
+  }
 
   double RoundsPerSecond() const {
     return makespan > 0 ? static_cast<double>(rounds_completed) / makespan : 0.0;

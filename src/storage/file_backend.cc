@@ -107,6 +107,7 @@ int64_t FileBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes
   // Count only successful reads, so stats stay comparable across backends.
   std::lock_guard<std::mutex> lock(mu_);
   ++total_reads_;
+  read_bytes_ += size;
   return size;
 }
 
@@ -152,6 +153,7 @@ StorageStats FileBackend::Stats() const {
   s.total_writes = total_writes_;
   s.total_reads = total_reads_;
   s.cold_hits = total_reads_;  // every read is served by the file tier
+  s.cold_hit_bytes = read_bytes_;
   return s;
 }
 

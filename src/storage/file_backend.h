@@ -61,6 +61,7 @@ class FileBackend : public StorageBackend {
   int64_t bytes_stored_ = 0;           // sum of index_ sizes
   int64_t total_writes_ = 0;
   mutable int64_t total_reads_ = 0;    // successful reads only
+  mutable int64_t read_bytes_ = 0;     // encoded bytes served by successful reads
 };
 
 // The storage layer's historical name for the file tier; kept so call sites reading

@@ -1,30 +1,69 @@
 #include "src/storage/hidden_saver.h"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
+#include <utility>
 
 namespace hcache {
 
 HiddenStateWriter::HiddenStateWriter(StorageBackend* store, ThreadPool* flush_pool,
                                      const ModelConfig& cfg, int64_t context_id,
-                                     int64_t chunk_tokens)
+                                     int64_t chunk_tokens, ChunkCodec codec)
     : store_(store),
       flush_pool_(flush_pool),
       cfg_(cfg),
       context_id_(context_id),
       chunk_tokens_(chunk_tokens),
+      codec_(codec),
+      row_stride_(CodecRowBytes(codec, cfg.hidden_dim)),
+      staging_bytes_(EncodedChunkBytes(codec, chunk_tokens, cfg.hidden_dim)),
       layers_(static_cast<size_t>(cfg.num_layers)) {
   CHECK(store != nullptr);
   CHECK_GT(chunk_tokens_, 0);
-  const int64_t chunk_floats = chunk_tokens_ * cfg_.hidden_dim;
-  CHECK_LE(chunk_floats * static_cast<int64_t>(sizeof(float)), store_->chunk_bytes())
-      << "chunk store sized too small for " << cfg_.name;
+  CHECK_LE(staging_bytes_, store_->chunk_bytes())
+      << "chunk store sized too small for " << cfg_.name << " under codec "
+      << ChunkCodecName(codec_);
   for (auto& lb : layers_) {
-    lb.staging.resize(static_cast<size_t>(chunk_floats));
+    lb.staging.resize(static_cast<size_t>(staging_bytes_));
   }
+  payload_pool_.reserve(16);
 }
 
 HiddenStateWriter::~HiddenStateWriter() { Seal(); }
+
+std::shared_ptr<std::vector<uint8_t>> HiddenStateWriter::AcquirePayload() {
+  {
+    std::lock_guard<std::mutex> lock(payload_mu_);
+    if (!payload_pool_.empty()) {
+      auto buf = std::move(payload_pool_.back());
+      payload_pool_.pop_back();
+      return buf;
+    }
+    ++payload_allocations_;
+  }
+  return std::make_shared<std::vector<uint8_t>>(static_cast<size_t>(staging_bytes_));
+}
+
+void HiddenStateWriter::ReleasePayload(std::shared_ptr<std::vector<uint8_t>> buf) {
+  std::lock_guard<std::mutex> lock(payload_mu_);
+  payload_pool_.push_back(std::move(buf));
+}
+
+int64_t HiddenStateWriter::payload_buffer_allocations() const {
+  std::lock_guard<std::mutex> lock(payload_mu_);
+  return payload_allocations_;
+}
+
+int64_t HiddenStateWriter::encoded_bytes_written() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return encoded_bytes_written_;
+}
+
+int64_t HiddenStateWriter::logical_bytes_written() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return logical_bytes_written_;
+}
 
 void HiddenStateWriter::OnLayerInput(int64_t layer, const Tensor& hidden,
                                      const int32_t* positions, int64_t n) {
@@ -32,15 +71,22 @@ void HiddenStateWriter::OnLayerInput(int64_t layer, const Tensor& hidden,
   CHECK_LT(layer, cfg_.num_layers);
   CHECK_EQ(hidden.dim(1), cfg_.hidden_dim);
   LayerBuffer& lb = layers_[static_cast<size_t>(layer)];
-  for (int64_t i = 0; i < n; ++i) {
-    CHECK_EQ(static_cast<int64_t>(positions[i]), lb.tokens_seen)
-        << "hidden states must arrive append-only";
-    // Stage 1: snapshot the row into host staging.
-    std::memcpy(lb.staging.data() + lb.fill_tokens * cfg_.hidden_dim, hidden.row(i),
-                static_cast<size_t>(cfg_.hidden_dim) * sizeof(float));
-    ++lb.fill_tokens;
-    ++lb.tokens_seen;
+  const int64_t cols = cfg_.hidden_dim;
+  int64_t i = 0;
+  while (i < n) {
+    const int64_t take = std::min(chunk_tokens_ - lb.fill_tokens, n - i);
+    for (int64_t j = 0; j < take; ++j) {
+      CHECK_EQ(static_cast<int64_t>(positions[i + j]), lb.tokens_seen + j)
+          << "hidden states must arrive append-only";
+    }
+    // Stage 1: snapshot the rows into host staging, encoding in the same pass — the
+    // chunk leaves the compute thread already in its on-storage format.
+    EncodeRowsInto(codec_, hidden.row(i), cols, take, cols,
+                   lb.staging.data() + sizeof(ChunkHeader) + lb.fill_tokens * row_stride_);
+    lb.fill_tokens += take;
+    lb.tokens_seen += take;
     lb.dirty = true;
+    i += take;
     if (lb.fill_tokens == chunk_tokens_) {
       FlushChunk(layer, lb);
     }
@@ -48,27 +94,39 @@ void HiddenStateWriter::OnLayerInput(int64_t layer, const Tensor& hidden,
 }
 
 void HiddenStateWriter::FlushChunk(int64_t layer, LayerBuffer& lb) {
-  // Stage 2: hand the chunk to the flush pool (or write inline without one).
-  auto payload = std::make_shared<std::vector<float>>(
-      lb.staging.begin(), lb.staging.begin() + lb.fill_tokens * cfg_.hidden_dim);
+  // Stage 2: hand the encoded chunk to the flush pool (or write inline without one).
+  const int64_t rows = lb.fill_tokens;
+  const int64_t bytes = static_cast<int64_t>(sizeof(ChunkHeader)) + rows * row_stride_;
+  WriteChunkHeader(codec_, rows, cfg_.hidden_dim, lb.staging.data());
+  auto payload = AcquirePayload();
   const ChunkKey key{context_id_, layer, lb.open_chunk};
-  if (lb.fill_tokens == chunk_tokens_) {
-    // Full chunk: advance to a fresh buffer. A partial flush (Seal) keeps the buffer
-    // and chunk index so later appends rewrite the same chunk when it fills.
+  if (rows == chunk_tokens_) {
+    // Full chunk: swap the sealed bytes out and continue staging into the recycled
+    // buffer. A partial flush (Seal) copies instead and keeps the buffer + chunk index
+    // so later appends rewrite the same chunk when it fills.
+    lb.staging.swap(*payload);
     ++lb.open_chunk;
     lb.fill_tokens = 0;
+  } else {
+    std::memcpy(payload->data(), lb.staging.data(), static_cast<size_t>(bytes));
   }
   lb.dirty = false;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    encoded_bytes_written_ += bytes;
+    logical_bytes_written_ += rows * cfg_.hidden_dim * static_cast<int64_t>(sizeof(float));
+  }
   StorageBackend* store = store_;
-  auto task = [store, key, payload] {
+  auto task = [this, store, key, bytes, payload]() mutable {
     // A failed flush must not take down the process (it may run on a background
     // thread); the chunk simply stays absent and restoration reports the context
     // incomplete (HiddenStateReader::LayerComplete / FunctionalHCache::CanRestore).
-    if (!store->WriteChunk(key, payload->data(),
-                           static_cast<int64_t>(payload->size() * sizeof(float)))) {
+    if (!store->WriteChunk(key, payload->data(), bytes)) {
       HCACHE_LOG_ERROR << "hidden-state chunk flush failed: ctx=" << key.context_id
                        << " layer=" << key.layer << " chunk=" << key.chunk_index;
     }
+    // Recycle regardless of outcome; Seal() drains the pool before `this` dies.
+    ReleasePayload(std::move(payload));
   };
   if (flush_pool_ != nullptr) {
     flush_pool_->Submit(std::move(task));
@@ -92,8 +150,9 @@ void HiddenStateWriter::Seal() {
 int64_t HiddenStateWriter::tokens_saved() const { return layers_.empty() ? 0 : layers_[0].tokens_seen; }
 
 DirectHiddenWriter::DirectHiddenWriter(StorageBackend* store, const ModelConfig& cfg,
-                                       int64_t context_id, int64_t chunk_tokens)
-    : inner_(store, /*flush_pool=*/nullptr, cfg, context_id, chunk_tokens) {}
+                                       int64_t context_id, int64_t chunk_tokens,
+                                       ChunkCodec codec)
+    : inner_(store, /*flush_pool=*/nullptr, cfg, context_id, chunk_tokens, codec) {}
 
 void DirectHiddenWriter::OnLayerInput(int64_t layer, const Tensor& hidden,
                                       const int32_t* positions, int64_t n) {
@@ -112,43 +171,56 @@ HiddenStateReader::HiddenStateReader(const StorageBackend* store, const ModelCon
   CHECK(store != nullptr);
 }
 
-Tensor HiddenStateReader::ReadLayer(int64_t context_id, int64_t layer, int64_t n) const {
+void HiddenStateReader::ReadLayerInto(int64_t context_id, int64_t layer, int64_t n,
+                                      float* dst) const {
   CHECK_GT(n, 0);
-  Tensor out({n, cfg_.hidden_dim});
-  const int64_t row_bytes = cfg_.hidden_dim * static_cast<int64_t>(sizeof(float));
+  const int64_t cols = cfg_.hidden_dim;
   const int64_t num_chunks = (n + chunk_tokens_ - 1) / chunk_tokens_;
-  std::vector<float> buf(static_cast<size_t>(chunk_tokens_ * cfg_.hidden_dim));
+  // FP32 is the widest encoding, so its chunk size bounds every stored form
+  // (including legacy headerless chunks, which lack the 16-byte header).
+  std::vector<uint8_t> buf(
+      static_cast<size_t>(EncodedChunkBytes(ChunkCodec::kFp32, chunk_tokens_, cols)));
   for (int64_t c = 0; c < num_chunks; ++c) {
     const ChunkKey key{context_id, layer, c};
-    const int64_t got =
-        store_->ReadChunk(key, buf.data(), static_cast<int64_t>(buf.size() * sizeof(float)));
+    const int64_t got = store_->ReadChunk(key, buf.data(), static_cast<int64_t>(buf.size()));
     CHECK_GT(got, 0) << "missing chunk ctx=" << context_id << " L=" << layer << " C=" << c;
+    ChunkInfo info;
+    CHECK(InspectChunk(buf.data(), got, cols, &info))
+        << "corrupt chunk ctx=" << context_id << " L=" << layer << " C=" << c;
+    CHECK_EQ(info.cols, cols) << "chunk geometry mismatch";
     const int64_t first_tok = c * chunk_tokens_;
     const int64_t want_tokens = std::min(chunk_tokens_, n - first_tok);
-    CHECK_GE(got, want_tokens * row_bytes) << "short chunk";
-    std::memcpy(out.row(first_tok), buf.data(),
-                static_cast<size_t>(want_tokens * row_bytes));
+    CHECK_GE(info.rows, want_tokens) << "short chunk";
+    // Fused decode: dequantize straight into the destination rows.
+    DecodeChunkRange(buf.data(), got, info, 0, want_tokens, 0, cols, dst + first_tok * cols,
+                     cols);
   }
+}
+
+Tensor HiddenStateReader::ReadLayer(int64_t context_id, int64_t layer, int64_t n) const {
+  Tensor out({n, cfg_.hidden_dim});
+  ReadLayerInto(context_id, layer, n, out.data());
   return out;
 }
 
-bool HiddenStateReader::LayerComplete(int64_t context_id, int64_t layer, int64_t n) const {
-  const int64_t row_bytes = cfg_.hidden_dim * static_cast<int64_t>(sizeof(float));
+bool HiddenStateReader::LayerComplete(int64_t context_id, int64_t layer, int64_t n,
+                                      ChunkCodec expected) const {
   const int64_t num_chunks = (n + chunk_tokens_ - 1) / chunk_tokens_;
   for (int64_t c = 0; c < num_chunks; ++c) {
     const int64_t first_tok = c * chunk_tokens_;
     const int64_t want_tokens = std::min(chunk_tokens_, n - first_tok);
     const int64_t size = store_->ChunkSize(ChunkKey{context_id, layer, c});
-    if (size < want_tokens * row_bytes) {
+    if (!ChunkSizeCoversRows(size, want_tokens, chunk_tokens_, cfg_.hidden_dim, expected)) {
       return false;
     }
   }
   return true;
 }
 
-bool HiddenStateReader::ContextComplete(int64_t context_id, int64_t n) const {
+bool HiddenStateReader::ContextComplete(int64_t context_id, int64_t n,
+                                        ChunkCodec expected) const {
   for (int64_t layer = 0; layer < cfg_.num_layers; ++layer) {
-    if (!LayerComplete(context_id, layer, n)) {
+    if (!LayerComplete(context_id, layer, n, expected)) {
       return false;
     }
   }

@@ -1,13 +1,17 @@
 // Two-stage hidden-state saving (paper §4.2.2) and its readback path.
 //
-// Stage 1 — snapshot: when a layer produces hidden states, its rows are memcpy'd into
+// Stage 1 — snapshot: when a layer produces hidden states, its rows are *encoded* into
 // a host-side staging buffer (the model for the single cudaMemcpy that "snapshots the
 // hidden states to the host, allowing the GPU memory buffer to be properly reused").
-// This runs synchronously on the compute thread and is cheap.
+// The precision codec runs here, fused into the snapshot copy: a sealed chunk is
+// already in its on-storage encoding, so flushing never makes a second pass over the
+// data. This runs synchronously on the compute thread and is cheap.
 //
 // Stage 2 — chunk management: a background pool (the paper uses 8 host threads)
-// assembles staged rows into 64-token chunks and flushes sealed chunks to the
-// StorageBackend (file, DRAM, or tiered). Generation never blocks on storage.
+// flushes sealed chunks to the StorageBackend (file, DRAM, or tiered). Generation
+// never blocks on storage, and the steady-state path never allocates: sealed chunks
+// are handed off by swapping the staging buffer with a pooled payload buffer that
+// returns to the pool when the write completes.
 //
 // `HiddenStateWriter` is the per-sequence sink; `DirectHiddenWriter` is the Fig 14
 // ablation variant that performs storage writes synchronously inside OnLayerInput.
@@ -16,10 +20,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/common/thread_pool.h"
 #include "src/model/transformer.h"
+#include "src/storage/codec.h"
 #include "src/storage/layout.h"
 #include "src/storage/storage_backend.h"
 
@@ -29,9 +35,11 @@ class HiddenStateWriter : public HiddenStateSink {
  public:
   // `flush_pool` may be null, in which case sealed chunks flush synchronously (still
   // chunk-granular — the distinction DirectHiddenWriter ablates is *row*-granular
-  // synchronous writes).
+  // synchronous writes). `codec` selects the stored precision; kFp32 round-trips
+  // bit-exactly (the functional default), kFp16/kInt8 trade bounded error for bytes.
   HiddenStateWriter(StorageBackend* store, ThreadPool* flush_pool, const ModelConfig& cfg,
-                    int64_t context_id, int64_t chunk_tokens = kDefaultChunkTokens);
+                    int64_t context_id, int64_t chunk_tokens = kDefaultChunkTokens,
+                    ChunkCodec codec = ChunkCodec::kFp32);
   ~HiddenStateWriter() override;
 
   // Stage 1. Tokens must arrive append-only and contiguously per layer.
@@ -47,27 +55,56 @@ class HiddenStateWriter : public HiddenStateSink {
 
   int64_t tokens_saved() const;
   int64_t context_id() const { return context_id_; }
+  ChunkCodec codec() const { return codec_; }
+
+  // Encoded bytes handed to the backend and their FP32-equivalent size — the storage
+  // plane's compression accounting.
+  int64_t encoded_bytes_written() const;
+  int64_t logical_bytes_written() const;
+
+  // Number of flush payload buffers ever allocated. Bounded by the flush pipeline's
+  // depth, NOT by the chunk count: the steady-state save path recycles buffers and
+  // performs no allocation (asserted by tests/storage/codec_storage_test.cc).
+  int64_t payload_buffer_allocations() const;
 
  private:
   struct LayerBuffer {
-    std::vector<float> staging;  // chunk_tokens * hidden_dim floats
-    int64_t fill_tokens = 0;     // rows currently staged
-    int64_t open_chunk = 0;      // chunk index the staging buffer maps to
-    int64_t tokens_seen = 0;     // append-only position check
-    bool dirty = false;          // staged rows not yet flushed (Seal is idempotent)
+    std::vector<uint8_t> staging;  // ChunkHeader + chunk_tokens * row stride, encoded
+    int64_t fill_tokens = 0;       // rows currently staged
+    int64_t open_chunk = 0;        // chunk index the staging buffer maps to
+    int64_t tokens_seen = 0;       // append-only position check
+    bool dirty = false;            // staged rows not yet flushed (Seal is idempotent)
   };
 
   // Writes the staging buffer's current rows as chunk `open_chunk`. When the buffer is
-  // full the chunk advances and the buffer resets; a partial flush (from Seal) keeps
-  // the buffer so the chunk can be rewritten once it fills.
+  // full the chunk advances and the buffer is swapped with a pooled payload buffer; a
+  // partial flush (from Seal) copies instead, keeping the staged rows so the chunk can
+  // be rewritten once it fills.
   void FlushChunk(int64_t layer, LayerBuffer& buf);
+
+  std::shared_ptr<std::vector<uint8_t>> AcquirePayload();
+  void ReleasePayload(std::shared_ptr<std::vector<uint8_t>> buf);
 
   StorageBackend* store_;
   ThreadPool* flush_pool_;
   ModelConfig cfg_;
   int64_t context_id_;
   int64_t chunk_tokens_;
+  ChunkCodec codec_;
+  int64_t row_stride_;    // encoded bytes per staged row
+  int64_t staging_bytes_;  // header + chunk_tokens * row_stride
   std::vector<LayerBuffer> layers_;
+
+  // Recycled flush payloads (all sized staging_bytes_). Background flush tasks return
+  // their buffer here; Seal() drains the pool's tasks before the writer dies, so the
+  // tasks' reference to the writer never dangles.
+  mutable std::mutex payload_mu_;
+  std::vector<std::shared_ptr<std::vector<uint8_t>>> payload_pool_;
+  int64_t payload_allocations_ = 0;
+
+  mutable std::mutex stats_mu_;
+  int64_t encoded_bytes_written_ = 0;
+  int64_t logical_bytes_written_ = 0;
 };
 
 // Ablation: byte-for-byte the same data, but every OnLayerInput call writes its rows
@@ -76,7 +113,8 @@ class HiddenStateWriter : public HiddenStateSink {
 class DirectHiddenWriter : public HiddenStateSink {
  public:
   DirectHiddenWriter(StorageBackend* store, const ModelConfig& cfg, int64_t context_id,
-                     int64_t chunk_tokens = kDefaultChunkTokens);
+                     int64_t chunk_tokens = kDefaultChunkTokens,
+                     ChunkCodec codec = ChunkCodec::kFp32);
 
   void OnLayerInput(int64_t layer, const Tensor& hidden, const int32_t* positions,
                     int64_t n) override;
@@ -92,7 +130,8 @@ class DirectHiddenWriter : public HiddenStateSink {
 };
 
 // Reassembles a layer's hidden states from chunks, in token order — the
-// token-before-layer read path of Fig 6b.
+// token-before-layer read path of Fig 6b. Chunks are self-describing, so one reader
+// handles any mix of codecs (and legacy headerless FP32 chunks) within a context.
 class HiddenStateReader {
  public:
   HiddenStateReader(const StorageBackend* store, const ModelConfig& cfg,
@@ -101,12 +140,22 @@ class HiddenStateReader {
   // Reads tokens [0, n) of `layer`. CHECK-fails if chunks are missing or short.
   Tensor ReadLayer(int64_t context_id, int64_t layer, int64_t n) const;
 
-  // True when every chunk covering tokens [0, n) of every layer exists.
-  bool ContextComplete(int64_t context_id, int64_t n) const;
+  // Same, but decodes straight into `dst` ([n, hidden_dim] row-major floats) — the
+  // fused path: dequantization writes the projection GEMM's input buffer directly,
+  // with no intermediate FP32 chunk staging.
+  void ReadLayerInto(int64_t context_id, int64_t layer, int64_t n, float* dst) const;
+
+  // True when every chunk covering tokens [0, n) of every layer exists. `expected` is
+  // the codec this context's writer is configured with (legacy headerless FP32 chunks
+  // are always additionally accepted); pinning it keeps a partially saved chunk from
+  // size-aliasing to a complete chunk of a different codec.
+  bool ContextComplete(int64_t context_id, int64_t n,
+                       ChunkCodec expected = ChunkCodec::kFp32) const;
 
   // True when every chunk covering tokens [0, n) of ONE layer exists (mixed partition
   // schemes only need a subset of layers).
-  bool LayerComplete(int64_t context_id, int64_t layer, int64_t n) const;
+  bool LayerComplete(int64_t context_id, int64_t layer, int64_t n,
+                     ChunkCodec expected = ChunkCodec::kFp32) const;
 
  private:
   const StorageBackend* store_;

@@ -52,17 +52,17 @@ double StorageIoModel::WriteTime(const IoPattern& pattern) const {
 }
 
 double StorageIoModel::HiddenLayerReadTime(const ModelConfig& cfg, int64_t n,
-                                           StorageLayout layout, int64_t chunk_tokens) const {
-  return ReadTime(RestoreLayerPattern(layout, cfg, n, chunk_tokens));
+                                           StorageLayout layout, int64_t chunk_tokens,
+                                           ChunkCodec codec) const {
+  return ReadTime(RestoreLayerPattern(layout, cfg, n, chunk_tokens, codec));
 }
 
 double StorageIoModel::KvLayerReadTime(const ModelConfig& cfg, int64_t n,
                                        int64_t chunk_tokens) const {
   // KV offload stores K and V chunks with the same chunked layout; rows are
-  // 2*kv_dim wide (2x hidden for MHA, less under GQA).
-  IoPattern p = RestoreLayerPattern(StorageLayout::kLayerChunked, cfg, n, chunk_tokens);
-  p.io_size = p.io_size / cfg.HiddenBytesPerTokenLayer() * cfg.KvBytesPerTokenLayer();
-  return ReadTime(p);
+  // 2*kv_dim wide (2x hidden for MHA, less under GQA) at the FP16 state dtype,
+  // independent of the hidden-state codec.
+  return ReadTime(KvRestoreLayerPattern(StorageLayout::kLayerChunked, cfg, n, chunk_tokens));
 }
 
 }  // namespace hcache

@@ -1,4 +1,5 @@
-// Storage layout analysis for hidden states (paper §4.2.1, challenge C2).
+// Storage layout analysis for hidden states (paper §4.2.1, challenge C2) and the
+// on-storage chunk format shared by every backend.
 //
 // Hidden states are *generated* layer-before-token (Fig 6a) but *restored*
 // token-before-layer (Fig 6b). A layout can be contiguous for at most one of the two
@@ -14,6 +15,12 @@
 //   kTokenMajor (the save-optimized strawman): each token's hidden states across all
 //     layers are contiguous. One decode step appends one record per sequence (a single
 //     medium write), but restoring a layer gathers n strided rows (small reads).
+//
+// Chunks are additionally *encoded*: restoration is bound by bytes moved per token
+// (§3.2), so the precision of the stored rows is a first-class lever. A ChunkCodec
+// selects the element encoding, and every stored chunk is self-describing via a
+// versioned ChunkHeader so backends can hold a mix of codecs (and of format versions:
+// headerless FP32 chunks from the v0 format still read back).
 #ifndef HCACHE_SRC_STORAGE_LAYOUT_H_
 #define HCACHE_SRC_STORAGE_LAYOUT_H_
 
@@ -28,6 +35,67 @@ enum class StorageLayout { kLayerChunked, kTokenMajor };
 // The paper fixes chunks at 64 tokens (§4.2.1); the ablation bench sweeps this.
 inline constexpr int64_t kDefaultChunkTokens = 64;
 
+// --- chunk codec: the element encoding of stored rows ---
+//
+//   kFp32 — raw floats, bit-lossless round trip (the functional plane's default, so
+//           lossless-restoration tests stay exact).
+//   kFp16 — IEEE half, round-to-nearest-even, saturating at ±65504. Halves the bytes;
+//           error ≤ 0.5 ulp of half per element. The serving default: the paper's
+//           hidden-state IO model is already sized for FP16 transport.
+//   kInt8 — per-row symmetric quantization (CacheGen-style, §7): one FP32 scale
+//           max|row|/127 per token row, then rounded int8 values. ~4x vs FP32; error
+//           ≤ scale/2 per element (quantize.h's RowErrorBound).
+enum class ChunkCodec : uint8_t { kFp32 = 0, kFp16 = 1, kInt8 = 2 };
+
+const char* ChunkCodecName(ChunkCodec codec);
+
+// Payload bytes one row of `cols` elements occupies under `codec` (the per-token
+// transmission cost the restoration model charges). kInt8 carries its per-row scale.
+int64_t CodecRowBytes(ChunkCodec codec, int64_t cols);
+
+// Self-describing header at the front of every encoded chunk. 16 bytes, little-endian,
+// laid out so old headerless FP32 chunks are distinguishable by magic + size check.
+struct ChunkHeader {
+  uint32_t magic = 0;    // kChunkMagic
+  uint16_t version = 0;  // kChunkFormatVersion
+  uint8_t codec = 0;     // ChunkCodec
+  uint8_t reserved = 0;
+  uint32_t rows = 0;     // tokens stored in this chunk
+  uint32_t cols = 0;     // elements per row
+};
+static_assert(sizeof(ChunkHeader) == 16, "header layout is part of the storage format");
+
+inline constexpr uint32_t kChunkMagic = 0x4b434348;  // "HCCK" little-endian
+inline constexpr uint16_t kChunkFormatVersion = 1;
+
+// Total stored size of an encoded chunk: header + rows * CodecRowBytes.
+int64_t EncodedChunkBytes(ChunkCodec codec, int64_t rows, int64_t cols);
+
+// Rows a LEGACY (v0, headerless raw-FP32) chunk of `stored_bytes` holds, or -1 when
+// the size is not a whole number of `cols`-float rows. The single source of truth for
+// the legacy size rule — both the completeness scan (ChunkSizeCoversRows) and the
+// decode path (codec.cc's InspectChunk) consult it, so a chunk reported restorable is
+// guaranteed to also parse.
+inline int64_t LegacyChunkRows(int64_t stored_bytes, int64_t cols) {
+  const int64_t row = cols * static_cast<int64_t>(sizeof(float));
+  if (cols <= 0 || stored_bytes <= 0 || stored_bytes % row != 0) {
+    return -1;
+  }
+  return stored_bytes / row;
+}
+
+// True when `stored_bytes` is the exact size of a valid chunk — encoded under
+// `expected` (the codec the context's writer is configured with), or legacy headerless
+// FP32 — holding between `min_rows` and `max_rows` rows of `cols` elements. The
+// existence check completeness scans (LayerComplete, CanRestore) use when only
+// ChunkSize() is known: a partially saved chunk fails both interpretations, so
+// restoration reports the context incomplete and the caller falls back to recompute
+// instead of CHECK-failing mid-decode. The codec must be pinned by the caller —
+// accepting ANY codec's row stride would let a half-saved FP32 chunk alias to a full
+// FP16 chunk (r rows x 4 bytes == 2r rows x 2 bytes, a deterministic 2:1 aliasing).
+bool ChunkSizeCoversRows(int64_t stored_bytes, int64_t min_rows, int64_t max_rows,
+                         int64_t cols, ChunkCodec expected);
+
 struct IoPattern {
   int64_t num_ios = 0;
   int64_t io_size = 0;  // bytes per IO
@@ -35,18 +103,30 @@ struct IoPattern {
   int64_t total_bytes() const { return num_ios * io_size; }
 };
 
-// IO pattern to restore ONE layer's hidden states for n history tokens.
+// IO pattern to restore ONE layer's hidden states for n history tokens. `codec` sets
+// the per-row transmission bytes; the default kFp16 matches the paper's FP16 transport
+// (and ModelConfig::state_dtype_bytes == 2). The 16-byte chunk header is amortized to
+// noise (< 0.1% of a 64-token chunk) and not charged.
 IoPattern RestoreLayerPattern(StorageLayout layout, const ModelConfig& cfg, int64_t n,
-                              int64_t chunk_tokens = kDefaultChunkTokens);
+                              int64_t chunk_tokens = kDefaultChunkTokens,
+                              ChunkCodec codec = ChunkCodec::kFp16);
+
+// IO pattern to restore ONE layer's offloaded KV cache for n history tokens. KV chunks
+// mirror the hidden chunk geometry but rows are 2 * kv_dim wide at the FP16 state
+// dtype (KvBytesPerTokenLayer), independent of the hidden-state codec.
+IoPattern KvRestoreLayerPattern(StorageLayout layout, const ModelConfig& cfg, int64_t n,
+                                int64_t chunk_tokens = kDefaultChunkTokens);
 
 // IO pattern to persist the hidden states produced by one forward step (one iteration
 // of decode with `batch` sequences, or one prefill chunk of `batch` tokens of a single
 // sequence), summed over ALL layers, when writing *directly* to storage (no staging).
 IoPattern DirectSavePattern(StorageLayout layout, const ModelConfig& cfg, int64_t batch,
-                            int64_t chunk_tokens = kDefaultChunkTokens);
+                            int64_t chunk_tokens = kDefaultChunkTokens,
+                            ChunkCodec codec = ChunkCodec::kFp16);
 
 // IO pattern for the two-stage saver's background flush of one sealed chunk.
-IoPattern ChunkFlushPattern(const ModelConfig& cfg, int64_t chunk_tokens = kDefaultChunkTokens);
+IoPattern ChunkFlushPattern(const ModelConfig& cfg, int64_t chunk_tokens = kDefaultChunkTokens,
+                            ChunkCodec codec = ChunkCodec::kFp16);
 
 // Bytes of internal fragmentation per (sequence, layer) if storage were reserved at the
 // model's max context instead of allocated chunk-by-chunk — the §4.2.1 argument against

@@ -31,6 +31,7 @@ int64_t MemoryBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_byt
     return -1;
   }
   ++total_reads_;
+  read_bytes_ += size;
   std::memcpy(buf, it->second.data(), static_cast<size_t>(size));
   return size;
 }
@@ -63,6 +64,7 @@ StorageStats MemoryBackend::Stats() const {
   s.total_writes = total_writes_;
   s.total_reads = total_reads_;
   s.dram_hits = total_reads_;  // every read is served from DRAM
+  s.dram_hit_bytes = read_bytes_;
   return s;
 }
 

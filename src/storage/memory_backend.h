@@ -32,6 +32,7 @@ class MemoryBackend : public StorageBackend {
   int64_t bytes_stored_ = 0;
   int64_t total_writes_ = 0;
   mutable int64_t total_reads_ = 0;
+  mutable int64_t read_bytes_ = 0;
 };
 
 }  // namespace hcache

@@ -35,14 +35,21 @@ struct ChunkKey {
 // Uniform counters every backend maintains. Tier fields stay zero for single-tier
 // backends; for TieredBackend a read is either a `dram_hits` (hot tier) or a
 // `cold_hits` (served by the backing store).
+//
+// Hit counters come in chunks AND bytes: chunks are uniform only before the precision
+// codec — an FP16 chunk occupies half the DRAM of an FP32 one — so capacity budgeting
+// and tier-traffic accounting must read the byte-granular fields (`bytes_stored` and
+// `*_hit_bytes` are *encoded* sizes, the real DRAM/SSD footprint).
 struct StorageStats {
   int64_t chunks_stored = 0;
-  int64_t bytes_stored = 0;
+  int64_t bytes_stored = 0;  // encoded bytes currently resident
   int64_t total_writes = 0;
   int64_t total_reads = 0;
 
   int64_t dram_hits = 0;
   int64_t cold_hits = 0;
+  int64_t dram_hit_bytes = 0;     // encoded bytes served from the hot tier
+  int64_t cold_hit_bytes = 0;     // encoded bytes served from the cold tier
   int64_t evicted_contexts = 0;   // contexts pushed out of the hot tier
   int64_t writeback_chunks = 0;   // dirty chunks flushed to the cold tier
   int64_t writeback_bytes = 0;
@@ -52,6 +59,16 @@ struct StorageStats {
     const int64_t total = dram_hits + cold_hits;
     return total > 0 ? static_cast<double>(dram_hits) / static_cast<double>(total) : 0.0;
   }
+
+  // Fraction of read *bytes* served from DRAM — the ratio that matters once chunks
+  // are codec-mixed and no longer uniform in size.
+  double DramHitByteRatio() const {
+    const int64_t total = dram_hit_bytes + cold_hit_bytes;
+    return total > 0 ? static_cast<double>(dram_hit_bytes) / static_cast<double>(total)
+                     : 0.0;
+  }
+
+  int64_t ReadBytes() const { return dram_hit_bytes + cold_hit_bytes; }
 };
 
 class StorageBackend {

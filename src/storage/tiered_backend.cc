@@ -93,6 +93,7 @@ int64_t TieredBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_byt
     TouchLocked(key.context_id);
     ++total_reads_;
     ++dram_hits_;
+    dram_hit_bytes_ += size;
     return size;
   }
   const int64_t got = cold_->ReadChunk(key, buf, buf_bytes);
@@ -101,6 +102,7 @@ int64_t TieredBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_byt
   }
   ++total_reads_;
   ++cold_hits_;
+  cold_hit_bytes_ += got;
   // Promote: a restored context is likely to be restored again soon (the §6.2.1
   // caching argument); admit the chunk clean so re-eviction is free.
   TouchLocked(key.context_id);
@@ -159,6 +161,8 @@ StorageStats TieredBackend::Stats() const {
   s.total_reads = total_reads_;
   s.dram_hits = dram_hits_;
   s.cold_hits = cold_hits_;
+  s.dram_hit_bytes = dram_hit_bytes_;
+  s.cold_hit_bytes = cold_hit_bytes_;
   s.evicted_contexts = evicted_contexts_;
   s.writeback_chunks = writeback_chunks_;
   s.writeback_bytes = writeback_bytes_;

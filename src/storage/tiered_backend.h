@@ -84,6 +84,8 @@ class TieredBackend : public StorageBackend {
   mutable int64_t total_reads_ = 0;
   mutable int64_t dram_hits_ = 0;
   mutable int64_t cold_hits_ = 0;
+  mutable int64_t dram_hit_bytes_ = 0;
+  mutable int64_t cold_hit_bytes_ = 0;
   mutable int64_t evicted_contexts_ = 0;
   mutable int64_t writeback_chunks_ = 0;
   mutable int64_t writeback_bytes_ = 0;

@@ -66,12 +66,47 @@ TEST_F(EngineBackendTest, RunsAgainstAllThreeBackends) {
   EXPECT_DOUBLE_EQ(r_file.makespan, r_mem.makespan);
   EXPECT_DOUBLE_EQ(r_mem.makespan, r_tier.makespan);
 
-  // Tier attribution: file reads are all cold, memory reads all DRAM.
+  // Tier attribution: file reads are all cold, memory reads all DRAM — in chunks AND
+  // in (encoded) bytes, the quantity capacity budgeting must use.
   EXPECT_EQ(r_file.storage.dram_hits, 0);
   EXPECT_EQ(r_file.storage.cold_hits, r_file.storage.total_reads);
+  EXPECT_EQ(r_file.storage.dram_hit_bytes, 0);
+  EXPECT_GT(r_file.storage.cold_hit_bytes, 0);
   EXPECT_EQ(r_mem.storage.cold_hits, 0);
   EXPECT_EQ(r_mem.storage.dram_hits, r_mem.storage.total_reads);
+  EXPECT_EQ(r_mem.storage.cold_hit_bytes, 0);
+  EXPECT_GT(r_mem.storage.dram_hit_bytes, 0);
   EXPECT_DOUBLE_EQ(r_mem.storage.DramHitRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(r_mem.storage.DramHitByteRatio(), 1.0);
+
+  // The default codec is FP16: the backend stores half the FP32-equivalent bytes, and
+  // the report carries both sides of that ratio.
+  for (const ServingReport* r : {&r_file, &r_mem, &r_tier}) {
+    EXPECT_EQ(r->state_codec, ChunkCodec::kFp16);
+    EXPECT_GT(r->state_encoded_bytes, 0);
+    EXPECT_DOUBLE_EQ(r->StateCompressionRatio(), 2.0);
+  }
+}
+
+TEST_F(EngineBackendTest, CodecScalesStoredBytes) {
+  // Same workload, three codecs: encoded footprint (and therefore tiered-cache
+  // pressure) tracks the codec, while the logical state is identical.
+  int64_t encoded[3] = {0, 0, 0};
+  int i = 0;
+  for (const ChunkCodec codec :
+       {ChunkCodec::kFp32, ChunkCodec::kFp16, ChunkCodec::kInt8}) {
+    MemoryBackend memory(kChunkBytes);
+    ServingOptions o;
+    o.method = RestoreMethod::kHCache;
+    o.state_backend = &memory;
+    o.state_codec = codec;
+    ServingEngine engine(Platform::DefaultTestbed(1, 4), ModelConfig::Llama2_7B(), o);
+    const ServingReport r = engine.RunConversations(0.3, 24, 5.0, 42);
+    EXPECT_EQ(r.rounds_completed, r.rounds_submitted);
+    encoded[i++] = r.state_encoded_bytes;
+  }
+  EXPECT_EQ(encoded[0], 2 * encoded[1]);  // fp32 = 2x fp16
+  EXPECT_LT(encoded[2], encoded[1]);      // int8 below fp16 (scale amortized at hidden_dim)
 }
 
 TEST_F(EngineBackendTest, SessionsDeleteTheirStateAtCompletion) {
