@@ -1,0 +1,175 @@
+// Extension bench: cluster serving — replica count x router policy over ONE shared
+// tiered backend, on the ShareGPT multi-round conversation workload.
+//
+// The paper measures restoration inside a single engine; this sweep measures the
+// fleet pattern its storage design enables: sessions hop between replicas (the router
+// decides), each hop's restore is served by the shared DRAM-over-cold tier, and
+// throughput must scale with replica count at equal per-replica hardware. Offered
+// load and session count scale with the fleet so every configuration is compared at
+// the same per-replica pressure.
+//
+// Emits BENCH_ext_cluster.json: per-config rows plus per-router 4-vs-1 scaling, with
+// the acceptance flags the repo tracks (>=3x at 4 replicas, cross-replica restores).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/serving/cluster.h"
+#include "src/storage/memory_backend.h"
+#include "src/storage/tiered_backend.h"
+
+using namespace hcache;
+
+namespace {
+
+constexpr double kPerReplicaLoad = 0.5;  // sessions/s offered per replica
+constexpr int64_t kSessionsPerReplica = 40;
+constexpr double kRoundInterval = 5.0;
+constexpr uint64_t kSeed = 97;
+constexpr int64_t kChunkBytes = 64 * 1024;
+// Shared hot-tier budget: sized so the fleet's live state does not fully fit and the
+// cold tier sees traffic (the interesting regime for a shared cache).
+constexpr int64_t kSharedDramBytes = 6 * kChunkBytes;
+
+struct Row {
+  int replicas = 0;
+  RouterPolicy policy = RouterPolicy::kRoundRobin;
+  ClusterReport rep;
+};
+
+Row RunConfig(int replicas, RouterPolicy policy) {
+  Row row;
+  row.replicas = replicas;
+  row.policy = policy;
+  MemoryBackend cold(kChunkBytes);
+  TieredBackend shared(&cold, kSharedDramBytes);
+  ClusterOptions o;
+  o.num_replicas = replicas;
+  o.router = policy;
+  o.serving.method = RestoreMethod::kHCache;
+  ClusterEngine cluster(Platform::DefaultTestbed(1, 4), ModelConfig::Llama2_7B(), o,
+                        &shared);
+  row.rep = cluster.RunConversations(kPerReplicaLoad * replicas,
+                                     kSessionsPerReplica * replicas, kRoundInterval,
+                                     kSeed);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Extension: multi-replica cluster serving over shared tiered storage");
+  std::printf("Llama2-7B per replica (%s), %.2f sessions/s and %lld sessions per "
+              "replica, %.0fs think time, shared DRAM tier %lld KiB over cold\n\n",
+              Platform::DefaultTestbed(1, 4).Describe().c_str(), kPerReplicaLoad,
+              static_cast<long long>(kSessionsPerReplica), kRoundInterval,
+              static_cast<long long>(kSharedDramBytes >> 10));
+
+  const RouterPolicy policies[] = {
+      RouterPolicy::kRoundRobin, RouterPolicy::kLeastLoadedTokens,
+      RouterPolicy::kPowerOfTwo, RouterPolicy::kStickyWithSpill};
+  const int replica_counts[] = {1, 2, 4};
+
+  std::printf("  %-13s %-9s %10s %10s %10s %7s %8s %8s %7s\n", "router", "replicas",
+              "rounds/s", "ttft-mean", "ttft-p99", "skew", "x-restor", "affinity",
+              "dram%");
+
+  JsonValue configs = JsonValue::Array();
+  std::vector<Row> rows;
+  for (const RouterPolicy policy : policies) {
+    double rps1 = 0;
+    for (const int replicas : replica_counts) {
+      const Row row = RunConfig(replicas, policy);
+      const ClusterReport& r = row.rep;
+      if (replicas == 1) {
+        rps1 = r.RoundsPerSecond();
+      }
+      std::printf("  %-13s %-9d %10.3f %10.3f %10.3f %7.3f %8lld %8lld %6.1f%%\n",
+                  RouterPolicyName(policy), replicas, r.RoundsPerSecond(),
+                  r.aggregate.ttft.Mean(), r.aggregate.ttft.P99(), r.ReplicaRoundSkew(),
+                  static_cast<long long>(r.cross_replica_restores),
+                  static_cast<long long>(r.affinity_restores),
+                  100.0 * r.SharedDramHitByteRatio());
+
+      JsonValue cfg = JsonValue::Object();
+      cfg.Set("router", RouterPolicyName(policy));
+      cfg.Set("replicas", replicas);
+      cfg.Set("offered_sessions_per_s", kPerReplicaLoad * replicas);
+      cfg.Set("sessions", kSessionsPerReplica * static_cast<int64_t>(replicas));
+      cfg.Set("rounds_completed", r.aggregate.rounds_completed);
+      cfg.Set("rounds_submitted", r.aggregate.rounds_submitted);
+      cfg.Set("rounds_per_s", r.RoundsPerSecond());
+      cfg.Set("makespan_s", r.aggregate.makespan);
+      cfg.Set("ttft_mean_s", r.aggregate.ttft.Mean());
+      cfg.Set("ttft_p50_s", r.aggregate.ttft.Median());
+      cfg.Set("ttft_p99_s", r.aggregate.ttft.P99());
+      cfg.Set("tbt_mean_s", r.aggregate.tbt.Mean());
+      cfg.Set("replica_round_skew", r.ReplicaRoundSkew());
+      cfg.Set("cross_replica_restores", r.cross_replica_restores);
+      cfg.Set("affinity_restores", r.affinity_restores);
+      cfg.Set("scaling_vs_1_replica",
+              rps1 > 0 ? r.RoundsPerSecond() / rps1 : 1.0);
+      JsonValue storage = JsonValue::Object();
+      storage.Set("total_writes", r.storage.total_writes);
+      storage.Set("total_reads", r.storage.total_reads);
+      storage.Set("dram_hit_bytes", r.storage.dram_hit_bytes);
+      storage.Set("cold_hit_bytes", r.storage.cold_hit_bytes);
+      storage.Set("dram_hit_byte_ratio", r.SharedDramHitByteRatio());
+      storage.Set("evicted_contexts", r.storage.evicted_contexts);
+      storage.Set("writeback_bytes", r.storage.writeback_bytes);
+      cfg.Set("shared_storage", std::move(storage));
+      configs.Push(std::move(cfg));
+      rows.push_back(row);
+    }
+  }
+
+  // Acceptance summary: for each router, 4-replica scaling vs 1 replica.
+  bool any_policy_meets_bar = false;
+  JsonValue scaling = JsonValue::Array();
+  std::printf("\n  4-replica scaling vs 1 replica (equal per-replica hardware):\n");
+  for (const RouterPolicy policy : policies) {
+    double rps1 = 0, rps4 = 0;
+    int64_t cross4 = 0;
+    for (const Row& row : rows) {
+      if (row.policy != policy) continue;
+      if (row.replicas == 1) rps1 = row.rep.RoundsPerSecond();
+      if (row.replicas == 4) {
+        rps4 = row.rep.RoundsPerSecond();
+        cross4 = row.rep.cross_replica_restores;
+      }
+    }
+    const double x = rps1 > 0 ? rps4 / rps1 : 0.0;
+    const bool meets = x >= 3.0 && cross4 > 0;
+    any_policy_meets_bar = any_policy_meets_bar || meets;
+    std::printf("    %-13s %.2fx  (cross-replica restores: %lld)%s\n",
+                RouterPolicyName(policy), x, static_cast<long long>(cross4),
+                meets ? "  [>=3x with shared-tier reuse]" : "");
+    JsonValue entry = JsonValue::Object();
+    entry.Set("router", RouterPolicyName(policy));
+    entry.Set("speedup_4_vs_1", x);
+    entry.Set("cross_replica_restores_at_4", cross4);
+    entry.Set("meets_3x_bar", meets);
+    scaling.Push(std::move(entry));
+  }
+  PrintNote("acceptance: >=1 policy with 4 replicas at >=3x of 1 replica and");
+  PrintNote("cross-replica restores > 0 (save on A, restore on B via the shared tier).");
+
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", "ext_cluster");
+  root.Set("model", ModelConfig::Llama2_7B().name);
+  root.Set("platform_per_replica", Platform::DefaultTestbed(1, 4).Describe());
+  root.Set("workload", "sharegpt-conversations");
+  root.Set("per_replica_load_sessions_per_s", kPerReplicaLoad);
+  root.Set("sessions_per_replica", kSessionsPerReplica);
+  root.Set("round_interval_s", kRoundInterval);
+  root.Set("seed", static_cast<int64_t>(kSeed));
+  root.Set("shared_dram_budget_bytes", kSharedDramBytes);
+  root.Set("chunk_bytes", kChunkBytes);
+  root.Set("configs", std::move(configs));
+  root.Set("scaling_4_vs_1", std::move(scaling));
+  root.Set("acceptance_met", any_policy_meets_bar);
+  WriteJsonFile("BENCH_ext_cluster.json", root);
+  return any_policy_meets_bar ? 0 : 1;
+}

@@ -6,9 +6,15 @@
 //   ./build/serving_sweep --model=7b --method=hcache --load=0.2
 //       --sessions=200 --interval=30 --ssds=4 --backend=tiered --dram-mb=1 --codec=int8
 //
+// Cluster mode multiplexes N replicas over ONE shared backend behind a session
+// router (the load is the fleet-wide offered load):
+//
+//   ./build/serving_sweep --replicas=4 --router=least --backend=tiered --load=2.0
+//
 // Prints TTFT/TBT distributions, completed-round throughput, the restoration
 // schedule in effect, and — when a storage backend is selected — what the storage
-// tier saw (reads split across DRAM/cold, evictions, write-back volume).
+// tier saw (reads split across DRAM/cold, evictions, write-back volume). Cluster
+// runs additionally report per-replica skew and cross-replica restore counts.
 #include <unistd.h>
 
 #include <cstdio>
@@ -18,6 +24,7 @@
 #include <string>
 
 #include "src/core/restorer.h"
+#include "src/serving/cluster.h"
 #include "src/serving/engine.h"
 #include "src/storage/file_backend.h"
 #include "src/storage/memory_backend.h"
@@ -53,6 +60,28 @@ RestoreMethod ParseMethod(const std::string& m) {
   return RestoreMethod::kHCache;
 }
 
+void PrintSummary(const ServingReport& rep) {
+  std::printf("rounds   : %lld submitted, %lld completed in %.1fs  (%.3f rounds/s)\n",
+              static_cast<long long>(rep.rounds_submitted),
+              static_cast<long long>(rep.rounds_completed), rep.makespan,
+              rep.RoundsPerSecond());
+  std::printf("TTFT     : %s\n", rep.ttft.Summary(" s").c_str());
+  std::printf("TBT      : %s\n", rep.tbt.Summary(" s").c_str());
+}
+
+RouterPolicy ParseRouter(const std::string& r) {
+  if (r == "rr" || r == "round-robin") {
+    return RouterPolicy::kRoundRobin;
+  }
+  if (r == "p2c" || r == "power-of-two") {
+    return RouterPolicy::kPowerOfTwo;
+  }
+  if (r == "sticky" || r == "sticky-spill") {
+    return RouterPolicy::kStickyWithSpill;
+  }
+  return RouterPolicy::kLeastLoadedTokens;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,6 +95,8 @@ int main(int argc, char** argv) {
   const std::string backend_name = ArgValue(argc, argv, "--backend", "none");
   const int64_t dram_mb = std::stoll(ArgValue(argc, argv, "--dram-mb", "4"));
   const std::string codec_name = ArgValue(argc, argv, "--codec", "fp16");
+  const int replicas = std::stoi(ArgValue(argc, argv, "--replicas", "1"));
+  const RouterPolicy router = ParseRouter(ArgValue(argc, argv, "--router", "least"));
 
   const ModelConfig cfg = model_name == "30b"   ? ModelConfig::Opt30B()
                           : model_name == "13b" ? ModelConfig::Llama2_13B()
@@ -101,15 +132,13 @@ int main(int argc, char** argv) {
     backend = std::make_unique<TieredBackend>(cold_tier.get(), dram_mb << 20);
   }
   o.state_backend = backend.get();
-  ServingEngine engine(platform, cfg, o);
 
-  std::printf("model    : %s on %s\n", cfg.name.c_str(), platform.Describe().c_str());
+  std::printf("model    : %s on %s%s\n", cfg.name.c_str(), platform.Describe().c_str(),
+              replicas > 1 ? " (per replica)" : "");
   std::printf("method   : %s (hidden-state codec %s)\n", RestoreMethodName(o.method),
               ChunkCodecName(o.state_codec));
   std::printf("workload : %lld sessions, Poisson %.3f sessions/s, %.0fs round interval\n",
               static_cast<long long>(sessions), load, interval);
-  std::printf("KV pool  : %lld tokens\n\n",
-              static_cast<long long>(engine.DeriveKvCapacityTokens()));
 
   if (o.method == RestoreMethod::kHCache) {
     Restorer r(platform, cfg, StorageLayout::kLayerChunked, kDefaultChunkTokens,
@@ -118,13 +147,42 @@ int main(int argc, char** argv) {
                 r.Schedule(2500).ToString().c_str());
   }
 
-  const ServingReport rep = engine.RunConversations(load, sessions, interval, seed);
-  std::printf("rounds   : %lld submitted, %lld completed in %.1fs  (%.3f rounds/s)\n",
-              static_cast<long long>(rep.rounds_submitted),
-              static_cast<long long>(rep.rounds_completed), rep.makespan,
-              rep.RoundsPerSecond());
-  std::printf("TTFT     : %s\n", rep.ttft.Summary(" s").c_str());
-  std::printf("TBT      : %s\n", rep.tbt.Summary(" s").c_str());
+  ServingReport rep;
+  if (replicas > 1) {
+    // Cluster mode: N replicas behind a session router, one shared backend. Without
+    // an explicit backend the fleet still needs one to move state across replicas.
+    if (backend == nullptr) {
+      backend = std::make_unique<MemoryBackend>(kChunkBytes);
+    }
+    ClusterOptions co;
+    co.num_replicas = replicas;
+    co.router = router;
+    co.serving = o;
+    ClusterEngine cluster(platform, cfg, co, backend.get());
+    std::printf("cluster  : %d replicas behind %s routing, shared %s backend\n",
+                replicas, RouterPolicyName(router), backend->Name().c_str());
+    std::printf("KV pool  : %lld tokens per replica\n\n",
+                static_cast<long long>(cluster.replica(0).DeriveKvCapacityTokens()));
+    const ClusterReport crep = cluster.RunConversations(load, sessions, interval, seed);
+    rep = crep.aggregate;
+    PrintSummary(rep);
+    std::printf("fleet    : round skew %.3f, %lld cross-replica restores, "
+                "%lld affinity restores\n",
+                crep.ReplicaRoundSkew(),
+                static_cast<long long>(crep.cross_replica_restores),
+                static_cast<long long>(crep.affinity_restores));
+    for (int i = 0; i < cluster.num_replicas(); ++i) {
+      const ServingReport& r = crep.replicas[static_cast<size_t>(i)];
+      std::printf("           replica %d: %lld rounds, ttft %.3fs mean\n", i,
+                  static_cast<long long>(r.rounds_completed), r.ttft.Mean());
+    }
+  } else {
+    ServingEngine engine(platform, cfg, o);
+    std::printf("KV pool  : %lld tokens\n\n",
+                static_cast<long long>(engine.DeriveKvCapacityTokens()));
+    rep = engine.RunConversations(load, sessions, interval, seed);
+    PrintSummary(rep);
+  }
   if (backend != nullptr) {
     const StorageStats& s = rep.storage;
     std::printf("storage  : %s — %lld writes, %lld reads (%.0f%% DRAM by chunks, "

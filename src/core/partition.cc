@@ -73,43 +73,68 @@ void EvaluateLayerWise(const LayerProfile& p, PartitionScheme& s) {
 
 PartitionScheme SolveLayerWise(const LayerProfile& p, int64_t num_layers) {
   CHECK_GT(num_layers, 0);
+  // Clamp in double BEFORE the integer cast: a near-cancelling denominator can push
+  // the fractional crossing far past INT64_MAX, where the bare cast is UB.
+  const auto clamp_layers = [num_layers](double lh) {
+    return static_cast<int64_t>(
+        std::clamp(lh, 0.0, static_cast<double>(num_layers)));
+  };
   PartitionScheme s;
   if (p.c_hidden > p.io_hidden) {
     // Compute-bound: transmission has slack — fill it with KV-offloaded layers.
     const double denom = p.io_kv + p.c_hidden - p.io_hidden;
-    const double lh = std::ceil(static_cast<double>(num_layers) * p.io_kv / denom);
-    s.layers_hidden = std::clamp(static_cast<int64_t>(lh), int64_t{0}, num_layers);
+    s.layers_hidden =
+        clamp_layers(std::ceil(static_cast<double>(num_layers) * p.io_kv / denom));
     s.layers_other = num_layers - s.layers_hidden;
     s.complement =
         s.layers_other == 0 ? ComplementMethod::kNone : ComplementMethod::kKvOffload;
   } else {
     // IO-bound: compute has slack — fill it with token-recomputed layers.
     const double denom = p.c_token + p.io_hidden - p.c_hidden;
-    const double lh = std::ceil(static_cast<double>(num_layers) * p.c_token / denom);
-    s.layers_hidden = std::clamp(static_cast<int64_t>(lh), int64_t{0}, num_layers);
+    s.layers_hidden =
+        clamp_layers(std::ceil(static_cast<double>(num_layers) * p.c_token / denom));
     s.layers_other = num_layers - s.layers_hidden;
     s.complement =
         s.layers_other == 0 ? ComplementMethod::kNone : ComplementMethod::kRecompute;
   }
   EvaluateLayerWise(p, s);
 
-  // Plan selection: the solver above assumes hidden states are the primary transport.
-  // Where that premise fails (e.g. strong GQA makes the KV cache *smaller* than the
-  // hidden states), a pure strategy can dominate the mixed schedule — return the
-  // cheapest plan. Never triggers for the paper's MHA models.
-  const double pure_kv = p.io_kv * static_cast<double>(num_layers);
-  const double pure_rec = p.c_token * static_cast<double>(num_layers);
-  if (pure_kv < s.predicted_time && pure_kv <= pure_rec) {
-    s.layers_hidden = 0;
-    s.layers_other = num_layers;
-    s.complement = ComplementMethod::kKvOffload;
-    EvaluateLayerWise(p, s);
-  } else if (pure_rec < s.predicted_time && pure_rec < pure_kv) {
-    s.layers_hidden = 0;
-    s.layers_other = num_layers;
-    s.complement = ComplementMethod::kRecompute;
-    EvaluateLayerWise(p, s);
-  }
+  // The closed form above is the paper's pick: ceil the fractional crossing within
+  // the regime's own complement family. Integer rounding can leave that one layer off
+  // the true optimum (the floor side may finish earlier), and the regime never looks
+  // at the other family at all. Both streams are linear in L_H, so for each family
+  // the exhaustive optimum over integer splits can only sit at floor/ceil of that
+  // family's compute/IO crossing or at an endpoint (a pure plan) — scan those few
+  // candidates and adopt any *strictly* faster schedule. Ties keep the paper's ceil
+  // choice, so the Table 3 schedules are unchanged.
+  auto consider = [&](int64_t lh, ComplementMethod m) {
+    PartitionScheme cand;
+    cand.layers_hidden = lh;
+    cand.layers_other = num_layers - lh;
+    cand.complement = cand.layers_other == 0 ? ComplementMethod::kNone : m;
+    EvaluateLayerWise(p, cand);
+    if (cand.predicted_time < s.predicted_time) {
+      s = cand;
+    }
+  };
+  auto consider_crossing = [&](double crossing_num, double crossing_den,
+                               ComplementMethod m) {
+    consider(0, m);
+    consider(num_layers, m);
+    if (crossing_den > 0) {
+      const double lh =
+          std::clamp(crossing_num / crossing_den, 0.0, static_cast<double>(num_layers));
+      consider(clamp_layers(std::floor(lh)), m);
+      consider(clamp_layers(std::ceil(lh)), m);
+    }
+  };
+  const double n = static_cast<double>(num_layers);
+  // KV family: C_H*L_H crosses N*IO_KV + L_H*(IO_H - IO_KV).
+  consider_crossing(n * p.io_kv, p.io_kv + p.c_hidden - p.io_hidden,
+                    ComplementMethod::kKvOffload);
+  // Recompute family: IO_H*L_H crosses N*C_T + L_H*(C_H - C_T).
+  consider_crossing(n * p.c_token, p.c_token + p.io_hidden - p.c_hidden,
+                    ComplementMethod::kRecompute);
   return s;
 }
 

@@ -1,0 +1,192 @@
+#include "src/serving/cluster.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace hcache {
+
+const char* RouterPolicyName(RouterPolicy p) {
+  switch (p) {
+    case RouterPolicy::kRoundRobin:
+      return "round-robin";
+    case RouterPolicy::kLeastLoadedTokens:
+      return "least-loaded";
+    case RouterPolicy::kPowerOfTwo:
+      return "power-of-two";
+    case RouterPolicy::kStickyWithSpill:
+      return "sticky-spill";
+  }
+  return "?";
+}
+
+namespace {
+
+int ArgMinTokens(const std::vector<ReplicaLoad>& loads) {
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(loads.size()); ++i) {
+    if (loads[static_cast<size_t>(i)].queued_tokens <
+        loads[static_cast<size_t>(best)].queued_tokens) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+class RoundRobinRouter : public SessionRouter {
+ public:
+  int Route(const RoundTask&, int, const std::vector<ReplicaLoad>& loads) override {
+    return static_cast<int>(next_++ % loads.size());
+  }
+  std::string Name() const override { return RouterPolicyName(RouterPolicy::kRoundRobin); }
+
+ private:
+  size_t next_ = 0;
+};
+
+class LeastLoadedRouter : public SessionRouter {
+ public:
+  int Route(const RoundTask&, int, const std::vector<ReplicaLoad>& loads) override {
+    return ArgMinTokens(loads);
+  }
+  std::string Name() const override {
+    return RouterPolicyName(RouterPolicy::kLeastLoadedTokens);
+  }
+};
+
+class PowerOfTwoRouter : public SessionRouter {
+ public:
+  explicit PowerOfTwoRouter(uint64_t seed) : rng_(seed) {}
+
+  int Route(const RoundTask&, int, const std::vector<ReplicaLoad>& loads) override {
+    const auto n = static_cast<uint64_t>(loads.size());
+    const auto a = static_cast<int>(rng_.NextBounded(n));
+    auto b = static_cast<int>(rng_.NextBounded(n));
+    if (n > 1 && b == a) {
+      b = static_cast<int>((static_cast<uint64_t>(b) + 1) % n);  // force two choices
+    }
+    return loads[static_cast<size_t>(a)].queued_tokens <=
+                   loads[static_cast<size_t>(b)].queued_tokens
+               ? a
+               : b;
+  }
+  std::string Name() const override { return RouterPolicyName(RouterPolicy::kPowerOfTwo); }
+
+ private:
+  Rng rng_;
+};
+
+// Session affinity: follow the replica that holds the session's most recent state so
+// restores hit work the replica just wrote (and, with a partitioned-DRAM deployment,
+// its local hot tier). Spill to the least-loaded replica when home has fallen too far
+// behind — affinity must not serialize a fleet behind one hot replica.
+class StickyRouter : public SessionRouter {
+ public:
+  explicit StickyRouter(int64_t spill_margin_tokens)
+      : spill_margin_tokens_(spill_margin_tokens) {}
+
+  int Route(const RoundTask&, int home, const std::vector<ReplicaLoad>& loads) override {
+    const int least = ArgMinTokens(loads);
+    if (home < 0 || home >= static_cast<int>(loads.size())) {
+      return least;  // first round: place where there is room
+    }
+    const int64_t gap = loads[static_cast<size_t>(home)].queued_tokens -
+                        loads[static_cast<size_t>(least)].queued_tokens;
+    return gap > spill_margin_tokens_ ? least : home;
+  }
+  std::string Name() const override {
+    return RouterPolicyName(RouterPolicy::kStickyWithSpill);
+  }
+
+ private:
+  int64_t spill_margin_tokens_;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionRouter> MakeRouter(RouterPolicy policy, uint64_t seed,
+                                          int64_t sticky_spill_margin_tokens) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinRouter>();
+    case RouterPolicy::kLeastLoadedTokens:
+      return std::make_unique<LeastLoadedRouter>();
+    case RouterPolicy::kPowerOfTwo:
+      return std::make_unique<PowerOfTwoRouter>(seed);
+    case RouterPolicy::kStickyWithSpill:
+      return std::make_unique<StickyRouter>(sticky_spill_margin_tokens);
+  }
+  return std::make_unique<RoundRobinRouter>();
+}
+
+double ClusterReport::ReplicaRoundSkew() const {
+  if (replicas.empty() || aggregate.rounds_completed == 0) {
+    return 1.0;
+  }
+  int64_t max_rounds = 0;
+  for (const ServingReport& r : replicas) {
+    max_rounds = std::max(max_rounds, r.rounds_completed);
+  }
+  const double mean = static_cast<double>(aggregate.rounds_completed) /
+                      static_cast<double>(replicas.size());
+  return mean > 0 ? static_cast<double>(max_rounds) / mean : 1.0;
+}
+
+ClusterEngine::ClusterEngine(const Platform& replica_platform, const ModelConfig& cfg,
+                             const ClusterOptions& options, StorageBackend* shared_backend)
+    : options_(options),
+      router_(MakeRouter(options.router, options.router_seed,
+                         options.sticky_spill_margin_tokens)),
+      shared_backend_(shared_backend) {
+  CHECK_GT(options_.num_replicas, 0);
+  options_.serving.state_backend = shared_backend_;  // every replica shares one tier
+  replicas_.reserve(static_cast<size_t>(options_.num_replicas));
+  for (int i = 0; i < options_.num_replicas; ++i) {
+    replicas_.push_back(
+        std::make_unique<ServingEngine>(replica_platform, cfg, options_.serving));
+  }
+}
+
+ClusterReport ClusterEngine::RunConversations(double sessions_per_second,
+                                              int64_t num_sessions,
+                                              double round_interval_s, uint64_t seed) {
+  ClusterReport report;
+  report.router = router_->Name();
+
+  std::vector<ServingEngine*> replicas;
+  replicas.reserve(replicas_.size());
+  for (auto& r : replicas_) {
+    replicas.push_back(r.get());
+  }
+  const ConversationDriveResult drive = DriveConversations(
+      replicas, sessions_per_second, num_sessions, round_interval_s, seed,
+      [this](const RoundTask& r, int home, const std::vector<ReplicaLoad>& loads) {
+        return router_->Route(r, home, loads);
+      });
+  report.cross_replica_restores = drive.cross_replica_restores;
+  report.affinity_restores = drive.affinity_restores;
+
+  // Seal per-replica reports and merge the fleet view.
+  report.replicas.reserve(replicas_.size());
+  for (auto& r : replicas_) {
+    report.replicas.push_back(r->FinishExternal());
+  }
+  report.aggregate.state_codec = options_.serving.state_codec;
+  for (const ServingReport& r : report.replicas) {
+    report.aggregate.ttft.Merge(r.ttft);
+    report.aggregate.tbt.Merge(r.tbt);
+    report.aggregate.rounds_completed += r.rounds_completed;
+    report.aggregate.rounds_submitted += r.rounds_submitted;
+    report.aggregate.state_logical_bytes += r.state_logical_bytes;
+    report.aggregate.state_encoded_bytes += r.state_encoded_bytes;
+    report.aggregate.makespan = std::max(report.aggregate.makespan, r.makespan);
+  }
+  if (shared_backend_ != nullptr) {
+    report.storage = shared_backend_->Stats();
+    report.aggregate.storage = report.storage;
+  }
+  return report;
+}
+
+}  // namespace hcache

@@ -1,0 +1,118 @@
+// Multi-replica cluster serving plane over shared tiered storage.
+//
+// The paper evaluates restoration inside a single serving engine, but hidden-state
+// caches that outlive GPU residency only pay off at fleet scale: a session's next
+// round may land on a *different* replica than the one that saved its state. This
+// layer multiplexes N `ServingEngine` replicas (each with its own GPU/KV budget)
+// behind a pluggable `SessionRouter`, all persisting context state through ONE shared
+// `StorageBackend` — so a save on replica A followed by a restore on replica B
+// exercises the real cross-replica reuse pattern, and the shared DRAM tier's hit
+// ratio reflects fleet-wide (not per-engine) locality.
+//
+// The simulation runs replicas on one global clock: each replica is a discrete-event
+// process (ServingEngine's stepped interface) whose local clock may overshoot the
+// global one by at most one fused iteration. Routing decisions read instantaneous
+// per-replica load probes (queue depth, queued token demand, KV occupancy). All
+// policies are deterministic given the seed.
+#ifndef HCACHE_SRC_SERVING_CLUSTER_H_
+#define HCACHE_SRC_SERVING_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/serving/engine.h"
+#include "src/storage/storage_backend.h"
+
+namespace hcache {
+
+enum class RouterPolicy {
+  kRoundRobin,         // rotate over replicas, load-blind
+  kLeastLoadedTokens,  // argmin queued token demand (ties -> lowest index)
+  kPowerOfTwo,         // sample two replicas, pick the less loaded (seeded)
+  kStickyWithSpill,    // session affinity to the last-serving replica, spill on skew
+};
+
+const char* RouterPolicyName(RouterPolicy p);
+
+// Routing strategy seam. `home` is the replica that served (and saved the state of)
+// the session's previous round, or -1 for a session's first round. Implementations
+// must be deterministic functions of their seed and the argument stream.
+class SessionRouter {
+ public:
+  virtual ~SessionRouter() = default;
+  virtual int Route(const RoundTask& round, int home,
+                    const std::vector<ReplicaLoad>& loads) = 0;
+  virtual std::string Name() const = 0;
+};
+
+// `sticky_spill_margin_tokens` only affects kStickyWithSpill: the home replica is
+// abandoned for this round when its queued token demand exceeds the least-loaded
+// replica's by more than the margin (roughly one whale context's worth of work).
+std::unique_ptr<SessionRouter> MakeRouter(RouterPolicy policy, uint64_t seed,
+                                          int64_t sticky_spill_margin_tokens = 16384);
+
+struct ClusterOptions {
+  int num_replicas = 2;
+  RouterPolicy router = RouterPolicy::kLeastLoadedTokens;
+  uint64_t router_seed = 0x5e5510f;
+  int64_t sticky_spill_margin_tokens = 16384;
+  // Per-replica engine configuration. `serving.state_backend` is ignored — every
+  // replica is rewired to the cluster's shared backend.
+  ServingOptions serving;
+};
+
+struct ClusterReport {
+  // Merged view: TTFT/TBT histograms across all replicas, summed round counts,
+  // makespan = the latest replica clock, summed codec byte accounting.
+  ServingReport aggregate;
+  std::vector<ServingReport> replicas;
+
+  // Routing-plane restore locality: rounds with non-empty history routed to the
+  // replica that saved their state (`affinity_restores`) vs to a different one
+  // (`cross_replica_restores`). Cross-replica restores are the reuse pattern only a
+  // shared tier can serve.
+  int64_t cross_replica_restores = 0;
+  int64_t affinity_restores = 0;
+
+  // Shared-backend counters at run end (fleet-wide tier hit ratios).
+  StorageStats storage;
+  std::string router;
+
+  // Load-balance skew: max over replicas of completed rounds, divided by the mean
+  // (1.0 = perfectly even; round-robin's load-blindness shows up here).
+  double ReplicaRoundSkew() const;
+  double RoundsPerSecond() const { return aggregate.RoundsPerSecond(); }
+  double SharedDramHitByteRatio() const { return storage.DramHitByteRatio(); }
+};
+
+class ClusterEngine {
+ public:
+  // Every replica gets `replica_platform` (its own GPU + storage budget); state flows
+  // through `shared_backend` (must outlive the engine; thread-safe per the
+  // StorageBackend contract, though this driver is single-threaded and serializes
+  // access deterministically).
+  ClusterEngine(const Platform& replica_platform, const ModelConfig& cfg,
+                const ClusterOptions& options, StorageBackend* shared_backend);
+
+  // Fig 9's multi-round conversation workload at cluster scale: one Poisson session
+  // arrival process feeds the router; rounds within a session are spaced by think
+  // time and may be served by any replica. Deterministic for a fixed seed.
+  ClusterReport RunConversations(double sessions_per_second, int64_t num_sessions,
+                                 double round_interval_s, uint64_t seed);
+
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  ServingEngine& replica(int i) { return *replicas_[static_cast<size_t>(i)]; }
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  ClusterOptions options_;
+  std::unique_ptr<SessionRouter> router_;
+  std::vector<std::unique_ptr<ServingEngine>> replicas_;
+  StorageBackend* shared_backend_;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_SERVING_CLUSTER_H_

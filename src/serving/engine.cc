@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
+#include <limits>
 #include <queue>
 
 #include "src/common/logging.h"
@@ -15,20 +15,6 @@ namespace {
 // Latency of one synchronous small write on the DirectIO path (submission + flush);
 // the two-stage saver exists to keep this off the critical path.
 constexpr double kSyncWriteLatency = 120e-6;
-
-// Encoded bytes one history token's descriptor occupies under the configured codec.
-// `state_bytes_per_token` is the FP32-equivalent stand-in size; the codec's byte ratio
-// is taken at the REAL per-token row width (hidden_dim elements), so the INT8 per-row
-// scale amortizes as it does in the actual storage plane instead of being charged
-// against the tiny stand-in row (which would make int8 look bigger than fp16).
-int64_t EncodedStateBytesPerToken(const ServingOptions& o, const ModelConfig& cfg) {
-  const double fp32_row = static_cast<double>(cfg.hidden_dim) * sizeof(float);
-  const double ratio =
-      static_cast<double>(CodecRowBytes(o.state_codec, cfg.hidden_dim)) / fp32_row;
-  const auto bytes =
-      static_cast<int64_t>(static_cast<double>(o.state_bytes_per_token) * ratio + 0.5);
-  return std::max<int64_t>(1, bytes);
-}
 
 bool MethodNeedsRestorePhase(RestoreMethod m) {
   switch (m) {
@@ -158,16 +144,331 @@ ServingReport ServingEngine::RunWithGpuCache(
   return report;
 }
 
-ServingReport ServingEngine::RunConversations(double sessions_per_second,
-                                              int64_t num_sessions, double round_interval_s,
-                                              uint64_t seed) {
-  // --- workload materialization ---
-  ShareGptGenerator gen(seed, options_.max_history_tokens);
+// ===== stepped simulation core =====
+
+// Encoded bytes one history token's descriptor occupies under the configured codec.
+// `state_bytes_per_token` is the FP32-equivalent stand-in size; the codec's byte ratio
+// is taken at the REAL per-token row width (hidden_dim elements), so the INT8 per-row
+// scale amortizes as it does in the actual storage plane instead of being charged
+// against the tiny stand-in row (which would make int8 look bigger than fp16).
+int64_t ServingEngine::EncodedStateBytesPerToken() const {
+  const double fp32_row = static_cast<double>(cfg_.hidden_dim) * sizeof(float);
+  const double ratio =
+      static_cast<double>(CodecRowBytes(options_.state_codec, cfg_.hidden_dim)) / fp32_row;
+  const auto bytes = static_cast<int64_t>(
+      static_cast<double>(options_.state_bytes_per_token) * ratio + 0.5);
+  return std::max<int64_t>(1, bytes);
+}
+
+void ServingEngine::StartExternal() {
+  now_ = 0;
+  kv_free_ = options_.kv_capacity_tokens;
+  queued_tokens_ = 0;
+  queued_rounds_ = 0;
+  pending_.clear();
+  prefill_q_.clear();
+  decode_.clear();
+  restoring_ = Restoration{};
+  report_ = ServingReport{};
+  report_.state_codec = options_.state_codec;
+
+  // Context state is persisted through the configured backend as descriptor chunks
+  // (state_bytes_per_token per history token, context id = session id). Saving appends
+  // from the first incomplete chunk (the two-stage saver's seal-and-rewrite pattern);
+  // restoration streams every chunk back, which is what drives per-tier hit counts.
+  StorageBackend* backend = options_.state_backend;
+  if (backend != nullptr) {
+    CHECK_GT(options_.state_bytes_per_token, 0) << "state_bytes_per_token must be positive";
+    CHECK_LE(EncodedStateBytesPerToken(), backend->chunk_bytes())
+        << "encoded state bytes per token exceed the backend's chunk capacity";
+    chunk_capacity_tokens_ =
+        std::max<int64_t>(1, backend->chunk_bytes() / EncodedStateBytesPerToken());
+    state_buf_.assign(static_cast<size_t>(backend->chunk_bytes()), '\0');
+  } else {
+    chunk_capacity_tokens_ = 1;
+    state_buf_.clear();
+  }
+}
+
+void ServingEngine::SaveState(int64_t session, int64_t old_tokens, int64_t new_tokens) {
+  StorageBackend* backend = options_.state_backend;
+  if (backend == nullptr || new_tokens <= old_tokens) {
+    return;
+  }
+  // The backend stores *encoded* chunks: the DRAM/SSD footprint (and the tiered
+  // backend's eviction pressure) reflects the codec, not the FP32 logical size.
+  const int64_t encoded_bpt = EncodedStateBytesPerToken();
+  const int64_t first_chunk = old_tokens / chunk_capacity_tokens_;
+  const int64_t last_chunk = (new_tokens - 1) / chunk_capacity_tokens_;
+  for (int64_t c = first_chunk; c <= last_chunk; ++c) {
+    const int64_t chunk_tokens =
+        std::min(chunk_capacity_tokens_, new_tokens - c * chunk_capacity_tokens_);
+    backend->WriteChunk(ChunkKey{session, 0, c}, state_buf_.data(),
+                        chunk_tokens * encoded_bpt);
+  }
+  const int64_t appended = new_tokens - old_tokens;
+  report_.state_logical_bytes += appended * options_.state_bytes_per_token;
+  report_.state_encoded_bytes += appended * encoded_bpt;
+}
+
+void ServingEngine::LoadState(int64_t session, int64_t tokens) {
+  StorageBackend* backend = options_.state_backend;
+  if (backend == nullptr || tokens <= 0) {
+    return;
+  }
+  const int64_t num_chunks = (tokens + chunk_capacity_tokens_ - 1) / chunk_capacity_tokens_;
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    backend->ReadChunk(ChunkKey{session, 0, c}, state_buf_.data(),
+                       static_cast<int64_t>(state_buf_.size()));
+  }
+}
+
+void ServingEngine::Submit(const RoundTask& r) {
+  pending_.push_back(r);
+  ++report_.rounds_submitted;
+  ++queued_rounds_;
+  queued_tokens_ += r.history + r.input + r.output;
+}
+
+void ServingEngine::FinishRound(Active& a, std::vector<RoundCompletion>* done) {
+  kv_free_ += a.kv_reserved;
+  ++report_.rounds_completed;
+  --queued_rounds_;
+  queued_tokens_ -= a.r.history + a.r.input + a.r.output;
+  if (!a.r.last_round) {
+    SaveState(a.r.session, a.r.history, a.r.history + a.r.input + a.r.output);
+  } else if (options_.state_backend != nullptr) {
+    options_.state_backend->DeleteContext(a.r.session);  // session over: drop its state
+  }
+  if (done != nullptr) {
+    done->push_back(RoundCompletion{a.r.session, a.r.input + a.r.output, now_});
+  }
+}
+
+double ServingEngine::NextEventTime() const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (now_ >= options_.max_sim_seconds) {
+    return kInf;
+  }
+  if (!decode_.empty() || !prefill_q_.empty()) {
+    return now_;
+  }
+  if (restoring_.active && now_ >= restoring_.end) {
+    return now_;  // completion ready to be harvested
+  }
+  if (!pending_.empty()) {
+    const RoundTask& r = pending_.front();
+    const int64_t needed = r.history + r.input;
+    const bool needs_restore = r.history > 0 && MethodNeedsRestorePhase(options_.method);
+    const bool blocked_on_channel = needs_restore && restoring_.active;
+    const bool blocked_on_kv = needed <= options_.kv_capacity_tokens && needed > kv_free_;
+    if (!blocked_on_channel && !blocked_on_kv) {
+      // Dispatchable (or droppable) as soon as the round becomes visible.
+      return std::max(now_, r.arrival);
+    }
+  }
+  if (restoring_.active) {
+    return restoring_.end;
+  }
+  return pending_.empty() ? kInf : now_;
+}
+
+void ServingEngine::Advance(double until, std::vector<RoundCompletion>* done) {
+  for (;;) {
+    if (now_ >= options_.max_sim_seconds) {
+      return;
+    }
+
+    // Complete an in-flight restoration.
+    if (restoring_.active && now_ >= restoring_.end) {
+      Active a;
+      a.r = restoring_.r;
+      a.prefill_remaining = restoring_.r.input;
+      a.kv_reserved = restoring_.kv_reserved;
+      prefill_q_.push_back(a);
+      restoring_.active = false;
+    }
+
+    // Dispatch pending rounds FCFS against the KV budget. PagedAttention allocates
+    // blocks on demand, so admission charges the known footprint (history + prompt);
+    // decode growth is charged as tokens generate (approximated at completion).
+    while (!pending_.empty()) {
+      RoundTask& r = pending_.front();
+      if (r.arrival > now_) {
+        // Submitted ahead of this replica's clock (the driver runs a global clock the
+        // local one may trail while idle): not visible yet. FCFS order is preserved —
+        // later pending rounds carry later arrivals.
+        break;
+      }
+      const int64_t needed = r.history + r.input;
+      if (needed > options_.kv_capacity_tokens) {
+        // Never fits: drop rather than deadlock (the trace clamps at 16K so this only
+        // guards misconfiguration). The session is over — surface the drop so the
+        // driver stops scheduling it, and release its stored state: nothing will ever
+        // restore it, and an orphaned context would squat in the shared tier skewing
+        // fleet-wide eviction pressure for the rest of the run.
+        --queued_rounds_;
+        queued_tokens_ -= r.history + r.input + r.output;
+        if (options_.state_backend != nullptr && r.history > 0) {
+          options_.state_backend->DeleteContext(r.session);
+        }
+        if (done != nullptr) {
+          done->push_back(RoundCompletion{r.session, 0, now_, /*dropped=*/true});
+        }
+        pending_.pop_front();
+        continue;
+      }
+      if (needed > kv_free_) {
+        break;
+      }
+      const bool needs_restore = r.history > 0 && MethodNeedsRestorePhase(options_.method);
+      if (needs_restore) {
+        if (restoring_.active) {
+          break;  // one restoration channel; keep FCFS order
+        }
+        LoadState(r.session, r.history);
+        double compute_busy = 0;
+        const double t = RestoreTime(r.history, &compute_busy);
+        restoring_.r = r;
+        restoring_.start = now_;
+        restoring_.end = now_ + t;
+        restoring_.compute_total = compute_busy;
+        restoring_.charged = 0;
+        restoring_.kv_reserved = needed;
+        restoring_.active = true;
+      } else {
+        Active a;
+        a.r = r;
+        a.kv_reserved = needed;
+        a.prefill_remaining =
+            options_.method == RestoreMethod::kRecompute ? r.history + r.input : r.input;
+        prefill_q_.push_back(a);
+      }
+      kv_free_ -= needed;
+      pending_.pop_front();
+    }
+
+    // Nothing runnable? Jump the clock to the next local event within the horizon,
+    // or park at `until` and hand control back to the driver.
+    if (decode_.empty() && prefill_q_.empty()) {
+      double next = std::numeric_limits<double>::infinity();
+      if (restoring_.active) {
+        next = std::min(next, restoring_.end);
+      }
+      if (!pending_.empty() && pending_.front().arrival > now_) {
+        next = std::min(next, pending_.front().arrival);
+      }
+      if (next <= until) {
+        now_ = std::max(now_, next);
+        continue;
+      }
+      now_ = std::max(now_, until);
+      return;
+    }
+
+    // The replica has runnable work: run fused iterations until the local clock passes
+    // the horizon (iterations are indivisible, so the clock may overshoot by one).
+    if (now_ > until) {
+      return;
+    }
+
+    // --- one fused iteration (SplitFuse) ---
+    int64_t total_ctx = 0;
+    for (const Active& d : decode_) {
+      total_ctx += d.r.history + d.r.input + d.decoded;
+    }
+    double iter = decode_.empty() ? 0.0
+                                  : gpu_.DecodeIterationTime(
+                                        cfg_, static_cast<int64_t>(decode_.size()), total_ctx);
+    int64_t chunk = 0;
+    const bool can_prefill =
+        !prefill_q_.empty() && static_cast<int64_t>(decode_.size()) < options_.max_batch_size;
+    if (can_prefill) {
+      chunk = std::min(options_.prefill_chunk_tokens, prefill_q_.front().prefill_remaining);
+      iter += gpu_.PrefillTime(cfg_, chunk);
+    }
+    iter += DirectSaveStall(static_cast<int64_t>(decode_.size()), iter);
+    if (restoring_.active) {
+      // Restoration compute steals GPU time from overlapping iterations.
+      const double window = std::max(restoring_.end - restoring_.start, 1e-9);
+      double share = restoring_.compute_total * (iter / window);
+      share = std::min(share, restoring_.compute_total - restoring_.charged);
+      restoring_.charged += share;
+      iter += std::max(0.0, share);
+    }
+    if (iter <= 0) {
+      iter = 1e-6;
+    }
+    now_ += iter;
+
+    // Decode progress: one token per sequence per iteration.
+    for (auto it = decode_.begin(); it != decode_.end();) {
+      report_.tbt.Add(iter);
+      ++it->decoded;
+      if (it->decoded >= it->r.output) {
+        FinishRound(*it, done);
+        it = decode_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Prefill progress on the queue head.
+    if (chunk > 0) {
+      Active& head = prefill_q_.front();
+      head.prefill_remaining -= chunk;
+      if (head.prefill_remaining == 0) {
+        // Prefill emits the first token.
+        report_.ttft.Add(now_ - head.r.arrival + options_.request_overhead);
+        head.decoded = 1;
+        if (head.decoded >= head.r.output) {
+          FinishRound(head, done);
+        } else {
+          decode_.push_back(head);
+        }
+        prefill_q_.pop_front();
+      }
+    }
+  }
+}
+
+ReplicaLoad ServingEngine::Load() const {
+  ReplicaLoad l;
+  l.queued_rounds = queued_rounds_;
+  l.queued_tokens = queued_tokens_;
+  l.kv_free_tokens = kv_free_;
+  l.kv_capacity_tokens = options_.kv_capacity_tokens;
+  return l;
+}
+
+ServingReport ServingEngine::FinishExternal() {
+  report_.makespan = now_;
+  return report_;
+}
+
+// ===== shared multi-round-conversation driver =====
+
+ConversationDriveResult DriveConversations(const std::vector<ServingEngine*>& replicas,
+                                           double sessions_per_second,
+                                           int64_t num_sessions, double round_interval_s,
+                                           uint64_t seed, const RouteFn& route) {
+  CHECK(!replicas.empty());
+  const ServingOptions& opts = replicas.front()->options();
+
+  // --- workload materialization (identical for any replica count, so 1-vs-N
+  // comparisons isolate the cluster layer) ---
+  ShareGptGenerator gen(seed, opts.max_history_tokens);
   PoissonArrivals arrivals_gen(sessions_per_second, seed ^ 0x5eed);
   struct Session {
     Conversation conv;
     size_t next_round = 0;
     int64_t history = 0;
+    int home = -1;  // replica holding the session's saved state (-1: none yet)
+    // Locality of the round currently in flight (one per session): did it restore
+    // state, and from its home replica or across? Tallied when the round actually
+    // completes, so dropped rounds never count as restores.
+    bool inflight_restores = false;
+    bool inflight_cross = false;
   };
   std::vector<Session> sessions(static_cast<size_t>(num_sessions));
   int64_t total_rounds = 0;
@@ -186,246 +487,98 @@ ServingReport ServingEngine::RunConversations(double sessions_per_second,
     arrivals.push(Arrival{arrivals_gen.NextArrivalTime(), i});
   }
 
-  // --- engine state ---
-  struct Round {
-    int64_t session = 0;
-    int64_t history = 0, input = 0, output = 0;
-    double arrival = 0;
-  };
-  struct Active {
-    Round r;
-    int64_t prefill_remaining = 0;
-    int64_t decoded = 0;
-    int64_t kv_reserved = 0;
-  };
-  std::deque<Round> pending;
-  std::deque<Active> prefill_q;
-  std::vector<Active> decode;
-  struct Restoration {
-    Round r;
-    double start = 0, end = 0;
-    double compute_total = 0, charged = 0;
-    int64_t kv_reserved = 0;
-    bool active = false;
-  } restoring;
-
-  int64_t kv_free = options_.kv_capacity_tokens;
-  ServingReport report;
+  ConversationDriveResult result;
+  for (ServingEngine* r : replicas) {
+    r->StartExternal();
+  }
+  std::vector<ReplicaLoad> loads(replicas.size());
+  std::vector<RoundCompletion> done;
+  int64_t completed = 0;
   double now = 0;
 
-  // --- storage-backend state registry ---
-  // Context state is persisted through the configured backend as descriptor chunks
-  // (state_bytes_per_token per history token, context id = session id). Saving appends
-  // from the first incomplete chunk (the two-stage saver's seal-and-rewrite pattern);
-  // restoration streams every chunk back, which is what drives per-tier hit counts.
-  StorageBackend* backend = options_.state_backend;
-  const int64_t bytes_per_token = options_.state_bytes_per_token;
-  const int64_t encoded_bpt = EncodedStateBytesPerToken(options_, cfg_);
-  report.state_codec = options_.state_codec;
-  if (backend != nullptr) {
-    CHECK_GT(bytes_per_token, 0) << "state_bytes_per_token must be positive";
-    CHECK_LE(encoded_bpt, backend->chunk_bytes())
-        << "encoded state bytes per token exceed the backend's chunk capacity";
-  }
-  const int64_t chunk_capacity_tokens =
-      backend != nullptr ? std::max<int64_t>(1, backend->chunk_bytes() / encoded_bpt) : 1;
-  std::vector<char> state_buf(
-      backend != nullptr ? static_cast<size_t>(backend->chunk_bytes()) : 0, '\0');
-  auto save_state = [&](int64_t sid, int64_t old_tokens, int64_t new_tokens) {
-    if (backend == nullptr || new_tokens <= old_tokens) {
-      return;
+  while (completed < total_rounds && now < opts.max_sim_seconds) {
+    // Next global event: the earliest pending arrival or replica-local event.
+    double next = std::numeric_limits<double>::infinity();
+    if (!arrivals.empty()) {
+      next = std::min(next, arrivals.top().time);
     }
-    // The backend stores *encoded* chunks: the DRAM/SSD footprint (and the tiered
-    // backend's eviction pressure) reflects the codec, not the FP32 logical size.
-    const int64_t first_chunk = old_tokens / chunk_capacity_tokens;
-    const int64_t last_chunk = (new_tokens - 1) / chunk_capacity_tokens;
-    for (int64_t c = first_chunk; c <= last_chunk; ++c) {
-      const int64_t chunk_tokens =
-          std::min(chunk_capacity_tokens, new_tokens - c * chunk_capacity_tokens);
-      backend->WriteChunk(ChunkKey{sid, 0, c}, state_buf.data(),
-                          chunk_tokens * encoded_bpt);
+    for (const ServingEngine* r : replicas) {
+      next = std::min(next, r->NextEventTime());
     }
-    const int64_t appended = new_tokens - old_tokens;
-    report.state_logical_bytes += appended * bytes_per_token;
-    report.state_encoded_bytes += appended * encoded_bpt;
-  };
-  auto load_state = [&](int64_t sid, int64_t tokens) {
-    if (backend == nullptr || tokens <= 0) {
-      return;
+    if (!std::isfinite(next)) {
+      break;  // nothing left anywhere
     }
-    const int64_t num_chunks = (tokens + chunk_capacity_tokens - 1) / chunk_capacity_tokens;
-    for (int64_t c = 0; c < num_chunks; ++c) {
-      backend->ReadChunk(ChunkKey{sid, 0, c}, state_buf.data(),
-                         static_cast<int64_t>(state_buf.size()));
-    }
-  };
+    now = std::max(now, next);
 
-  auto make_round = [&](int64_t sid) {
-    Session& s = sessions[static_cast<size_t>(sid)];
-    const ConversationRound& cr = s.conv.rounds[s.next_round];
-    Round r;
-    r.session = sid;
-    r.history = s.history;
-    r.input = cr.input_tokens;
-    r.output = cr.output_tokens;
-    r.arrival = now;
-    return r;
-  };
-
-  auto finish_round = [&](Active& a) {
-    kv_free += a.kv_reserved;
-    ++report.rounds_completed;
-    Session& s = sessions[static_cast<size_t>(a.r.session)];
-    const int64_t old_history = s.history;
-    s.history += a.r.input + a.r.output;
-    ++s.next_round;
-    if (s.next_round < s.conv.rounds.size()) {
-      save_state(a.r.session, old_history, s.history);
-      arrivals.push(Arrival{now + round_interval_s, a.r.session});
-    } else if (backend != nullptr) {
-      backend->DeleteContext(a.r.session);  // session over: drop its stored state
-    }
-  };
-
-  while (report.rounds_completed < total_rounds && now < options_.max_sim_seconds) {
-    // Admit due arrivals.
+    // Route and admit due arrivals. Loads are re-probed per decision so a burst does
+    // not pile onto one replica within a single admission scan.
     while (!arrivals.empty() && arrivals.top().time <= now) {
       const int64_t sid = arrivals.top().session;
       arrivals.pop();
-      pending.push_back(make_round(sid));
-      ++report.rounds_submitted;
+      Session& s = sessions[static_cast<size_t>(sid)];
+      const ConversationRound& cr = s.conv.rounds[s.next_round];
+      RoundTask r;
+      r.session = sid;
+      r.history = s.history;
+      r.input = cr.input_tokens;
+      r.output = cr.output_tokens;
+      r.arrival = now;
+      r.last_round = s.next_round + 1 == s.conv.rounds.size();
+      int target = 0;
+      if (route != nullptr) {
+        for (size_t i = 0; i < replicas.size(); ++i) {
+          loads[i] = replicas[i]->Load();
+        }
+        target = route(r, s.home, loads);
+        if (target < 0 || target >= static_cast<int>(replicas.size())) {
+          target = 0;  // defensive: a router must not address absent replicas
+        }
+      }
+      // A round only counts toward restore locality when its method actually reads
+      // state back through the shared tier (recompute/ideal never do).
+      s.inflight_restores = r.history > 0 && MethodNeedsRestorePhase(opts.method) &&
+                            opts.state_backend != nullptr;
+      s.inflight_cross = s.inflight_restores && target != s.home;
+      s.home = target;  // this replica will hold the state saved after this round
+      replicas[static_cast<size_t>(target)]->Submit(r);
     }
 
-    // Complete an in-flight restoration.
-    if (restoring.active && now >= restoring.end) {
-      Active a;
-      a.r = restoring.r;
-      a.prefill_remaining = restoring.r.input;
-      a.kv_reserved = restoring.kv_reserved;
-      prefill_q.push_back(a);
-      restoring.active = false;
+    // Step every replica to the global clock (fixed index order: deterministic).
+    done.clear();
+    for (ServingEngine* r : replicas) {
+      r->Advance(now, &done);
     }
-
-    // Dispatch pending rounds FCFS against the KV budget. PagedAttention allocates
-    // blocks on demand, so admission charges the known footprint (history + prompt);
-    // decode growth is charged as tokens generate (approximated at completion).
-    while (!pending.empty()) {
-      Round& r = pending.front();
-      const int64_t needed = r.history + r.input;
-      if (needed > options_.kv_capacity_tokens) {
-        // Never fits: drop rather than deadlock (the trace clamps at 16K so this only
-        // guards misconfiguration).
-        pending.pop_front();
+    for (const RoundCompletion& c : done) {
+      Session& s = sessions[static_cast<size_t>(c.session)];
+      if (c.dropped) {
+        // The replica refused the round outright (and released any stored state);
+        // the session cannot continue and its remaining rounds are unreachable.
+        s.next_round = s.conv.rounds.size();
         continue;
       }
-      if (needed > kv_free) {
-        break;
+      if (s.inflight_restores) {
+        ++(s.inflight_cross ? result.cross_replica_restores : result.affinity_restores);
+        s.inflight_restores = false;
       }
-      const bool needs_restore = r.history > 0 && MethodNeedsRestorePhase(options_.method);
-      if (needs_restore) {
-        if (restoring.active) {
-          break;  // one restoration channel; keep FCFS order
-        }
-        load_state(r.session, r.history);
-        double compute_busy = 0;
-        const double t = RestoreTime(r.history, &compute_busy);
-        restoring.r = r;
-        restoring.start = now;
-        restoring.end = now + t;
-        restoring.compute_total = compute_busy;
-        restoring.charged = 0;
-        restoring.kv_reserved = needed;
-        restoring.active = true;
-      } else {
-        Active a;
-        a.r = r;
-        a.kv_reserved = needed;
-        a.prefill_remaining =
-            options_.method == RestoreMethod::kRecompute ? r.history + r.input : r.input;
-        prefill_q.push_back(a);
-      }
-      kv_free -= needed;
-      pending.pop_front();
-    }
-
-    // Idle? Jump to the next event.
-    if (decode.empty() && prefill_q.empty()) {
-      double next = std::numeric_limits<double>::infinity();
-      if (!arrivals.empty()) {
-        next = std::min(next, arrivals.top().time);
-      }
-      if (restoring.active) {
-        next = std::min(next, restoring.end);
-      }
-      if (!std::isfinite(next)) {
-        break;  // nothing left to do
-      }
-      now = std::max(now, next);
-      continue;
-    }
-
-    // --- one fused iteration (SplitFuse) ---
-    int64_t total_ctx = 0;
-    for (const Active& d : decode) {
-      total_ctx += d.r.history + d.r.input + d.decoded;
-    }
-    double iter = decode.empty() ? 0.0
-                                 : gpu_.DecodeIterationTime(
-                                       cfg_, static_cast<int64_t>(decode.size()), total_ctx);
-    int64_t chunk = 0;
-    const bool can_prefill =
-        !prefill_q.empty() && static_cast<int64_t>(decode.size()) < options_.max_batch_size;
-    if (can_prefill) {
-      chunk = std::min(options_.prefill_chunk_tokens, prefill_q.front().prefill_remaining);
-      iter += gpu_.PrefillTime(cfg_, chunk);
-    }
-    iter += DirectSaveStall(static_cast<int64_t>(decode.size()), iter);
-    if (restoring.active) {
-      // Restoration compute steals GPU time from overlapping iterations.
-      const double window = std::max(restoring.end - restoring.start, 1e-9);
-      double share = restoring.compute_total * (iter / window);
-      share = std::min(share, restoring.compute_total - restoring.charged);
-      restoring.charged += share;
-      iter += std::max(0.0, share);
-    }
-    if (iter <= 0) {
-      iter = 1e-6;
-    }
-    now += iter;
-
-    // Decode progress: one token per sequence per iteration.
-    for (auto it = decode.begin(); it != decode.end();) {
-      report.tbt.Add(iter);
-      ++it->decoded;
-      if (it->decoded >= it->r.output) {
-        finish_round(*it);
-        it = decode.erase(it);
-      } else {
-        ++it;
-      }
-    }
-
-    // Prefill progress on the queue head.
-    if (chunk > 0) {
-      Active& head = prefill_q.front();
-      head.prefill_remaining -= chunk;
-      if (head.prefill_remaining == 0) {
-        // Prefill emits the first token.
-        report.ttft.Add(now - head.r.arrival + options_.request_overhead);
-        head.decoded = 1;
-        if (head.decoded >= head.r.output) {
-          finish_round(head);
-        } else {
-          decode.push_back(head);
-        }
-        prefill_q.pop_front();
+      s.history += c.new_tokens;
+      ++s.next_round;
+      ++completed;
+      if (s.next_round < s.conv.rounds.size()) {
+        arrivals.push(Arrival{c.finish_time + round_interval_s, c.session});
       }
     }
   }
+  return result;
+}
 
-  report.makespan = now;
-  if (backend != nullptr) {
-    report.storage = backend->Stats();
+ServingReport ServingEngine::RunConversations(double sessions_per_second,
+                                              int64_t num_sessions, double round_interval_s,
+                                              uint64_t seed) {
+  DriveConversations({this}, sessions_per_second, num_sessions, round_interval_s, seed,
+                     /*route=*/nullptr);
+  ServingReport report = FinishExternal();
+  if (options_.state_backend != nullptr) {
+    report.storage = options_.state_backend->Stats();
   }
   return report;
 }

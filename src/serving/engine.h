@@ -14,6 +14,8 @@
 #define HCACHE_SRC_SERVING_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -97,6 +99,44 @@ struct ServingReport {
   }
 };
 
+// One conversation round handed to a replica by an external driver (the cluster's
+// router, or RunConversations driving its own engine). `arrival` is the submission
+// time on the shared simulation clock; `last_round` tells the replica whether to
+// persist the grown state (more rounds follow) or drop the context (session over).
+struct RoundTask {
+  int64_t session = 0;  // globally unique across the cluster (storage context id)
+  int64_t history = 0, input = 0, output = 0;
+  double arrival = 0;
+  bool last_round = false;
+};
+
+// Completion event returned by ServingEngine::Advance: the driver uses it to grow the
+// session's history and schedule the next round after think time. `dropped` marks a
+// round the replica refused (its KV demand exceeds the pool outright): no tokens were
+// produced, the session cannot continue, and any state it had stored was deleted.
+struct RoundCompletion {
+  int64_t session = 0;
+  int64_t new_tokens = 0;  // input + output of the finished round (0 when dropped)
+  double finish_time = 0;
+  bool dropped = false;
+};
+
+// Instantaneous load probes the cluster's routers read. All token counts are KV-pool
+// tokens (history + prompt reservations plus pending demand).
+struct ReplicaLoad {
+  int64_t queued_rounds = 0;   // rounds admitted but not yet completed
+  int64_t queued_tokens = 0;   // their total token demand (history+input+output)
+  int64_t kv_free_tokens = 0;  // unreserved KV-pool tokens
+  int64_t kv_capacity_tokens = 0;
+
+  double KvOccupancy() const {
+    return kv_capacity_tokens > 0
+               ? 1.0 - static_cast<double>(kv_free_tokens) /
+                           static_cast<double>(kv_capacity_tokens)
+               : 0.0;
+  }
+};
+
 class ServingEngine {
  public:
   ServingEngine(const Platform& platform, const ModelConfig& cfg,
@@ -105,8 +145,42 @@ class ServingEngine {
   // Fig 9: multi-round conversations. Sessions arrive as a Poisson process at
   // `sessions_per_second`; rounds within a session are spaced by `round_interval_s` of
   // think time; the KV cache is evicted when a round completes (§6.1.1 setup).
+  // Implemented as a single-replica driver over the stepped interface below, so the
+  // cluster path and the classic path share one simulation core.
   ServingReport RunConversations(double sessions_per_second, int64_t num_sessions,
                                  double round_interval_s, uint64_t seed);
+
+  // --- stepped interface: externally-driven session admission (cluster hooks) ---
+  //
+  // Lifecycle: StartExternal() resets the simulation; the driver then interleaves
+  // Submit() and Advance() calls, using NextEventTime() to order replicas on a global
+  // clock; FinishExternal() seals the report. The replica's local clock may overshoot
+  // the driver's clock by at most one fused iteration (iterations are indivisible).
+
+  // Resets all simulation state and starts a fresh report.
+  void StartExternal();
+
+  // Admits one round. The driver must only submit rounds whose arrival time has been
+  // reached on its clock (arrival <= the next Advance() horizon).
+  void Submit(const RoundTask& r);
+
+  // Advances the local simulation until the local clock passes `until` or the replica
+  // runs out of work. Completed rounds are appended to `done` (state saving and
+  // context deletion through options().state_backend happen here).
+  void Advance(double until, std::vector<RoundCompletion>* done);
+
+  // Earliest future time this replica can make progress: its local clock while work is
+  // runnable, the restoration-finish time while only a restore is in flight, +inf when
+  // idle. The driver's global clock is the min over replicas and pending arrivals.
+  double NextEventTime() const;
+
+  // Seals and returns the external-mode report. Unlike RunConversations, the storage
+  // stats snapshot is left to the caller: a shared backend's counters belong to the
+  // cluster, not to any one replica.
+  ServingReport FinishExternal();
+
+  // Router probes (valid between Advance calls).
+  ReplicaLoad Load() const;
 
   // Fig 4 / Fig 10: long-context requests served one at a time (batch size 1):
   // TTFT = overhead + restoration(context) + prefill(question).
@@ -135,12 +209,70 @@ class ServingEngine {
 
   double RestoreTime(int64_t history_tokens, double* compute_busy) const;
 
+  // --- stepped-simulation internals (state between Advance calls) ---
+  struct Active {
+    RoundTask r;
+    int64_t prefill_remaining = 0;
+    int64_t decoded = 0;
+    int64_t kv_reserved = 0;
+  };
+  struct Restoration {
+    RoundTask r;
+    double start = 0, end = 0;
+    double compute_total = 0, charged = 0;
+    int64_t kv_reserved = 0;
+    bool active = false;
+  };
+
+  // Encoded bytes per history token under the configured codec (used by the state
+  // registry that persists context descriptors through options_.state_backend).
+  int64_t EncodedStateBytesPerToken() const;
+  void SaveState(int64_t session, int64_t old_tokens, int64_t new_tokens);
+  void LoadState(int64_t session, int64_t tokens);
+  void FinishRound(Active& a, std::vector<RoundCompletion>* done);
+
   Platform platform_;
   ModelConfig cfg_;
   ServingOptions options_;
   GpuTimingModel gpu_;
   Restorer restorer_;
+
+  // Simulation state (reset by StartExternal).
+  double now_ = 0;
+  int64_t kv_free_ = 0;
+  int64_t queued_tokens_ = 0;  // token demand of admitted-but-unfinished rounds
+  int64_t queued_rounds_ = 0;
+  std::deque<RoundTask> pending_;
+  std::deque<Active> prefill_q_;
+  std::vector<Active> decode_;
+  Restoration restoring_;
+  std::vector<char> state_buf_;
+  int64_t chunk_capacity_tokens_ = 1;
+  ServingReport report_;
 };
+
+// Picks the replica index for a round. `home` is the replica that saved the session's
+// previous state (-1: none yet). A null RouteFn means "always replica 0" (and skips
+// load probing entirely).
+using RouteFn =
+    std::function<int(const RoundTask&, int home, const std::vector<ReplicaLoad>&)>;
+
+struct ConversationDriveResult {
+  int64_t cross_replica_restores = 0;  // history>0 rounds routed off their home
+  int64_t affinity_restores = 0;       // history>0 rounds routed back home
+};
+
+// Shared multi-round-conversation driver (the Fig 9 workload): materializes the
+// seeded ShareGPT trace and Poisson session arrivals, then drives `replicas` on one
+// global clock through the stepped interface (StartExternal/Submit/Advance). Both
+// ServingEngine::RunConversations (one replica, null route) and the cluster plane (N
+// replicas behind a SessionRouter) run THIS function, so the two paths cannot drift
+// apart. Workload caps (max_history_tokens, max_sim_seconds) come from
+// replicas[0]->options(); callers harvest reports via FinishExternal() afterwards.
+ConversationDriveResult DriveConversations(const std::vector<ServingEngine*>& replicas,
+                                           double sessions_per_second,
+                                           int64_t num_sessions, double round_interval_s,
+                                           uint64_t seed, const RouteFn& route);
 
 }  // namespace hcache
 

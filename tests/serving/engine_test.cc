@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/storage/memory_backend.h"
 #include "src/workload/arrival.h"
 
 namespace hcache {
@@ -225,6 +226,23 @@ TEST(ServingEngineTest, KvCapacityLimitsConcurrency) {
       ServingEngine(p, cfg, roomy).RunConversations(0.4, 60, 5.0, 29);
   EXPECT_GT(r_tight.ttft.Mean(), r_roomy.ttft.Mean());
   EXPECT_EQ(r_tight.rounds_completed, r_tight.rounds_submitted);
+}
+
+TEST(ServingEngineTest, OversizedRoundsDropCleanlyAndReleaseState) {
+  // A KV pool far below the trace's history cap: conversations outgrow it mid-flight
+  // and their rounds are dropped. The drop must end the session cleanly — no later
+  // rounds scheduled, and its stored state released from the backend rather than
+  // squatting there for the rest of the run.
+  ServingOptions o = Opts(RestoreMethod::kHCache);
+  o.kv_capacity_tokens = 2500;
+  MemoryBackend backend(64 * 1024);
+  o.state_backend = &backend;
+  ServingEngine e(Platform::DefaultTestbed(1, 4), ModelConfig::Llama2_7B(), o);
+  const ServingReport rep = e.RunConversations(0.4, 30, 5.0, 42);
+  EXPECT_GT(rep.rounds_completed, 0);
+  EXPECT_LT(rep.rounds_completed, rep.rounds_submitted);  // some rounds never fit
+  EXPECT_EQ(backend.chunks_stored(), 0);
+  EXPECT_EQ(backend.bytes_stored(), 0);
 }
 
 TEST(ServingEngineTest, HorizonBoundsSimulation) {
