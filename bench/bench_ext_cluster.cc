@@ -8,15 +8,37 @@
 // load and session count scale with the fleet so every configuration is compared at
 // the same per-replica pressure.
 //
-// Emits BENCH_ext_cluster.json: per-config rows plus per-router 4-vs-1 scaling, with
-// the acceptance flags the repo tracks (>=3x at 4 replicas, cross-replica restores).
+// Two sections:
+//
+//  (1) Simulated scaling sweep (deterministic): replica-count x router rows on the
+//      shared tier in synchronous write-back mode, reproducing the PR 4 acceptance
+//      bar (>=3x at 4 replicas with cross-replica restores).
+//
+//  (2) Shared-tier concurrency A/B (wall clock): the SAME 4-replica workload driven
+//      with parallel replica stepping against a cold tier with injected NVMe-like
+//      latency, once on the PR 4 baseline tier (one mutex, held across cold-tier IO
+//      — TieredOptions::Writeback::kLegacyLocked) and once on the PR 5 tier in its
+//      auto configuration (async write-back drainer, no lock across cold IO; the
+//      auto-shard heuristic keeps ONE stripe at this 6-chunk budget, so both legs
+//      share identical cache geometry and the ratio isolates exactly the lock
+//      discipline + async drain — striping itself engages on larger budgets and is
+//      exercised by the storage concurrency tests). Simulated results are
+//      byte-identical by construction. The acceptance column: the PR 5 tier must
+//      beat the PR 4 baseline strictly.
+//
+// Emits BENCH_ext_cluster.json: per-config rows, per-router 4-vs-1 scaling, and the
+// wall-clock A/B with the acceptance flags the repo tracks.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/thread_pool.h"
 #include "src/serving/cluster.h"
+#include "src/storage/instrumented_backend.h"
 #include "src/storage/memory_backend.h"
 #include "src/storage/tiered_backend.h"
 
@@ -32,6 +54,22 @@ constexpr int64_t kChunkBytes = 64 * 1024;
 // Shared hot-tier budget: sized so the fleet's live state does not fully fit and the
 // cold tier sees traffic (the interesting regime for a shared cache).
 constexpr int64_t kSharedDramBytes = 6 * kChunkBytes;
+// Injected cold-tier service time for the wall-clock A/B (NVMe-ish QD1 latency).
+constexpr int64_t kColdLatencyMicros = 300;
+// PR 4's committed 4-vs-1 scaling (BENCH_ext_cluster.json at PR 4): the simulated
+// sweep must not regress below it, and the wall-clock A/B exists because the
+// simulated ratio alone cannot see lock contention at all.
+constexpr double kPr4CommittedScaling4v1 = 3.14;
+
+// Deterministic sweep instrument: one lock stripe + synchronous write-back gives
+// run-to-run identical tier stats (the async drainer's rescue/cold split depends on
+// thread timing, which belongs in the wall-clock section, not the committed sweep).
+TieredOptions SweepTierOptions() {
+  TieredOptions o;
+  o.num_shards = 1;
+  o.writeback = TieredOptions::Writeback::kSync;
+  return o;
+}
 
 struct Row {
   int replicas = 0;
@@ -44,7 +82,7 @@ Row RunConfig(int replicas, RouterPolicy policy) {
   row.replicas = replicas;
   row.policy = policy;
   MemoryBackend cold(kChunkBytes);
-  TieredBackend shared(&cold, kSharedDramBytes);
+  TieredBackend shared(&cold, kSharedDramBytes, SweepTierOptions());
   ClusterOptions o;
   o.num_replicas = replicas;
   o.router = policy;
@@ -55,6 +93,55 @@ Row RunConfig(int replicas, RouterPolicy policy) {
                                      kSessionsPerReplica * replicas, kRoundInterval,
                                      kSeed);
   return row;
+}
+
+struct WallRow {
+  std::string tier;
+  double wall_s = 0;
+  ClusterReport rep;
+};
+
+// One wall-clock A/B leg: 4 replicas stepped in parallel over a shared tier whose
+// cold backend sleeps kColdLatencyMicros per op. Simulated output is identical
+// across tiers; only the wall time (and the tier's concurrency stats) differ.
+WallRow RunWallConfig(const std::string& name, const TieredOptions& tier_options) {
+  constexpr int kReplicas = 4;
+  WallRow row;
+  row.tier = name;
+  MemoryBackend mem(kChunkBytes);
+  InstrumentedBackend cold(&mem);
+  cold.set_io_latency_micros(kColdLatencyMicros);
+  TieredBackend shared(&cold, kSharedDramBytes, tier_options);
+  ClusterOptions o;
+  o.num_replicas = kReplicas;
+  o.router = RouterPolicy::kLeastLoadedTokens;
+  o.parallel_advance = true;
+  o.serving.method = RestoreMethod::kHCache;
+  ClusterEngine cluster(Platform::DefaultTestbed(1, 4), ModelConfig::Llama2_7B(), o,
+                        &shared);
+  const auto t0 = std::chrono::steady_clock::now();
+  row.rep = cluster.RunConversations(kPerReplicaLoad * kReplicas,
+                                     kSessionsPerReplica * kReplicas, kRoundInterval,
+                                     kSeed);
+  row.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                   .count();
+  return row;
+}
+
+JsonValue StorageJson(const ClusterReport& r) {
+  JsonValue storage = JsonValue::Object();
+  storage.Set("total_writes", r.storage.total_writes);
+  storage.Set("total_reads", r.storage.total_reads);
+  storage.Set("dram_hit_bytes", r.storage.dram_hit_bytes);
+  storage.Set("cold_hit_bytes", r.storage.cold_hit_bytes);
+  storage.Set("dram_hit_byte_ratio", r.SharedDramHitByteRatio());
+  storage.Set("evicted_contexts", r.storage.evicted_contexts);
+  storage.Set("writeback_bytes", r.storage.writeback_bytes);
+  storage.Set("drain_rescued_chunks", r.storage.drain_rescued_chunks);
+  storage.Set("writer_stalls", r.storage.writer_stalls);
+  storage.Set("writeback_failures", r.storage.writeback_failures);
+  storage.Set("promotions_skipped", r.storage.promotions_skipped);
+  return storage;
 }
 
 }  // namespace
@@ -111,22 +198,15 @@ int main() {
       cfg.Set("affinity_restores", r.affinity_restores);
       cfg.Set("scaling_vs_1_replica",
               rps1 > 0 ? r.RoundsPerSecond() / rps1 : 1.0);
-      JsonValue storage = JsonValue::Object();
-      storage.Set("total_writes", r.storage.total_writes);
-      storage.Set("total_reads", r.storage.total_reads);
-      storage.Set("dram_hit_bytes", r.storage.dram_hit_bytes);
-      storage.Set("cold_hit_bytes", r.storage.cold_hit_bytes);
-      storage.Set("dram_hit_byte_ratio", r.SharedDramHitByteRatio());
-      storage.Set("evicted_contexts", r.storage.evicted_contexts);
-      storage.Set("writeback_bytes", r.storage.writeback_bytes);
-      cfg.Set("shared_storage", std::move(storage));
+      cfg.Set("shared_storage", StorageJson(r));
       configs.Push(std::move(cfg));
       rows.push_back(row);
     }
   }
 
-  // Acceptance summary: for each router, 4-replica scaling vs 1 replica.
+  // Acceptance summary 1: for each router, 4-replica scaling vs 1 replica.
   bool any_policy_meets_bar = false;
+  double best_scaling = 0.0;
   JsonValue scaling = JsonValue::Array();
   std::printf("\n  4-replica scaling vs 1 replica (equal per-replica hardware):\n");
   for (const RouterPolicy policy : policies) {
@@ -143,6 +223,7 @@ int main() {
     const double x = rps1 > 0 ? rps4 / rps1 : 0.0;
     const bool meets = x >= 3.0 && cross4 > 0;
     any_policy_meets_bar = any_policy_meets_bar || meets;
+    best_scaling = std::max(best_scaling, x);
     std::printf("    %-13s %.2fx  (cross-replica restores: %lld)%s\n",
                 RouterPolicyName(policy), x, static_cast<long long>(cross4),
                 meets ? "  [>=3x with shared-tier reuse]" : "");
@@ -153,8 +234,84 @@ int main() {
     entry.Set("meets_3x_bar", meets);
     scaling.Push(std::move(entry));
   }
+  // The simulated sweep is deterministic, so the PR 4 committed value is a hard
+  // regression bar, not a flaky wall-clock comparison.
+  const bool sim_no_regress = best_scaling >= kPr4CommittedScaling4v1;
+  std::printf("    best %.2fx vs PR 4 committed %.2fx%s\n", best_scaling,
+              kPr4CommittedScaling4v1,
+              sim_no_regress ? "  [no regression]" : "  [REGRESSION]");
   PrintNote("acceptance: >=1 policy with 4 replicas at >=3x of 1 replica and");
   PrintNote("cross-replica restores > 0 (save on A, restore on B via the shared tier).");
+
+  // ---- Section 2: shared-tier concurrency A/B (wall clock) ----
+  PrintSection("shared-tier concurrency A/B: 4 replicas stepped in parallel, cold tier "
+               "+" + std::to_string(kColdLatencyMicros) + "us/op");
+  // Parallel stepping needs real workers even on small CI boxes; the simulated
+  // results are thread-count independent (pinned by the determinism tests).
+  const size_t pool_threads =
+      std::max<size_t>(4, ThreadPool::Shared().num_threads());
+  ThreadPool::ResizeShared(pool_threads);
+
+  TieredOptions legacy;
+  legacy.num_shards = 1;
+  legacy.writeback = TieredOptions::Writeback::kLegacyLocked;
+  // Auto stripes (= 1 at this budget: same cache geometry as the legacy leg) +
+  // the async drainer — the redesign's concurrency plane, nothing else varied.
+  TieredOptions pr5;
+  pr5.num_shards = 0;
+  pr5.writeback = TieredOptions::Writeback::kAsync;
+
+  // Legacy first so its serialized wall time cannot benefit from warmed caches.
+  const WallRow wall_legacy = RunWallConfig("pr4-serialized", legacy);
+  const WallRow wall_sharded = RunWallConfig("pr5-async", pr5);
+
+  std::printf("  %-15s %8s %12s %9s %9s %9s %8s\n", "tier", "wall-s", "rounds/wall-s",
+              "rounds", "stalls", "rescues", "dram%");
+  JsonValue wall_rows = JsonValue::Array();
+  for (const WallRow* w : {&wall_legacy, &wall_sharded}) {
+    const double rpws =
+        w->wall_s > 0 ? static_cast<double>(w->rep.aggregate.rounds_completed) / w->wall_s
+                      : 0.0;
+    std::printf("  %-15s %8.3f %12.1f %9lld %9lld %9lld %7.1f%%\n", w->tier.c_str(),
+                w->wall_s, rpws,
+                static_cast<long long>(w->rep.aggregate.rounds_completed),
+                static_cast<long long>(w->rep.storage.writer_stalls),
+                static_cast<long long>(w->rep.storage.drain_rescued_chunks),
+                100.0 * w->rep.SharedDramHitByteRatio());
+    JsonValue entry = JsonValue::Object();
+    entry.Set("tier", w->tier);
+    entry.Set("wall_s", w->wall_s);
+    entry.Set("rounds_per_wall_s", rpws);
+    entry.Set("rounds_completed", w->rep.aggregate.rounds_completed);
+    entry.Set("shared_storage", StorageJson(w->rep));
+    wall_rows.Push(std::move(entry));
+  }
+  // Same simulation on both tiers — the A/B isolates the storage plane.
+  const bool same_sim = wall_legacy.rep.aggregate.rounds_completed ==
+                        wall_sharded.rep.aggregate.rounds_completed;
+  const double wall_speedup =
+      wall_sharded.wall_s > 0 ? wall_legacy.wall_s / wall_sharded.wall_s : 0.0;
+  const bool wall_meets_bar = same_sim && wall_speedup > 1.0;
+  std::printf("\n  pr5-async vs pr4-serialized wall-clock speedup: %.2fx%s\n",
+              wall_speedup,
+              wall_meets_bar ? "  [strictly better than the PR 4 tier]" : "");
+  PrintNote("acceptance: identical simulated rounds, wall-clock rounds/sec strictly");
+  PrintNote("above the PR 4 serialized tier (no lock across cold IO + async drain).");
+
+  JsonValue wall_ab = JsonValue::Object();
+  wall_ab.Set("replicas", 4);
+  wall_ab.Set("router", RouterPolicyName(RouterPolicy::kLeastLoadedTokens));
+  wall_ab.Set("cold_latency_us_per_op", kColdLatencyMicros);
+  wall_ab.Set("pool_threads", static_cast<int64_t>(pool_threads));
+  wall_ab.Set("rows", std::move(wall_rows));
+  wall_ab.Set("identical_simulated_results", same_sim);
+  wall_ab.Set("wall_speedup_sharded_vs_serialized", wall_speedup);
+  wall_ab.Set("meets_strictly_better_bar", wall_meets_bar);
+
+  if (!wall_meets_bar) {
+    std::printf("  WARNING: wall-clock A/B below bar this run (timing-noise "
+                "sensitive; the committed JSON records the tracked result)\n");
+  }
 
   JsonValue root = JsonValue::Object();
   root.Set("bench", "ext_cluster");
@@ -167,9 +324,18 @@ int main() {
   root.Set("seed", static_cast<int64_t>(kSeed));
   root.Set("shared_dram_budget_bytes", kSharedDramBytes);
   root.Set("chunk_bytes", kChunkBytes);
+  root.Set("pr4_committed_scaling_4_vs_1", kPr4CommittedScaling4v1);
+  root.Set("best_scaling_4_vs_1", best_scaling);
+  root.Set("sim_scaling_no_regress_vs_pr4", sim_no_regress);
   root.Set("configs", std::move(configs));
   root.Set("scaling_4_vs_1", std::move(scaling));
-  root.Set("acceptance_met", any_policy_meets_bar);
+  root.Set("shared_tier_wall_ab", std::move(wall_ab));
+  root.Set("acceptance_met", any_policy_meets_bar && sim_no_regress && wall_meets_bar);
   WriteJsonFile("BENCH_ext_cluster.json", root);
-  return any_policy_meets_bar ? 0 : 1;
+  // Exit code gates CI on the deterministic bars only: the simulated scaling sweep
+  // (>=3x and no regression vs the PR 4 committed value) and the two wall-clock
+  // legs producing identical simulations. The wall-clock speedup itself is
+  // scheduler-sensitive on shared runners, so it is recorded (and tracked via the
+  // committed JSON) rather than allowed to flake the build.
+  return any_policy_meets_bar && sim_no_regress && same_sim ? 0 : 1;
 }

@@ -72,10 +72,15 @@ BackendUnderTest MakeBackend(BackendKind kind, const char* tag, int64_t chunk_by
     case kMemory:
       b.backend = std::make_unique<MemoryBackend>(chunk_bytes);
       break;
-    case kTiered:
+    case kTiered: {
       b.cold = std::make_unique<FileBackend>(TempDirs(tag, 4), chunk_bytes);
-      b.backend = std::make_unique<TieredBackend>(b.cold.get(), 64 * chunk_bytes);
+      // Synchronous write-back: the micro-bench measures the eviction/flush cost
+      // itself, which the async drainer would move off the timed thread.
+      TieredOptions opts;
+      opts.writeback = TieredOptions::Writeback::kSync;
+      b.backend = std::make_unique<TieredBackend>(b.cold.get(), 64 * chunk_bytes, opts);
       break;
+    }
   }
   return b;
 }
@@ -195,7 +200,12 @@ void BM_TieredEvictionChurn(benchmark::State& state) {
   // round of writes pays context-granular eviction plus write-back to the file tier.
   const int64_t chunk_bytes = 64 * 1024;
   auto cold = std::make_unique<FileBackend>(TempDirs("churn", 4), chunk_bytes);
-  TieredBackend tiered(cold.get(), 4 * chunk_bytes);
+  // kSync keeps the flush on the timed thread (the cost this bench exists to
+  // measure) — the async drainer would hide it and DeleteContext would cancel the
+  // still-queued write-backs entirely.
+  TieredOptions churn_opts;
+  churn_opts.writeback = TieredOptions::Writeback::kSync;
+  TieredBackend tiered(cold.get(), 4 * chunk_bytes, churn_opts);
   std::vector<char> payload(static_cast<size_t>(chunk_bytes), 'z');
   int64_t ctx = 0;
   for (auto _ : state) {

@@ -163,7 +163,8 @@ ClusterReport ClusterEngine::RunConversations(double sessions_per_second,
       replicas, sessions_per_second, num_sessions, round_interval_s, seed,
       [this](const RoundTask& r, int home, const std::vector<ReplicaLoad>& loads) {
         return router_->Route(r, home, loads);
-      });
+      },
+      options_.parallel_advance);
   report.cross_replica_restores = drive.cross_replica_restores;
   report.affinity_restores = drive.affinity_restores;
 
@@ -183,6 +184,10 @@ ClusterReport ClusterEngine::RunConversations(double sessions_per_second,
     report.aggregate.makespan = std::max(report.aggregate.makespan, r.makespan);
   }
   if (shared_backend_ != nullptr) {
+    // Settle asynchronous eviction write-back before snapshotting, so the fleet
+    // counters are conserved (no bytes in flight) and drain depth reads zero unless
+    // the tier failed to keep up.
+    shared_backend_->Quiesce();
     report.storage = shared_backend_->Stats();
     report.aggregate.storage = report.storage;
   }

@@ -58,6 +58,14 @@ struct ClusterOptions {
   RouterPolicy router = RouterPolicy::kLeastLoadedTokens;
   uint64_t router_seed = 0x5e5510f;
   int64_t sticky_spill_margin_tokens = 16384;
+  // Step the replicas concurrently (shared thread pool) within each global-clock
+  // iteration. Simulated results are byte-identical to the serial schedule — replica
+  // state is disjoint and completions merge in index order — but the replicas' state
+  // traffic now hits the shared backend from concurrent threads, so wall-clock time
+  // reflects the backend's real lock discipline. Storage *hit-split* counters become
+  // schedule-dependent for a tiered backend (conservation still holds), which is why
+  // the default stays serial (deterministic stats).
+  bool parallel_advance = false;
   // Per-replica engine configuration. `serving.state_backend` is ignored — every
   // replica is rewired to the cluster's shared backend.
   ServingOptions serving;
@@ -76,7 +84,9 @@ struct ClusterReport {
   int64_t cross_replica_restores = 0;
   int64_t affinity_restores = 0;
 
-  // Shared-backend counters at run end (fleet-wide tier hit ratios).
+  // Shared-backend counters at run end, snapshotted after Quiesce() so an
+  // asynchronously-draining tier is settled (fleet-wide tier hit ratios, plus the
+  // shared tier's concurrency-plane health: drain depth, writer stalls, rollbacks).
   StorageStats storage;
   std::string router;
 
@@ -85,6 +95,9 @@ struct ClusterReport {
   double ReplicaRoundSkew() const;
   double RoundsPerSecond() const { return aggregate.RoundsPerSecond(); }
   double SharedDramHitByteRatio() const { return storage.DramHitByteRatio(); }
+  // Shared-tier concurrency stalls: writes that blocked on the drain high-water
+  // mark. Zero when the drainer keeps up (or for synchronous tiers).
+  int64_t SharedWriterStalls() const { return storage.writer_stalls; }
 };
 
 class ClusterEngine {

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/workload/arrival.h"
 
 namespace hcache {
@@ -451,7 +452,8 @@ ServingReport ServingEngine::FinishExternal() {
 ConversationDriveResult DriveConversations(const std::vector<ServingEngine*>& replicas,
                                            double sessions_per_second,
                                            int64_t num_sessions, double round_interval_s,
-                                           uint64_t seed, const RouteFn& route) {
+                                           uint64_t seed, const RouteFn& route,
+                                           bool parallel_advance) {
   CHECK(!replicas.empty());
   const ServingOptions& opts = replicas.front()->options();
 
@@ -543,10 +545,29 @@ ConversationDriveResult DriveConversations(const std::vector<ServingEngine*>& re
       replicas[static_cast<size_t>(target)]->Submit(r);
     }
 
-    // Step every replica to the global clock (fixed index order: deterministic).
+    // Step every replica to the global clock. Serial mode advances them in fixed
+    // index order; parallel mode advances them concurrently (replica state is
+    // disjoint; only the shared storage backend sees concurrent traffic) and merges
+    // per-replica completions in index order, so both schedules produce the same
+    // simulation byte-for-byte.
     done.clear();
-    for (ServingEngine* r : replicas) {
-      r->Advance(now, &done);
+    if (parallel_advance && replicas.size() > 1) {
+      std::vector<std::vector<RoundCompletion>> done_per(replicas.size());
+      ThreadPool::Shared().ParallelFor(
+          0, static_cast<int64_t>(replicas.size()), 1,
+          [&replicas, &done_per, now](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              replicas[static_cast<size_t>(i)]->Advance(
+                  now, &done_per[static_cast<size_t>(i)]);
+            }
+          });
+      for (const auto& d : done_per) {
+        done.insert(done.end(), d.begin(), d.end());
+      }
+    } else {
+      for (ServingEngine* r : replicas) {
+        r->Advance(now, &done);
+      }
     }
     for (const RoundCompletion& c : done) {
       Session& s = sessions[static_cast<size_t>(c.session)];
@@ -578,6 +599,9 @@ ServingReport ServingEngine::RunConversations(double sessions_per_second,
                      /*route=*/nullptr);
   ServingReport report = FinishExternal();
   if (options_.state_backend != nullptr) {
+    // A tiered backend may still be write-backing evicted state; settle the
+    // background plane so the snapshot below is stable and conserved.
+    options_.state_backend->Quiesce();
     report.storage = options_.state_backend->Stats();
   }
   return report;

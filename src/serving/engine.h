@@ -269,10 +269,19 @@ struct ConversationDriveResult {
 // replicas behind a SessionRouter) run THIS function, so the two paths cannot drift
 // apart. Workload caps (max_history_tokens, max_sim_seconds) come from
 // replicas[0]->options(); callers harvest reports via FinishExternal() afterwards.
+//
+// `parallel_advance` steps the replicas concurrently on the shared thread pool
+// within each global-clock iteration. Replica simulation state is disjoint, routing
+// and completion handling stay serial, and completions are merged in replica-index
+// order, so the simulated results are byte-identical to the serial schedule — only
+// the *wall-clock* behavior changes: the replicas' state save/restore traffic now
+// hits the shared StorageBackend concurrently, which is exactly the access pattern
+// the sharded tiered backend exists for (and what bench_ext_cluster measures).
 ConversationDriveResult DriveConversations(const std::vector<ServingEngine*>& replicas,
                                            double sessions_per_second,
                                            int64_t num_sessions, double round_interval_s,
-                                           uint64_t seed, const RouteFn& route);
+                                           uint64_t seed, const RouteFn& route,
+                                           bool parallel_advance = false);
 
 }  // namespace hcache
 

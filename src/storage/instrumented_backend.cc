@@ -1,0 +1,60 @@
+#include "src/storage/instrumented_backend.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+InstrumentedBackend::InstrumentedBackend(StorageBackend* inner)
+    : StorageBackend(inner->chunk_bytes()), inner_(inner) {
+  CHECK(inner != nullptr);
+}
+
+void InstrumentedBackend::InjectLatency() const {
+  const int64_t micros = io_latency_micros_.load(std::memory_order_relaxed);
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+bool InstrumentedBackend::WriteChunk(const ChunkKey& key, const void* data,
+                                     int64_t bytes) {
+  InjectLatency();
+  if (write_hook_) {
+    write_hook_(key);
+  }
+  // Decrement-and-test so concurrent writers consume exactly `n` failures.
+  if (fail_writes_.load(std::memory_order_relaxed) > 0 &&
+      fail_writes_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+    ++injected_write_failures_;
+    return false;
+  }
+  return inner_->WriteChunk(key, data, bytes);
+}
+
+int64_t InstrumentedBackend::ReadChunk(const ChunkKey& key, void* buf,
+                                       int64_t buf_bytes) const {
+  InjectLatency();
+  if (read_hook_) {
+    read_hook_(key);
+  }
+  return inner_->ReadChunk(key, buf, buf_bytes);
+}
+
+bool InstrumentedBackend::HasChunk(const ChunkKey& key) const {
+  return inner_->HasChunk(key);
+}
+
+int64_t InstrumentedBackend::ChunkSize(const ChunkKey& key) const {
+  return inner_->ChunkSize(key);
+}
+
+void InstrumentedBackend::DeleteContext(int64_t context_id) {
+  inner_->DeleteContext(context_id);
+}
+
+StorageStats InstrumentedBackend::Stats() const { return inner_->Stats(); }
+
+}  // namespace hcache

@@ -1,0 +1,69 @@
+// Instrumentation wrapper for storage backends: forwards every operation to an
+// inner backend while optionally injecting per-op latency (a stand-in for real
+// SSD/NVMe service time in concurrency tests and the cluster bench), scheduled
+// write failures (the eviction-failure-path conservation tests), and caller hooks
+// that run *inside* the inner IO (the "no lock held across cold-tier IO" probe
+// re-enters the tier from another thread through these).
+//
+// Thread-safe: counters are atomics and hooks are installed before the backend is
+// shared. Latency is injected OUTSIDE the inner backend's locks (before the
+// forwarded call), so the wrapper adds service time, not lock hold time.
+#ifndef HCACHE_SRC_STORAGE_INSTRUMENTED_BACKEND_H_
+#define HCACHE_SRC_STORAGE_INSTRUMENTED_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/storage/storage_backend.h"
+
+namespace hcache {
+
+class InstrumentedBackend : public StorageBackend {
+ public:
+  // `inner` must outlive the wrapper and defines chunk_bytes.
+  explicit InstrumentedBackend(StorageBackend* inner);
+
+  // Every ReadChunk/WriteChunk sleeps this long before forwarding (0 = off).
+  void set_io_latency_micros(int64_t micros) { io_latency_micros_ = micros; }
+
+  // The next `n` WriteChunk calls fail (return false) without touching `inner`.
+  void FailNextWrites(int64_t n) { fail_writes_ = n; }
+
+  // Hooks run while the forwarded operation is conceptually in flight (after the
+  // injected latency, before the inner call). Install before sharing the backend.
+  void set_write_hook(std::function<void(const ChunkKey&)> hook) {
+    write_hook_ = std::move(hook);
+  }
+  void set_read_hook(std::function<void(const ChunkKey&)> hook) {
+    read_hook_ = std::move(hook);
+  }
+
+  int64_t injected_write_failures() const { return injected_write_failures_.load(); }
+
+  bool WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) override;
+  int64_t ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const override;
+  bool HasChunk(const ChunkKey& key) const override;
+  int64_t ChunkSize(const ChunkKey& key) const override;
+  void DeleteContext(int64_t context_id) override;
+  StorageStats Stats() const override;
+  std::string Name() const override { return "instrumented(" + inner_->Name() + ")"; }
+  void Quiesce() override { inner_->Quiesce(); }
+
+  StorageBackend* inner() const { return inner_; }
+
+ private:
+  void InjectLatency() const;
+
+  StorageBackend* inner_;
+  std::atomic<int64_t> io_latency_micros_{0};
+  std::atomic<int64_t> fail_writes_{0};
+  mutable std::atomic<int64_t> injected_write_failures_{0};
+  std::function<void(const ChunkKey&)> write_hook_;
+  std::function<void(const ChunkKey&)> read_hook_;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_STORAGE_INSTRUMENTED_BACKEND_H_

@@ -54,6 +54,13 @@ struct StorageStats {
   int64_t writeback_chunks = 0;   // dirty chunks flushed to the cold tier
   int64_t writeback_bytes = 0;
 
+  // Asynchronous write-back plane (TieredBackend only; zero elsewhere).
+  int64_t drain_pending_bytes = 0;   // evicted bytes still queued for write-back
+  int64_t drain_rescued_chunks = 0;  // reads served from the drain queue (DRAM hits)
+  int64_t writer_stalls = 0;         // writes blocked on the drain high-water mark
+  int64_t writeback_failures = 0;    // evictions rolled back on cold-tier write error
+  int64_t promotions_skipped = 0;    // cold reads not admitted (chunk can't fit)
+
   // Fraction of reads served from DRAM (1.0 for MemoryBackend, 0.0 for FileBackend).
   double DramHitRatio() const {
     const int64_t total = dram_hits + cold_hits;
@@ -85,6 +92,13 @@ class StorageBackend {
 
   // Reads a chunk into `buf` (capacity `buf_bytes`). Returns the chunk's byte count,
   // or -1 if the chunk does not exist or the buffer is too small.
+  //
+  // Short-buffer contract (uniform across Memory/File/Tiered, pinned by the
+  // cross-backend conformance test): when the stored chunk is larger than
+  // `buf_bytes`, ReadChunk returns -1 WITHOUT writing to `buf`, without counting a
+  // read (or any hit bytes) in Stats(), and without side effects — in particular a
+  // tiered backend performs no cold-tier IO, no promotion, and no LRU update for a
+  // short-buffer read. Callers distinguish "absent" from "too small" via ChunkSize.
   virtual int64_t ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const = 0;
 
   virtual bool HasChunk(const ChunkKey& key) const = 0;
@@ -95,6 +109,11 @@ class StorageBackend {
 
   virtual StorageStats Stats() const = 0;
   virtual std::string Name() const = 0;
+
+  // Completes background work (asynchronous write-back, deferred flushes). On
+  // return every accepted write is durable in its final tier and Stats() is stable.
+  // Single-tier backends have no background plane; the default is a no-op.
+  virtual void Quiesce() {}
 
   int64_t chunk_bytes() const { return chunk_bytes_; }
 

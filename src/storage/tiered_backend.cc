@@ -1,101 +1,423 @@
 #include "src/storage/tiered_backend.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/logging.h"
 
 namespace hcache {
 
-TieredBackend::TieredBackend(StorageBackend* cold, int64_t dram_capacity_bytes)
-    : StorageBackend(cold->chunk_bytes()),
-      cold_(cold),
-      dram_capacity_bytes_(dram_capacity_bytes) {
-  CHECK(cold != nullptr);
-  CHECK_GE(dram_capacity_bytes_, 0);
+namespace {
+
+int AutoShards(int64_t capacity_bytes, int64_t chunk_bytes) {
+  const int64_t stripes = capacity_bytes / (8 * chunk_bytes);
+  return static_cast<int>(std::clamp<int64_t>(stripes, 1, 16));
 }
 
-void TieredBackend::TouchLocked(int64_t context_id) const {
-  auto it = contexts_.find(context_id);
-  if (it == contexts_.end()) {
-    lru_.push_back(context_id);
-    contexts_[context_id] = ContextLru{std::prev(lru_.end())};
-  } else {
-    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+}  // namespace
+
+TieredBackend::TieredBackend(StorageBackend* cold, int64_t dram_capacity_bytes,
+                             const TieredOptions& options)
+    : StorageBackend(cold->chunk_bytes()),
+      cold_(cold),
+      dram_capacity_bytes_(dram_capacity_bytes),
+      options_(options) {
+  CHECK(cold != nullptr);
+  CHECK_GE(dram_capacity_bytes_, 0);
+  const int num_shards = options_.num_shards > 0
+                             ? options_.num_shards
+                             : AutoShards(dram_capacity_bytes_, chunk_bytes());
+  shards_.reserve(static_cast<size_t>(num_shards));
+  const int64_t base = dram_capacity_bytes_ / num_shards;
+  const int64_t rem = dram_capacity_bytes_ % num_shards;
+  for (int i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < rem ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+  high_water_bytes_ =
+      static_cast<int64_t>(options_.high_water_factor *
+                           static_cast<double>(dram_capacity_bytes_)) +
+      4 * chunk_bytes();
+  if (options_.writeback == TieredOptions::Writeback::kAsync) {
+    drainer_ = std::thread(&TieredBackend::DrainLoop, this);
   }
 }
 
-void TieredBackend::InsertHotLocked(const ChunkKey& key, const char* data, int64_t bytes,
-                                    bool dirty) const {
-  auto& chunk = hot_[key];
+TieredBackend::~TieredBackend() {
+  if (drainer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      shutting_down_ = true;
+    }
+    drain_cv_.notify_all();
+    drained_cv_.notify_all();
+    drainer_.join();
+  }
+}
+
+void TieredBackend::TouchLocked(Shard& shard, int64_t context_id) const {
+  auto it = shard.contexts.find(context_id);
+  if (it == shard.contexts.end()) {
+    shard.lru.push_back(context_id);
+    shard.contexts[context_id] = ContextLru{std::prev(shard.lru.end())};
+  } else {
+    shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_pos);
+  }
+}
+
+void TieredBackend::InsertHotLocked(Shard& shard, const ChunkKey& key, const char* data,
+                                    int64_t bytes, bool dirty) const {
+  auto& chunk = shard.hot[key];
   const int64_t delta = bytes - static_cast<int64_t>(chunk.data.size());
   chunk.data.assign(data, data + bytes);
   chunk.dirty = dirty;
-  dram_bytes_ += delta;
+  shard.hot_bytes += delta;
 }
 
-void TieredBackend::EvictToBudgetLocked() const {
-  while (dram_bytes_ > dram_capacity_bytes_ && !lru_.empty()) {
-    const int64_t victim = lru_.front();
-    // Write-back: flush the victim's dirty chunks to the cold tier, then drop all of
-    // its hot-tier copies.
-    auto it = hot_.lower_bound(ChunkKey{victim, 0, 0});
-    while (it != hot_.end() && it->first.context_id == victim) {
+void TieredBackend::EvictToBudgetLocked(Shard& shard,
+                                        std::vector<DrainTicket>* tickets) const {
+  while (shard.hot_bytes > shard.capacity && !shard.lru.empty()) {
+    const int64_t victim = shard.lru.front();
+    DrainTicket ticket;
+    ticket.context_id = victim;
+    ticket.shard = ShardOf(victim);
+    ticket.counted_eviction = true;
+    // Move the victim's chunks out of the hot tier NOW (the LRU decision stays
+    // deterministic and the budget is restored immediately); dirty payloads park in
+    // the pending map until the drainer — or the caller, in kSync mode — writes
+    // them back with no shard lock held. Clean chunks already exist in the cold
+    // tier and are simply dropped.
+    bool held_chunks = false;
+    auto it = shard.hot.lower_bound(ChunkKey{victim, 0, 0});
+    while (it != shard.hot.end() && it->first.context_id == victim) {
+      held_chunks = true;
+      const int64_t bytes = static_cast<int64_t>(it->second.data.size());
+      if (it->second.dirty) {
+        const uint64_t gen = ++evict_gen_;
+        auto& pending = shard.pending[it->first];
+        if (pending.data != nullptr) {
+          pending_bytes_ -= static_cast<int64_t>(pending.data->size());
+        }
+        pending.data =
+            std::make_shared<const std::vector<char>>(std::move(it->second.data));
+        pending.gen = gen;
+        pending_bytes_ += bytes;
+        ticket.chunks.emplace_back(it->first, gen);
+      }
+      shard.hot_bytes -= bytes;
+      it = shard.hot.erase(it);
+    }
+    shard.lru.pop_front();
+    shard.contexts.erase(victim);
+    if (held_chunks) {  // an emptied-out LRU entry is not an eviction
+      ++evicted_contexts_;
+    }
+    if (!ticket.chunks.empty()) {
+      tickets->push_back(std::move(ticket));
+    }
+  }
+}
+
+void TieredBackend::LegacyEvictToBudgetLocked(Shard& shard) const {
+  while (shard.hot_bytes > shard.capacity && !shard.lru.empty()) {
+    const int64_t victim = shard.lru.front();
+    auto it = shard.hot.lower_bound(ChunkKey{victim, 0, 0});
+    while (it != shard.hot.end() && it->first.context_id == victim) {
       if (it->second.dirty) {
         const int64_t bytes = static_cast<int64_t>(it->second.data.size());
+        // The PR 4 behavior this mode preserves: the cold-tier write happens while
+        // shard.mu is HELD, serializing every other operation on the stripe.
         if (!cold_->WriteChunk(it->first, it->second.data.data(), bytes)) {
-          // Never drop a dirty chunk the cold tier refused: keep the victim resident
-          // (requeued at the MRU end so other contexts get evicted first) and stop
-          // this round. The capacity budget degrades to best-effort rather than the
-          // backend losing data or wedging on one failing context.
           HCACHE_LOG_ERROR << "tiered write-back failed: ctx=" << it->first.context_id
                            << " L=" << it->first.layer << " C=" << it->first.chunk_index
                            << "; keeping context in DRAM";
-          lru_.splice(lru_.end(), lru_, contexts_.at(victim).lru_pos);
+          shard.lru.splice(shard.lru.end(), shard.lru,
+                           shard.contexts.at(victim).lru_pos);
           return;
         }
         ++writeback_chunks_;
         writeback_bytes_ += bytes;
       }
-      dram_bytes_ -= static_cast<int64_t>(it->second.data.size());
-      it = hot_.erase(it);
+      shard.hot_bytes -= static_cast<int64_t>(it->second.data.size());
+      it = shard.hot.erase(it);
     }
-    lru_.pop_front();
-    contexts_.erase(victim);
+    shard.lru.pop_front();
+    shard.contexts.erase(victim);
     ++evicted_contexts_;
   }
+}
+
+bool TieredBackend::ProcessTicket(const DrainTicket& ticket) const {
+  Shard& shard = *shards_[ticket.shard];
+  bool all_ok = true;
+  for (const auto& [key, gen] : ticket.chunks) {
+    std::shared_ptr<const std::vector<char>> data;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.pending.find(key);
+      if (it == shard.pending.end() || it->second.gen != gen) {
+        continue;  // rescued, superseded by a newer write, or deleted
+      }
+      data = it->second.data;
+    }
+    const int64_t bytes = static_cast<int64_t>(data->size());
+    const bool ok = cold_->WriteChunk(key, data->data(), bytes);  // no lock held
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.pending.find(key);
+      if (it == shard.pending.end() || it->second.gen != gen) {
+        continue;  // superseded while the write was in flight; its bytes moved on
+      }
+      shard.pending.erase(it);
+      pending_bytes_ -= bytes;
+      if (ok) {
+        ++writeback_chunks_;
+        writeback_bytes_ += bytes;
+      } else {
+        all_ok = false;
+        HCACHE_LOG_ERROR << "tiered write-back failed: ctx=" << key.context_id
+                         << " L=" << key.layer << " C=" << key.chunk_index
+                         << "; re-admitting to DRAM";
+        InsertHotLocked(shard, key, data->data(), bytes, /*dirty=*/true);
+        TouchLocked(shard, key.context_id);
+      }
+    }
+  }
+  if (!all_ok) {
+    // The context is (at least partially) resident again: the eviction did not
+    // stick, so roll its count back (write-through tickets never counted one) and
+    // surface the failure instead.
+    ++writeback_failures_;
+    if (ticket.counted_eviction) {
+      --evicted_contexts_;
+    }
+  }
+  // One wakeup per ticket: waiter predicates (pending below high water, queue
+  // drained) are monotone across the chunks just retired.
+  SignalDrainProgress();
+  return all_ok;
+}
+
+void TieredBackend::DispatchTickets(std::vector<DrainTicket> tickets) const {
+  if (tickets.empty()) {
+    return;
+  }
+  if (options_.writeback == TieredOptions::Writeback::kAsync) {
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      for (auto& t : tickets) {
+        drain_queue_.push_back(std::move(t));
+      }
+    }
+    drain_cv_.notify_one();
+  } else {
+    for (const DrainTicket& t : tickets) {
+      ProcessTicket(t);
+    }
+  }
+}
+
+void TieredBackend::SignalDrainProgress() const {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+  }
+  drained_cv_.notify_all();
+}
+
+void TieredBackend::MaybeStallWriter() const {
+  if (options_.writeback != TieredOptions::Writeback::kAsync ||
+      pending_bytes_.load() <= high_water_bytes_) {
+    return;
+  }
+  ++writer_stalls_;
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drained_cv_.wait(lock, [this] {
+    return shutting_down_ || pending_bytes_.load() <= high_water_bytes_;
+  });
+}
+
+void TieredBackend::DrainLoop() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  for (;;) {
+    drain_cv_.wait(lock, [this] { return shutting_down_ || !drain_queue_.empty(); });
+    // On shutdown, finish the queue first: WriteChunk returned true for these
+    // bytes, so an un-quiesced destruction must still land every dirty chunk in
+    // the cold tier (the "never drop dirty data" contract).
+    if (drain_queue_.empty()) {
+      if (shutting_down_) {
+        return;
+      }
+      continue;
+    }
+    DrainTicket ticket = std::move(drain_queue_.front());
+    drain_queue_.pop_front();
+    inflight_context_ = ticket.context_id;
+    lock.unlock();
+    ProcessTicket(ticket);
+    lock.lock();
+    inflight_context_ = -1;
+    drained_cv_.notify_all();
+  }
+}
+
+void TieredBackend::Quiesce() {
+  if (options_.writeback != TieredOptions::Writeback::kAsync) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  // pending_bytes_ covers the window where a concurrent caller has parked evicted
+  // chunks in a shard's pending map but not yet enqueued their ticket (eviction
+  // happens under the shard lock, the enqueue after releasing it) — an empty queue
+  // alone does not mean every accepted write is durable yet.
+  drained_cv_.wait(lock, [this] {
+    return drain_queue_.empty() && inflight_context_ == -1 &&
+           pending_bytes_.load() == 0;
+  });
 }
 
 bool TieredBackend::WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) {
   CHECK_GT(bytes, 0);
   CHECK_LE(bytes, chunk_bytes());
-  std::lock_guard<std::mutex> lock(mu_);
-  TouchLocked(key.context_id);
-  InsertHotLocked(key, static_cast<const char*>(data), bytes, /*dirty=*/true);
-  auto& indexed = index_[key];
-  bytes_stored_ += bytes - indexed;
-  indexed = bytes;
-  ++total_writes_;
-  // The chunk is durably in the hot tier at this point; a write-back failure while
-  // rebalancing concerns *other* contexts and must not fail this write.
-  EvictToBudgetLocked();
+  Shard& shard = *shards_[ShardOf(key.context_id)];
+  std::vector<DrainTicket> tickets;
+  bool cancelled_pending = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // A queued write-back of this chunk is superseded: cancel it so a slow drain
+    // can never clobber the cold tier with stale data after this version's flush.
+    const auto pit = shard.pending.find(key);
+    if (pit != shard.pending.end()) {
+      pending_bytes_ -= static_cast<int64_t>(pit->second.data->size());
+      shard.pending.erase(pit);
+      cancelled_pending = true;
+    }
+    auto& indexed = shard.index[key];
+    shard.bytes_stored += bytes - indexed.size;
+    indexed.size = bytes;
+    indexed.gen = ++write_gen_;
+    ++total_writes_;
+    if (bytes > shard.capacity &&
+        options_.writeback != TieredOptions::Writeback::kLegacyLocked) {
+      // A chunk that can never be hot-resident within its stripe's share goes
+      // straight to the drain plane (write-through), instead of being admitted and
+      // then flushing every other resident of the stripe on its way back out.
+      const auto hot_it = shard.hot.find(key);
+      if (hot_it != shard.hot.end()) {  // a smaller resident version is superseded
+        shard.hot_bytes -= static_cast<int64_t>(hot_it->second.data.size());
+        shard.hot.erase(hot_it);
+        // If that was the context's last hot chunk, retire its LRU entry too — an
+        // empty resident would be popped by a later eviction round as a phantom.
+        const auto next = shard.hot.lower_bound(ChunkKey{key.context_id, 0, 0});
+        if (next == shard.hot.end() || next->first.context_id != key.context_id) {
+          const auto ctx_it = shard.contexts.find(key.context_id);
+          if (ctx_it != shard.contexts.end()) {
+            shard.lru.erase(ctx_it->second.lru_pos);
+            shard.contexts.erase(ctx_it);
+          }
+        }
+      }
+      const char* src = static_cast<const char*>(data);
+      const uint64_t gen = ++evict_gen_;
+      auto& pending = shard.pending[key];
+      pending.data = std::make_shared<const std::vector<char>>(src, src + bytes);
+      pending.gen = gen;
+      pending_bytes_ += bytes;
+      DrainTicket ticket;
+      ticket.context_id = key.context_id;
+      ticket.shard = ShardOf(key.context_id);
+      ticket.chunks.emplace_back(key, gen);
+      tickets.push_back(std::move(ticket));
+    } else {
+      TouchLocked(shard, key.context_id);
+      InsertHotLocked(shard, key, static_cast<const char*>(data), bytes,
+                      /*dirty=*/true);
+      // The chunk is durably in the hot tier at this point; write-back concerns
+      // *other* contexts and must not fail this write.
+      if (options_.writeback == TieredOptions::Writeback::kLegacyLocked) {
+        LegacyEvictToBudgetLocked(shard);
+      } else {
+        EvictToBudgetLocked(shard, &tickets);
+      }
+    }
+  }
+  if (cancelled_pending) {
+    SignalDrainProgress();
+  }
+  DispatchTickets(std::move(tickets));
+  MaybeStallWriter();
   return true;
 }
 
-int64_t TieredBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto hot_it = hot_.find(key);
-  if (hot_it != hot_.end()) {
-    const int64_t size = static_cast<int64_t>(hot_it->second.data.size());
-    if (size > buf_bytes) {
-      return -1;
+int64_t TieredBackend::ReadChunk(const ChunkKey& key, void* buf,
+                                 int64_t buf_bytes) const {
+  Shard& shard = *shards_[ShardOf(key.context_id)];
+  constexpr int64_t kColdMiss = -2;  // fall through to the cold tier
+  int64_t dram_result = kColdMiss;
+  uint64_t read_gen = 0;  // the write generation the unlocked cold read serves
+  bool rescued_pending = false;
+  std::vector<DrainTicket> tickets;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto hot_it = shard.hot.find(key);
+    const auto pit =
+        hot_it != shard.hot.end() ? shard.pending.end() : shard.pending.find(key);
+    if (hot_it != shard.hot.end()) {
+      const int64_t size = static_cast<int64_t>(hot_it->second.data.size());
+      if (size > buf_bytes) {
+        return -1;
+      }
+      std::memcpy(buf, hot_it->second.data.data(), static_cast<size_t>(size));
+      TouchLocked(shard, key.context_id);
+      ++total_reads_;
+      ++dram_hits_;
+      dram_hit_bytes_ += size;
+      dram_result = size;
+    } else if (pit != shard.pending.end()) {
+      // Rescue: the chunk was evicted but its write-back has not retired — the
+      // payload is still in DRAM, so serve it from the drain queue (a DRAM hit).
+      // Re-admit it (still dirty; its queued flush is cancelled by the erase) only
+      // when it fits the stripe's FREE space: a rescue must never trigger an
+      // eviction, or alternating reads of a context bigger than its stripe would
+      // cycle rescue→re-admit→evict→re-flush and double the cold-tier write IO.
+      const std::shared_ptr<const std::vector<char>> data = pit->second.data;
+      const int64_t size = static_cast<int64_t>(data->size());
+      if (size > buf_bytes) {
+        return -1;
+      }
+      std::memcpy(buf, data->data(), static_cast<size_t>(size));
+      ++total_reads_;
+      ++dram_hits_;
+      dram_hit_bytes_ += size;
+      ++drain_rescued_chunks_;
+      if (size <= shard.capacity - shard.hot_bytes) {
+        pending_bytes_ -= size;
+        shard.pending.erase(pit);
+        rescued_pending = true;
+        InsertHotLocked(shard, key, data->data(), size, /*dirty=*/true);
+        TouchLocked(shard, key.context_id);
+      }
+      dram_result = size;
+    } else {
+      const auto iit = shard.index.find(key);
+      if (iit == shard.index.end()) {
+        return -1;
+      }
+      if (iit->second.size > buf_bytes) {
+        return -1;  // short-buffer contract: no IO, no stats, no side effects
+      }
+      read_gen = iit->second.gen;
     }
-    std::memcpy(buf, hot_it->second.data.data(), static_cast<size_t>(size));
-    TouchLocked(key.context_id);
-    ++total_reads_;
-    ++dram_hits_;
-    dram_hit_bytes_ += size;
-    return size;
   }
+  if (dram_result != kColdMiss) {
+    if (rescued_pending) {
+      SignalDrainProgress();
+    }
+    DispatchTickets(std::move(tickets));
+    return dram_result;
+  }
+  // Miss in DRAM: the chunk lives in the cold tier. The read runs with no lock
+  // held, so other contexts — and other chunks of this one — proceed concurrently.
   const int64_t got = cold_->ReadChunk(key, buf, buf_bytes);
   if (got < 0) {
     return got;
@@ -103,69 +425,137 @@ int64_t TieredBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_byt
   ++total_reads_;
   ++cold_hits_;
   cold_hit_bytes_ += got;
-  // Promote: a restored context is likely to be restored again soon (the §6.2.1
-  // caching argument); admit the chunk clean so re-eviction is free.
-  TouchLocked(key.context_id);
-  InsertHotLocked(key, static_cast<const char*>(buf), got, /*dirty=*/false);
-  EvictToBudgetLocked();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Promote: a restored context is likely to be restored again soon (the §6.2.1
+    // caching argument); admit the chunk clean so re-eviction is free. Skip when the
+    // chunk can never fit its stripe's budget (a 0-budget write-through tier would
+    // otherwise evict-and-churn on every read), or when the bytes read are stale: a
+    // concurrent write bumps the index generation (even if its own copy has already
+    // drained through to the cold tier), and a delete removes the entry — either
+    // way this copy must not be re-admitted over newer durable data.
+    const auto iit = shard.index.find(key);
+    const bool current = iit != shard.index.end() && iit->second.gen == read_gen;
+    const bool displaced =
+        shard.hot.count(key) != 0 || shard.pending.count(key) != 0;
+    if (current && !displaced) {
+      if (got <= shard.capacity) {
+        InsertHotLocked(shard, key, static_cast<const char*>(buf), got,
+                        /*dirty=*/false);
+        TouchLocked(shard, key.context_id);
+        if (options_.writeback == TieredOptions::Writeback::kLegacyLocked) {
+          // Faithful PR 4 baseline: the promotion-triggered eviction flushes while
+          // the lock is HELD, exactly like the write path in this mode.
+          LegacyEvictToBudgetLocked(shard);
+        } else {
+          EvictToBudgetLocked(shard, &tickets);
+        }
+      } else {
+        ++promotions_skipped_;
+      }
+    }
+  }
+  DispatchTickets(std::move(tickets));
   return got;
 }
 
 bool TieredBackend::HasChunk(const ChunkKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return index_.count(key) != 0;
+  Shard& shard = *shards_[ShardOf(key.context_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index.count(key) != 0;
 }
 
 int64_t TieredBackend::ChunkSize(const ChunkKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(key);
-  return it == index_.end() ? -1 : it->second;
+  Shard& shard = *shards_[ShardOf(key.context_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  return it == shard.index.end() ? -1 : it->second.size;
 }
 
 void TieredBackend::DeleteContext(int64_t context_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = hot_.lower_bound(ChunkKey{context_id, 0, 0});
-       it != hot_.end() && it->first.context_id == context_id;) {
-    dram_bytes_ -= static_cast<int64_t>(it->second.data.size());
-    it = hot_.erase(it);
+  Shard& shard = *shards_[ShardOf(context_id)];
+  bool cancelled_pending = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.hot.lower_bound(ChunkKey{context_id, 0, 0});
+         it != shard.hot.end() && it->first.context_id == context_id;) {
+      shard.hot_bytes -= static_cast<int64_t>(it->second.data.size());
+      it = shard.hot.erase(it);
+    }
+    for (auto it = shard.pending.lower_bound(ChunkKey{context_id, 0, 0});
+         it != shard.pending.end() && it->first.context_id == context_id;) {
+      pending_bytes_ -= static_cast<int64_t>(it->second.data->size());
+      it = shard.pending.erase(it);
+      cancelled_pending = true;
+    }
+    const auto ctx_it = shard.contexts.find(context_id);
+    if (ctx_it != shard.contexts.end()) {
+      shard.lru.erase(ctx_it->second.lru_pos);
+      shard.contexts.erase(ctx_it);
+    }
+    for (auto it = shard.index.lower_bound(ChunkKey{context_id, 0, 0});
+         it != shard.index.end() && it->first.context_id == context_id;) {
+      shard.bytes_stored -= it->second.size;
+      it = shard.index.erase(it);
+    }
   }
-  const auto ctx_it = contexts_.find(context_id);
-  if (ctx_it != contexts_.end()) {
-    lru_.erase(ctx_it->second.lru_pos);
-    contexts_.erase(ctx_it);
+  if (cancelled_pending) {
+    SignalDrainProgress();
   }
-  for (auto it = index_.lower_bound(ChunkKey{context_id, 0, 0});
-       it != index_.end() && it->first.context_id == context_id;) {
-    bytes_stored_ -= it->second;
-    it = index_.erase(it);
+  if (options_.writeback == TieredOptions::Writeback::kAsync) {
+    // An in-flight write-back of this context could re-materialize a chunk in the
+    // cold tier after our delete; wait it out (queued tickets are already inert —
+    // their pending entries are gone).
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drained_cv_.wait(lock, [this, context_id] {
+      return inflight_context_ != context_id;
+    });
   }
   cold_->DeleteContext(context_id);
 }
 
 int64_t TieredBackend::dram_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return dram_bytes_;
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->hot_bytes;
+  }
+  return total;
 }
 
 bool TieredBackend::IsDramResident(const ChunkKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hot_.count(key) != 0;
+  Shard& shard = *shards_[ShardOf(key.context_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.hot.count(key) != 0;
+}
+
+bool TieredBackend::IsDrainPending(const ChunkKey& key) const {
+  Shard& shard = *shards_[ShardOf(key.context_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.pending.count(key) != 0;
 }
 
 StorageStats TieredBackend::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   StorageStats s;
-  s.chunks_stored = static_cast<int64_t>(index_.size());
-  s.bytes_stored = bytes_stored_;
-  s.total_writes = total_writes_;
-  s.total_reads = total_reads_;
-  s.dram_hits = dram_hits_;
-  s.cold_hits = cold_hits_;
-  s.dram_hit_bytes = dram_hit_bytes_;
-  s.cold_hit_bytes = cold_hit_bytes_;
-  s.evicted_contexts = evicted_contexts_;
-  s.writeback_chunks = writeback_chunks_;
-  s.writeback_bytes = writeback_bytes_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.chunks_stored += static_cast<int64_t>(shard->index.size());
+    s.bytes_stored += shard->bytes_stored;
+  }
+  s.total_writes = total_writes_.load();
+  s.total_reads = total_reads_.load();
+  s.dram_hits = dram_hits_.load();
+  s.cold_hits = cold_hits_.load();
+  s.dram_hit_bytes = dram_hit_bytes_.load();
+  s.cold_hit_bytes = cold_hit_bytes_.load();
+  s.evicted_contexts = evicted_contexts_.load();
+  s.writeback_chunks = writeback_chunks_.load();
+  s.writeback_bytes = writeback_bytes_.load();
+  s.drain_pending_bytes = pending_bytes_.load();
+  s.drain_rescued_chunks = drain_rescued_chunks_.load();
+  s.writer_stalls = writer_stalls_.load();
+  s.writeback_failures = writeback_failures_.load();
+  s.promotions_skipped = promotions_skipped_.load();
   return s;
 }
 

@@ -192,9 +192,13 @@ TEST(ClusterEngineTest, ReplicaSkewStaysBounded) {
 
 TEST(ClusterEngineTest, SharedTieredBackendSeesFleetWideLocality) {
   // DRAM budget far below the fleet's live state: evictions and cold hits appear, and
-  // the byte-granular tier counters conserve (hits sum to read bytes).
+  // the byte-granular tier counters conserve (hits sum to read bytes). Synchronous
+  // write-back pins the dram/cold split (async rescues would blur it; the async tier
+  // is exercised by SharedAsyncTierWithParallelAdvance below).
   MemoryBackend cold(kChunkBytes);
-  TieredBackend shared(&cold, 2 * kChunkBytes);
+  TieredOptions topts;
+  topts.writeback = TieredOptions::Writeback::kSync;
+  TieredBackend shared(&cold, 2 * kChunkBytes, topts);
   const ClusterReport rep = RunCluster(3, RouterPolicy::kLeastLoadedTokens, &shared, 0.8, 50);
   EXPECT_GT(rep.storage.evicted_contexts, 0);
   EXPECT_GT(rep.storage.cold_hits, 0);
@@ -203,6 +207,50 @@ TEST(ClusterEngineTest, SharedTieredBackendSeesFleetWideLocality) {
             rep.storage.ReadBytes());
   EXPECT_GT(rep.SharedDramHitByteRatio(), 0.0);
   EXPECT_LT(rep.SharedDramHitByteRatio(), 1.0);
+}
+
+TEST(ClusterEngineTest, ParallelAdvanceIsByteIdenticalToSerial) {
+  // parallel_advance steps the replicas concurrently within each global-clock
+  // iteration; replica simulation state is disjoint and completions merge in index
+  // order, so every simulated quantity must match the serial schedule exactly — the
+  // only thing allowed to differ is which tier of the shared backend answered a
+  // read (schedule-dependent under the async drainer), and even that must conserve.
+  auto run = [](bool parallel) {
+    struct Result {
+      ClusterReport rep;
+      StorageStats storage;
+    };
+    MemoryBackend cold(kChunkBytes);
+    TieredOptions topts;
+    topts.num_shards = 4;
+    topts.writeback = TieredOptions::Writeback::kAsync;
+    TieredBackend shared(&cold, 4 * kChunkBytes, topts);
+    ClusterOptions o = Opts(4, RouterPolicy::kPowerOfTwo);
+    o.parallel_advance = parallel;
+    ClusterEngine cluster(Platform::DefaultTestbed(1, 4), ModelConfig::Llama2_7B(), o,
+                          &shared);
+    Result r{cluster.RunConversations(0.8, 60, 5.0, 777), shared.Stats()};
+    return r;
+  };
+  const auto serial = run(false);
+  const auto parallel = run(true);
+  EXPECT_EQ(serial.rep.aggregate.rounds_completed,
+            parallel.rep.aggregate.rounds_completed);
+  EXPECT_DOUBLE_EQ(serial.rep.aggregate.makespan, parallel.rep.aggregate.makespan);
+  EXPECT_EQ(serial.rep.cross_replica_restores, parallel.rep.cross_replica_restores);
+  EXPECT_EQ(serial.rep.affinity_restores, parallel.rep.affinity_restores);
+  ASSERT_EQ(serial.rep.aggregate.ttft.count(), parallel.rep.aggregate.ttft.count());
+  EXPECT_EQ(serial.rep.aggregate.ttft.samples(), parallel.rep.aggregate.ttft.samples());
+  EXPECT_EQ(serial.rep.aggregate.tbt.samples(), parallel.rep.aggregate.tbt.samples());
+  for (const auto* r : {&serial, &parallel}) {
+    // The shared async tier conserves regardless of the advance schedule.
+    EXPECT_EQ(r->storage.dram_hits + r->storage.cold_hits, r->storage.total_reads);
+    EXPECT_EQ(r->storage.drain_pending_bytes, 0);
+    EXPECT_EQ(r->storage.writeback_failures, 0);
+  }
+  // The same total state flows through the tier on both schedules.
+  EXPECT_EQ(serial.storage.total_writes, parallel.storage.total_writes);
+  EXPECT_EQ(serial.storage.total_reads, parallel.storage.total_reads);
 }
 
 TEST(ClusterEngineTest, DeterministicAcrossRepeatedRuns) {

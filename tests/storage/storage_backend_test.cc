@@ -45,7 +45,8 @@ class StorageBackendTest : public ::testing::TestWithParam<std::string> {
     }
   }
   void TearDown() override {
-    fx_ = {};
+    fx_.backend.reset();  // the tiered backend (and its drainer) before its cold tier
+    fx_.cold.reset();
     std::filesystem::remove_all(base_);
   }
 
@@ -82,6 +83,38 @@ TEST_P(StorageBackendTest, SmallBufferRejected) {
   // Failed reads must not count — stats stay comparable across backends.
   EXPECT_EQ(backend().total_reads(), 0);
   EXPECT_EQ(backend().Stats().dram_hits + backend().Stats().cold_hits, 0);
+}
+
+TEST_P(StorageBackendTest, ShortBufferSemanticsAreUniformAcrossResidency) {
+  // The ReadChunk short-buffer contract (storage_backend.h) must be observable-
+  // identical no matter which tier currently holds the chunk: -1 with an untouched
+  // buffer and zero stats on a one-byte-short buffer, success on an exact-fit one,
+  // and every counted hit byte equal to what callers actually received. The write
+  // volume here pushes the tiered fixture past its 8-chunk budget so some chunks are
+  // answered by its cold tier, some by DRAM, and (async drain) some by the queue.
+  constexpr int64_t kContexts = 12;
+  constexpr int64_t kSize = 1500;
+  for (int64_t ctx = 0; ctx < kContexts; ++ctx) {
+    const auto data = Payload(kSize, static_cast<char>('a' + ctx));
+    ASSERT_TRUE(backend().WriteChunk({ctx, 0, 0}, data.data(), kSize));
+  }
+  backend().Quiesce();
+  std::vector<char> buf(kChunkBytes);
+  int64_t got_bytes = 0;
+  for (int64_t ctx = 0; ctx < kContexts; ++ctx) {
+    buf.assign(buf.size(), '\0');
+    EXPECT_EQ(backend().ReadChunk({ctx, 0, 0}, buf.data(), kSize - 1), -1)
+        << "ctx " << ctx;
+    EXPECT_EQ(buf[0], '\0') << "short-buffer read wrote into the buffer";
+    ASSERT_EQ(backend().ReadChunk({ctx, 0, 0}, buf.data(), kSize), kSize)
+        << "ctx " << ctx;
+    EXPECT_EQ(buf[0], static_cast<char>('a' + ctx));
+    got_bytes += kSize;
+  }
+  const StorageStats s = backend().Stats();
+  EXPECT_EQ(s.total_reads, kContexts);  // only the exact-fit reads counted
+  EXPECT_EQ(s.dram_hits + s.cold_hits, s.total_reads);
+  EXPECT_EQ(s.dram_hit_bytes + s.cold_hit_bytes, got_bytes);
 }
 
 TEST_P(StorageBackendTest, OverwriteReplacesContent) {

@@ -1,3 +1,9 @@
+// TieredBackend behavior pins: LRU victim choice, write-back volume, promotion,
+// write-through, and cross-tier delete. These tests run the tier in synchronous
+// write-back mode (TieredOptions::Writeback::kSync) with one lock stripe so every
+// stat is deterministic — eviction decisions and flush counts do not depend on a
+// background thread's schedule. The asynchronous drainer, the lock-striping, and
+// the no-lock-across-IO discipline are covered by tiered_async_test.cc.
 #include "src/storage/tiered_backend.h"
 
 #include <gtest/gtest.h>
@@ -15,6 +21,13 @@ namespace hcache {
 namespace {
 
 constexpr int64_t kChunkBytes = 1024;
+
+TieredOptions SyncOpts() {
+  TieredOptions o;
+  o.num_shards = 1;  // one stripe = the classic global context LRU
+  o.writeback = TieredOptions::Writeback::kSync;
+  return o;
+}
 
 class TieredBackendTest : public ::testing::Test {
  protected:
@@ -44,7 +57,7 @@ class TieredBackendTest : public ::testing::Test {
 };
 
 TEST_F(TieredBackendTest, WritesStayInDramUnderBudget) {
-  TieredBackend tiered(cold_.get(), 8 * kChunkBytes);
+  TieredBackend tiered(cold_.get(), 8 * kChunkBytes, SyncOpts());
   FillContext(tiered, 1, 4);
   EXPECT_EQ(tiered.dram_bytes(), 4 * kChunkBytes);
   EXPECT_TRUE(tiered.IsDramResident({1, 0, 0}));
@@ -61,7 +74,7 @@ TEST_F(TieredBackendTest, WritesStayInDramUnderBudget) {
 
 TEST_F(TieredBackendTest, LruContextEvictedToFileTier) {
   // Budget holds two 4-chunk contexts; the third pushes out the least recently used.
-  TieredBackend tiered(cold_.get(), 8 * kChunkBytes);
+  TieredBackend tiered(cold_.get(), 8 * kChunkBytes, SyncOpts());
   FillContext(tiered, 1, 4);
   FillContext(tiered, 2, 4);
   // Touch ctx 1 so ctx 2 is the LRU victim.
@@ -88,7 +101,7 @@ TEST_F(TieredBackendTest, LruContextEvictedToFileTier) {
 TEST_F(TieredBackendTest, ReadYourWritesAcrossEviction) {
   // Write-back correctness: bytes written before eviction must read back identical
   // after their context has been pushed to the file tier.
-  TieredBackend tiered(cold_.get(), 2 * kChunkBytes);
+  TieredBackend tiered(cold_.get(), 2 * kChunkBytes, SyncOpts());
   std::vector<char> data(kChunkBytes);
   for (int64_t i = 0; i < kChunkBytes; ++i) {
     data[static_cast<size_t>(i)] = static_cast<char>((i * 31 + 7) & 0xff);
@@ -109,7 +122,7 @@ TEST_F(TieredBackendTest, ReadYourWritesAcrossEviction) {
 
 TEST_F(TieredBackendTest, PromotedChunkReEvictsWithoutRewrite) {
   // A chunk promoted clean must not be written to the cold tier again on re-eviction.
-  TieredBackend tiered(cold_.get(), 2 * kChunkBytes);
+  TieredBackend tiered(cold_.get(), 2 * kChunkBytes, SyncOpts());
   FillContext(tiered, 1, 1);
   FillContext(tiered, 2, 2);  // evicts ctx 1 (1 write-back)
   std::vector<char> buf(kChunkBytes);
@@ -123,7 +136,7 @@ TEST_F(TieredBackendTest, PromotedChunkReEvictsWithoutRewrite) {
 }
 
 TEST_F(TieredBackendTest, OverwriteAfterEvictionSupersedesColdCopy) {
-  TieredBackend tiered(cold_.get(), 2 * kChunkBytes);
+  TieredBackend tiered(cold_.get(), 2 * kChunkBytes, SyncOpts());
   const std::vector<char> v1(kChunkBytes, '1');
   const std::vector<char> v2(512, '2');
   ASSERT_TRUE(tiered.WriteChunk({1, 0, 0}, v1.data(), kChunkBytes));
@@ -139,7 +152,7 @@ TEST_F(TieredBackendTest, OverwriteAfterEvictionSupersedesColdCopy) {
 }
 
 TEST_F(TieredBackendTest, ZeroBudgetIsWriteThrough) {
-  TieredBackend tiered(cold_.get(), 0);
+  TieredBackend tiered(cold_.get(), 0, SyncOpts());
   const std::vector<char> data(kChunkBytes, 'w');
   ASSERT_TRUE(tiered.WriteChunk({1, 0, 0}, data.data(), kChunkBytes));
   EXPECT_EQ(tiered.dram_bytes(), 0);
@@ -149,8 +162,39 @@ TEST_F(TieredBackendTest, ZeroBudgetIsWriteThrough) {
   EXPECT_EQ(tiered.Stats().cold_hits, 1);
 }
 
+TEST_F(TieredBackendTest, WriteThroughReadsNeverChurnTheHotTier) {
+  // Regression (PR 5): a cold read used to promote the chunk even when the budget
+  // could never hold it, forcing an immediate evict-and-flush of a clean chunk on
+  // EVERY read. In write-through mode the hot tier must stay untouched end to end:
+  // writes flow straight to the cold tier without phantom "evictions" (nothing was
+  // ever resident) and cold-read counts track reads one-to-one.
+  TieredBackend tiered(cold_.get(), 0, SyncOpts());
+  const std::vector<char> data(kChunkBytes, 'r');
+  constexpr int64_t kContexts = 3;
+  for (int64_t ctx = 0; ctx < kContexts; ++ctx) {
+    ASSERT_TRUE(tiered.WriteChunk({ctx, 0, 0}, data.data(), kChunkBytes));
+  }
+  const StorageStats after_writes = tiered.Stats();
+  EXPECT_EQ(after_writes.evicted_contexts, 0);  // write-through, not evict-churn
+  EXPECT_EQ(after_writes.writeback_chunks, kContexts);
+  std::vector<char> buf(kChunkBytes);
+  constexpr int64_t kReads = 12;
+  for (int64_t i = 0; i < kReads; ++i) {
+    ASSERT_EQ(tiered.ReadChunk({i % kContexts, 0, 0}, buf.data(), kChunkBytes),
+              kChunkBytes);
+    EXPECT_FALSE(tiered.IsDramResident({i % kContexts, 0, 0}));
+  }
+  const StorageStats s = tiered.Stats();
+  EXPECT_EQ(s.cold_hits, kReads);            // every read served by the cold tier
+  EXPECT_EQ(s.dram_hits, 0);
+  EXPECT_EQ(s.promotions_skipped, kReads);   // each one declined promotion
+  EXPECT_EQ(s.evicted_contexts, 0);          // reads add none either
+  EXPECT_EQ(s.writeback_chunks, after_writes.writeback_chunks);
+  EXPECT_EQ(tiered.dram_bytes(), 0);
+}
+
 TEST_F(TieredBackendTest, DeleteContextClearsBothTiers) {
-  TieredBackend tiered(cold_.get(), 2 * kChunkBytes);
+  TieredBackend tiered(cold_.get(), 2 * kChunkBytes, SyncOpts());
   FillContext(tiered, 1, 2);
   FillContext(tiered, 2, 2);  // evicts ctx 1 to cold
   ASSERT_TRUE(cold_->HasChunk({1, 0, 0}));
@@ -167,7 +211,7 @@ TEST_F(TieredBackendTest, DeleteContextClearsBothTiers) {
 TEST_F(TieredBackendTest, DramHitRatioReflectsSkew) {
   // A hot context re-read repeatedly should trend the DRAM hit ratio upward even as
   // cold contexts cycle through.
-  TieredBackend tiered(cold_.get(), 4 * kChunkBytes);
+  TieredBackend tiered(cold_.get(), 4 * kChunkBytes, SyncOpts());
   FillContext(tiered, 100, 2);  // the hot context
   std::vector<char> buf(kChunkBytes);
   for (int64_t round = 0; round < 10; ++round) {
@@ -185,7 +229,7 @@ TEST_F(TieredBackendTest, DramHitRatioReflectsSkew) {
 TEST_F(TieredBackendTest, WorksOverMemoryColdTier) {
   // The cold tier is itself pluggable — DRAM-over-DRAM still honors the contract.
   MemoryBackend mem_cold(kChunkBytes);
-  TieredBackend tiered(&mem_cold, kChunkBytes);
+  TieredBackend tiered(&mem_cold, kChunkBytes, SyncOpts());
   const std::vector<char> data(kChunkBytes, 'm');
   ASSERT_TRUE(tiered.WriteChunk({1, 0, 0}, data.data(), kChunkBytes));
   ASSERT_TRUE(tiered.WriteChunk({2, 0, 0}, data.data(), kChunkBytes));  // evicts ctx 1
@@ -194,6 +238,26 @@ TEST_F(TieredBackendTest, WorksOverMemoryColdTier) {
   ASSERT_EQ(tiered.ReadChunk({1, 0, 0}, buf.data(), kChunkBytes), kChunkBytes);
   EXPECT_EQ(buf[0], 'm');
   EXPECT_EQ(tiered.Name(), "tiered(memory)");
+}
+
+TEST_F(TieredBackendTest, StripesDivideTheBudgetAcrossContexts) {
+  // Explicit striping: contexts land on num_shards independent LRU domains, each
+  // with its share of the budget, so one context's churn cannot evict another
+  // stripe's residents.
+  MemoryBackend mem_cold(kChunkBytes);
+  TieredOptions o = SyncOpts();
+  o.num_shards = 2;
+  TieredBackend tiered(&mem_cold, 4 * kChunkBytes, o);
+  EXPECT_EQ(tiered.num_shards(), 2);
+  // Contexts 0/2 share stripe 0; contexts 1/3 share stripe 1 (keyed by context_id).
+  FillContext(tiered, 0, 2);
+  FillContext(tiered, 1, 2);
+  // Stripe 0 churn: ctx 2 displaces ctx 0 (its stripe holds 2 chunks)...
+  FillContext(tiered, 2, 2);
+  EXPECT_FALSE(tiered.IsDramResident({0, 0, 0}));
+  EXPECT_TRUE(tiered.IsDramResident({2, 0, 0}));
+  // ...while stripe 1's resident is untouched.
+  EXPECT_TRUE(tiered.IsDramResident({1, 0, 0}));
 }
 
 }  // namespace
