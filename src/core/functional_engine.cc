@@ -88,21 +88,31 @@ void FunctionalHCache::LoadKvLayer(int64_t context_id, int64_t layer, int64_t n,
   *k = Tensor({n, kv_dim});
   *v = Tensor({n, kv_dim});
   const int64_t num_chunks = (n + chunk_tokens_ - 1) / chunk_tokens_;
-  std::vector<uint8_t> buf(
-      static_cast<size_t>(EncodedChunkBytes(ChunkCodec::kFp32, chunk_tokens_, row_floats)));
+  const int64_t chunk_cap =
+      EncodedChunkBytes(ChunkCodec::kFp32, chunk_tokens_, row_floats);
+  std::vector<uint8_t> buf(static_cast<size_t>(num_chunks * chunk_cap));
+  // One batched submission for the layer's chunks (see HiddenStateReader: the
+  // backend overlaps the fetches instead of paying per-chunk round trips).
+  std::vector<ChunkReadRequest> reqs(static_cast<size_t>(num_chunks));
   for (int64_t c = 0; c < num_chunks; ++c) {
-    const ChunkKey key{context_id, kKvLayerBase + layer, c};
-    const int64_t got = store_->ReadChunk(key, buf.data(), static_cast<int64_t>(buf.size()));
+    reqs[static_cast<size_t>(c)] =
+        ChunkReadRequest{ChunkKey{context_id, kKvLayerBase + layer, c},
+                         buf.data() + c * chunk_cap, chunk_cap, /*result=*/-1};
+  }
+  store_->ReadChunks(reqs);
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const uint8_t* chunk = buf.data() + c * chunk_cap;
+    const int64_t got = reqs[static_cast<size_t>(c)].result;
     const int64_t first = c * chunk_tokens_;
     const int64_t count = std::min(chunk_tokens_, n - first);
     ChunkInfo info;
-    CHECK(got > 0 && InspectChunk(buf.data(), got, row_floats, &info) &&
+    CHECK(got > 0 && InspectChunk(chunk, got, row_floats, &info) &&
           info.cols == row_floats && info.rows >= count)
         << "missing/short KV chunk ctx=" << context_id << " L=" << layer << " C=" << c;
     // Fused decode + de-interleave: each stored [K | V] row dequantizes directly into
     // the two destination tensors via column sub-ranges — no FP32 staging pass.
-    DecodeChunkRange(buf.data(), got, info, 0, count, 0, kv_dim, k->row(first), kv_dim);
-    DecodeChunkRange(buf.data(), got, info, 0, count, kv_dim, row_floats, v->row(first),
+    DecodeChunkRange(chunk, got, info, 0, count, 0, kv_dim, k->row(first), kv_dim);
+    DecodeChunkRange(chunk, got, info, 0, count, kv_dim, row_floats, v->row(first),
                      kv_dim);
   }
 }

@@ -218,9 +218,23 @@ void ServingEngine::LoadState(int64_t session, int64_t tokens) {
     return;
   }
   const int64_t num_chunks = (tokens + chunk_capacity_tokens_ - 1) / chunk_capacity_tokens_;
-  for (int64_t c = 0; c < num_chunks; ++c) {
-    backend->ReadChunk(ChunkKey{session, 0, c}, state_buf_.data(),
-                       static_cast<int64_t>(state_buf_.size()));
+  // Batched restore: the session's chunks come up in bounded windows of one
+  // submission each (the backend overlaps them — per-device pread fan-out, or one
+  // cold round trip on a tiered store) instead of num_chunks serial round trips.
+  constexpr int64_t kWindowChunks = 16;
+  const int64_t chunk_bytes = backend->chunk_bytes();
+  std::vector<char> scratch(
+      static_cast<size_t>(std::min(num_chunks, kWindowChunks) * chunk_bytes));
+  std::vector<ChunkReadRequest> reqs;
+  for (int64_t c0 = 0; c0 < num_chunks; c0 += kWindowChunks) {
+    const int64_t count = std::min(kWindowChunks, num_chunks - c0);
+    reqs.assign(static_cast<size_t>(count), ChunkReadRequest{});
+    for (int64_t i = 0; i < count; ++i) {
+      reqs[static_cast<size_t>(i)] =
+          ChunkReadRequest{ChunkKey{session, 0, c0 + i}, scratch.data() + i * chunk_bytes,
+                           chunk_bytes, /*result=*/-1};
+    }
+    backend->ReadChunks(reqs);
   }
 }
 

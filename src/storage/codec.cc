@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/storage/codec_simd.h"
 
 namespace hcache {
 
@@ -87,6 +88,12 @@ float Fp16BitsToFp32Scalar(uint16_t bits) {
   const uint32_t exp = (bits >> 10) & 0x1fu;
   uint32_t mant = bits & 0x3ffu;
   if (exp == 0x1fu) {  // Inf / NaN
+    if (mant != 0) {
+      // Quiet signaling NaNs (set the payload MSB), exactly like vcvtph2ps — the
+      // LUT must stay hardware-equivalent for all 65536 patterns so the SIMD
+      // decode tiers are bit-identical to scalar.
+      mant |= 0x200u;
+    }
     return FloatOf(sign | 0x7f800000u | (mant << 13));
   }
   if (exp != 0) {  // normal
@@ -104,10 +111,13 @@ float Fp16BitsToFp32Scalar(uint16_t bits) {
   return FloatOf(sign | ((e + 1u) << 23) | ((mant & 0x3ffu) << 13));
 }
 
+}  // namespace
+
 // Half decode is on the restoration critical path (the transmission stream's fused
-// dequant), so the branchy scalar conversion is folded into a 256 KiB lookup table:
-// one L1/L2-friendly load per element instead of a branch tree, ~an order of
-// magnitude faster in the decode kernels. Built once, thread-safe (C++11 statics).
+// dequant); the scalar tier folds the branchy conversion into a 256 KiB lookup
+// table — one L1/L2-friendly load per element instead of a branch tree. The vector
+// tiers use vcvtph2ps, which is bit-identical to this table for every half pattern
+// (the matrix test sweeps all 65536). Built once, thread-safe (C++11 statics).
 const float* Fp16DecodeTable() {
   static const std::vector<float>* table = [] {
     auto* t = new std::vector<float>(1u << 16);
@@ -118,8 +128,6 @@ const float* Fp16DecodeTable() {
   }();
   return table->data();
 }
-
-}  // namespace
 
 float Fp16BitsToFp32(uint16_t bits) { return Fp16DecodeTable()[bits]; }
 
@@ -133,23 +141,15 @@ float Fp16UlpOf(float decoded) {
 }
 
 void Int8EncodeRow(const float* src, int64_t cols, float* scale_out, int8_t* values_out) {
-  float max_abs = 0.0f;
-  for (int64_t c = 0; c < cols; ++c) {
-    max_abs = std::max(max_abs, std::fabs(src[c]));
-  }
+  const CodecKernels& k = ActiveCodecKernels();
+  const float max_abs = k.max_abs(src, cols);
   const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
   *scale_out = scale;
-  const float inv = 1.0f / scale;
-  for (int64_t c = 0; c < cols; ++c) {
-    const float v = std::round(src[c] * inv);
-    values_out[c] = static_cast<int8_t>(std::max(-127.0f, std::min(127.0f, v)));
-  }
+  k.int8_quantize(src, 1.0f / scale, values_out, cols);
 }
 
 void Int8DecodeRow(const int8_t* values, float scale, int64_t cols, float* dst) {
-  for (int64_t c = 0; c < cols; ++c) {
-    dst[c] = static_cast<float>(values[c]) * scale;
-  }
+  ActiveCodecKernels().int8_dequantize(values, scale, dst, cols);
 }
 
 void WriteChunkHeader(ChunkCodec codec, int64_t rows, int64_t cols, void* dst) {
@@ -174,15 +174,14 @@ void EncodeRowsInto(ChunkCodec codec, const float* src, int64_t src_stride, int6
                     static_cast<size_t>(cols) * sizeof(float));
       });
       break;
-    case ChunkCodec::kFp16:
+    case ChunkCodec::kFp16: {
+      const CodecKernels& k = ActiveCodecKernels();
       ForEachRow(rows, cols, [&](int64_t r) {
-        const float* in = src + r * src_stride;
-        uint16_t* out = reinterpret_cast<uint16_t*>(payload + r * row_bytes);
-        for (int64_t c = 0; c < cols; ++c) {
-          out[c] = Fp32ToFp16Bits(in[c]);
-        }
+        k.fp16_encode(src + r * src_stride,
+                      reinterpret_cast<uint16_t*>(payload + r * row_bytes), cols);
       });
       break;
+    }
     case ChunkCodec::kInt8:
       ForEachRow(rows, cols, [&](int64_t r) {
         uint8_t* row = payload + r * row_bytes;
@@ -253,14 +252,13 @@ void DecodeChunkRange(const void* data, int64_t bytes, const ChunkInfo& info, in
       });
       break;
     case ChunkCodec::kFp16: {
-      const float* lut = Fp16DecodeTable();
+      // The column-range decode de-interleaves [K | V] rows straight into the
+      // projection inputs; the kernel tolerates the 2-byte-aligned offset a nonzero
+      // col0 produces (unaligned vector loads).
+      const CodecKernels& k = ActiveCodecKernels();
       ForEachRow(rows, cols, [&](int64_t r) {
-        const uint16_t* in =
-            reinterpret_cast<const uint16_t*>(base + (row0 + r) * row_bytes) + col0;
-        float* out = dst + r * dst_stride;
-        for (int64_t c = 0; c < cols; ++c) {
-          out[c] = lut[in[c]];
-        }
+        k.fp16_decode(reinterpret_cast<const uint16_t*>(base + (row0 + r) * row_bytes) + col0,
+                      dst + r * dst_stride, cols);
       });
       break;
     }

@@ -13,12 +13,14 @@
 //                 lands data in the projection GEMM's input — no intermediate FP32
 //                 chunk tensor is ever materialized.
 //
-// Kernels are branch-light scalar loops (integer bit manipulation for FP16, fused
-// scale+round for INT8) that auto-vectorize, and they thread across rows via
-// ThreadPool::ParallelFor once the chunk is large enough to amortize dispatch.
-// All conversions are deterministic: the same input bytes decode to the same floats on
-// every backend and at every thread count, which keeps restored state bit-stable
-// across File/Memory/Tiered stores.
+// The element loops dispatch through codec_simd.h's runtime-selected kernel table
+// (scalar reference, or hand-written F16C/AVX2/AVX-512 paths — HCACHE_SIMD overrides),
+// and they thread across rows via ThreadPool::ParallelFor once the chunk is large
+// enough to amortize dispatch. All conversions are deterministic AND bit-identical
+// across ISA tiers (pinned by tests/storage/codec_matrix_test.cc): the same input
+// bytes decode to the same floats on every backend, at every thread count, on every
+// CPU — which keeps restored state bit-stable across File/Memory/Tiered stores and
+// across heterogeneous replicas.
 #ifndef HCACHE_SRC_STORAGE_CODEC_H_
 #define HCACHE_SRC_STORAGE_CODEC_H_
 
@@ -36,6 +38,12 @@ namespace hcache {
 // preserved as a half NaN. Decode is exact (every half value is representable in FP32).
 uint16_t Fp32ToFp16Bits(float f);
 float Fp16BitsToFp32(uint16_t bits);
+
+// The 65536-entry half->float table the scalar decode tier reads (built once,
+// thread-safe). Exposed so the matrix test can assert the vector tiers' vcvtph2ps
+// output is LUT-equivalent for every half pattern. Decode quiets signaling half
+// NaNs (payload | 0x200), matching the hardware conversion exactly.
+const float* Fp16DecodeTable();
 
 // Largest absolute round-trip error FP16 encoding can introduce for a finite input
 // within half range: 0.5 ulp of the half-precision result (2^-11 relative for normals,

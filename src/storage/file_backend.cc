@@ -1,13 +1,63 @@
 #include "src/storage/file_backend.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 
 namespace hcache {
 
 namespace fs = std::filesystem;
+
+struct FileBackend::FdHolder {
+  explicit FdHolder(int fd_in) : fd(fd_in) {}
+  ~FdHolder() {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+  FdHolder(const FdHolder&) = delete;
+  FdHolder& operator=(const FdHolder&) = delete;
+
+  int fd = -1;
+};
+
+namespace {
+
+// Enough for several concurrent restores' working sets without nearing default
+// RLIMIT_NOFILE budgets (a 32-chunk context touches 32 files).
+constexpr size_t kMaxCachedFds = 128;
+
+// Reads exactly [0, size) from `fd` at absolute offsets, retrying EINTR and short
+// reads. pread never moves the fd's file position, so concurrent readers sharing one
+// cached fd cannot interleave.
+bool PreadAll(int fd, void* buf, int64_t size) {
+  char* dst = static_cast<char*>(buf);
+  int64_t off = 0;
+  while (off < size) {
+    const ssize_t got =
+        ::pread(fd, dst + off, static_cast<size_t>(size - off), static_cast<off_t>(off));
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (got == 0) {  // file shorter than the index claims
+      return false;
+    }
+    off += got;
+  }
+  return true;
+}
+
+}  // namespace
 
 FileBackend::FileBackend(std::vector<std::string> device_dirs, int64_t chunk_bytes)
     : StorageBackend(chunk_bytes), device_dirs_(std::move(device_dirs)) {
@@ -55,6 +105,57 @@ bool FileBackend::EnsureContextDir(int device, int64_t context_id) {
   return true;
 }
 
+std::shared_ptr<FileBackend::FdHolder> FileBackend::AcquireFd(const ChunkKey& key) const {
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    const auto it = fd_cache_.find(key);
+    if (it != fd_cache_.end()) {
+      fd_lru_.splice(fd_lru_.begin(), fd_lru_, it->second.second);
+      return it->second.first;
+    }
+  }
+  // Open outside the lock: a slow open (cold dentry, loaded device) must not
+  // serialize every other reader behind it.
+  const int fd = ::open(PathFor(key).c_str(), O_RDONLY);
+  if (fd < 0) {
+    return nullptr;
+  }
+  auto holder = std::make_shared<FdHolder>(fd);
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  const auto it = fd_cache_.find(key);
+  if (it != fd_cache_.end()) {
+    // Lost the open race; keep the incumbent (ours closes when `holder` dies).
+    fd_lru_.splice(fd_lru_.begin(), fd_lru_, it->second.second);
+    return it->second.first;
+  }
+  fd_lru_.push_front(key);
+  fd_cache_.emplace(key, std::make_pair(holder, fd_lru_.begin()));
+  while (fd_cache_.size() > kMaxCachedFds) {
+    const ChunkKey victim = fd_lru_.back();
+    fd_lru_.pop_back();
+    fd_cache_.erase(victim);  // in-flight readers keep the fd alive via shared_ptr
+  }
+  return holder;
+}
+
+void FileBackend::DropCachedFd(const ChunkKey& key) {
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  const auto it = fd_cache_.find(key);
+  if (it != fd_cache_.end()) {
+    fd_lru_.erase(it->second.second);
+    fd_cache_.erase(it);
+  }
+}
+
+void FileBackend::DropContextFds(int64_t context_id) {
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  for (auto it = fd_cache_.lower_bound(ChunkKey{context_id, 0, 0});
+       it != fd_cache_.end() && it->first.context_id == context_id;) {
+    fd_lru_.erase(it->second.second);
+    it = fd_cache_.erase(it);
+  }
+}
+
 bool FileBackend::WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) {
   CHECK_GT(bytes, 0);
   CHECK_LE(bytes, chunk_bytes());
@@ -73,6 +174,9 @@ bool FileBackend::WriteChunk(const ChunkKey& key, const void* data, int64_t byte
     HCACHE_LOG_ERROR << "short write: " << path;
     return false;
   }
+  // Overwrites truncate in place (same inode), so a cached fd would still see the
+  // new bytes — dropped anyway so the cache never outlives a rewrite's assumptions.
+  DropCachedFd(key);
   std::lock_guard<std::mutex> lock(mu_);
   auto& indexed = index_[key];
   bytes_stored_ += bytes - indexed;
@@ -94,14 +198,8 @@ int64_t FileBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes
   if (size > buf_bytes) {
     return -1;
   }
-  const std::string path = PathFor(key);
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return -1;
-  }
-  const size_t got = std::fread(buf, 1, static_cast<size_t>(size), f);
-  std::fclose(f);
-  if (got != static_cast<size_t>(size)) {
+  const std::shared_ptr<FdHolder> fd = AcquireFd(key);
+  if (fd == nullptr || !PreadAll(fd->fd, buf, size)) {
     return -1;
   }
   // Count only successful reads, so stats stay comparable across backends.
@@ -109,6 +207,78 @@ int64_t FileBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes
   ++total_reads_;
   read_bytes_ += size;
   return size;
+}
+
+void FileBackend::ReadChunks(std::span<ChunkReadRequest> requests,
+                             const BatchCompletion& done) const {
+  // One index pass resolves every request, then the preads fan out per device.
+  struct Job {
+    ChunkReadRequest* req;
+    int64_t size;
+  };
+  std::vector<std::vector<Job>> per_device(device_dirs_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ChunkReadRequest& req : requests) {
+      req.result = -1;
+      const auto it = index_.find(req.key);
+      if (it == index_.end() || it->second > req.buf_bytes) {
+        continue;  // absent / short buffer: fails only this request
+      }
+      per_device[static_cast<size_t>(DeviceOf(req.key))].push_back(Job{&req, it->second});
+    }
+  }
+  std::atomic<int64_t> ok_reads{0};
+  std::atomic<int64_t> ok_bytes{0};
+  ParallelFor(0, static_cast<int64_t>(per_device.size()), 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t d = lo; d < hi; ++d) {
+      int64_t reads = 0;
+      int64_t bytes = 0;
+      for (const Job& job : per_device[static_cast<size_t>(d)]) {
+        const std::shared_ptr<FdHolder> fd = AcquireFd(job.req->key);
+        if (fd == nullptr || !PreadAll(fd->fd, job.req->buf, job.size)) {
+          continue;
+        }
+        job.req->result = job.size;
+        ++reads;
+        bytes += job.size;
+      }
+      ok_reads.fetch_add(reads, std::memory_order_relaxed);
+      ok_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    }
+  });
+  {
+    // One stats update with the same totals N serial ReadChunk calls would post.
+    std::lock_guard<std::mutex> lock(mu_);
+    total_reads_ += ok_reads.load(std::memory_order_relaxed);
+    read_bytes_ += ok_bytes.load(std::memory_order_relaxed);
+  }
+  if (done) {
+    done();
+  }
+}
+
+bool FileBackend::WriteChunks(std::span<ChunkWriteRequest> requests,
+                              const BatchCompletion& done) {
+  std::vector<std::vector<ChunkWriteRequest*>> per_device(device_dirs_.size());
+  for (ChunkWriteRequest& req : requests) {
+    per_device[static_cast<size_t>(DeviceOf(req.key))].push_back(&req);
+  }
+  std::atomic<bool> all_ok{true};
+  ParallelFor(0, static_cast<int64_t>(per_device.size()), 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t d = lo; d < hi; ++d) {
+      for (ChunkWriteRequest* req : per_device[static_cast<size_t>(d)]) {
+        req->ok = WriteChunk(req->key, req->data, req->bytes);
+        if (!req->ok) {
+          all_ok.store(false, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  if (done) {
+    done();
+  }
+  return all_ok.load(std::memory_order_relaxed);
 }
 
 bool FileBackend::HasChunk(const ChunkKey& key) const {
@@ -123,6 +293,7 @@ int64_t FileBackend::ChunkSize(const ChunkKey& key) const {
 }
 
 void FileBackend::DeleteContext(int64_t context_id) {
+  DropContextFds(context_id);
   std::vector<int> devices;
   {
     std::lock_guard<std::mutex> lock(mu_);

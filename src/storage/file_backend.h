@@ -9,12 +9,17 @@
 // not leak empty dirs.
 //
 // Thread safety: concurrent writers on distinct chunks are safe (the two-stage saver's
-// flush threads rely on this); the in-memory index is mutex-guarded.
+// flush threads rely on this); the in-memory index is mutex-guarded. Reads are
+// positioned pread calls on a small refcounted fd cache — pread never touches the fd's
+// file position, so any number of threads can read the same chunk (even sharing one
+// cached fd) concurrently without seek/read interleaving races.
 #ifndef HCACHE_SRC_STORAGE_FILE_BACKEND_H_
 #define HCACHE_SRC_STORAGE_FILE_BACKEND_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -33,6 +38,13 @@ class FileBackend : public StorageBackend {
 
   bool WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) override;
   int64_t ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const override;
+  // Batched submission: one index pass resolves every request, then the preads fan
+  // out grouped per device so each stripe streams its own queue (the whole point of
+  // striping, §4.2.1). Stats land in one update equal to the N serial calls'.
+  void ReadChunks(std::span<ChunkReadRequest> requests,
+                  const BatchCompletion& done = {}) const override;
+  bool WriteChunks(std::span<ChunkWriteRequest> requests,
+                   const BatchCompletion& done = {}) override;
   bool HasChunk(const ChunkKey& key) const override;
   int64_t ChunkSize(const ChunkKey& key) const override;
   void DeleteContext(int64_t context_id) override;
@@ -53,7 +65,24 @@ class FileBackend : public StorageBackend {
   // the per-write fast path after the first chunk of a context lands on a device).
   bool EnsureContextDir(int device, int64_t context_id);
 
+  // Owns one O_RDONLY fd; closes it on destruction. Refcounted so an eviction (or
+  // DeleteContext) never closes an fd another thread is mid-pread on.
+  struct FdHolder;
+  // Returns the cached read fd for `key`, opening (outside any lock) and inserting it
+  // on miss; nullptr when the file cannot be opened. LRU-bounded.
+  std::shared_ptr<FdHolder> AcquireFd(const ChunkKey& key) const;
+  void DropCachedFd(const ChunkKey& key);
+  void DropContextFds(int64_t context_id);
+
   std::vector<std::string> device_dirs_;
+
+  // fd cache state, guarded separately from the index so preads in flight never
+  // contend with index lookups.
+  mutable std::mutex fd_mu_;
+  mutable std::list<ChunkKey> fd_lru_;  // front = most recently used
+  mutable std::map<ChunkKey,
+                   std::pair<std::shared_ptr<FdHolder>, std::list<ChunkKey>::iterator>>
+      fd_cache_;
 
   mutable std::mutex mu_;
   std::map<ChunkKey, int64_t> index_;  // key -> stored size

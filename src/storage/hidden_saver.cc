@@ -178,21 +178,31 @@ void HiddenStateReader::ReadLayerInto(int64_t context_id, int64_t layer, int64_t
   const int64_t num_chunks = (n + chunk_tokens_ - 1) / chunk_tokens_;
   // FP32 is the widest encoding, so its chunk size bounds every stored form
   // (including legacy headerless chunks, which lack the 16-byte header).
-  std::vector<uint8_t> buf(
-      static_cast<size_t>(EncodedChunkBytes(ChunkCodec::kFp32, chunk_tokens_, cols)));
+  const int64_t chunk_cap = EncodedChunkBytes(ChunkCodec::kFp32, chunk_tokens_, cols);
+  std::vector<uint8_t> buf(static_cast<size_t>(num_chunks * chunk_cap));
+  // One batched submission for the whole layer: the backend overlaps the chunk
+  // fetches (per-device pread fan-out, or one cold round trip on a tiered store)
+  // instead of paying num_chunks serial round trips.
+  std::vector<ChunkReadRequest> reqs(static_cast<size_t>(num_chunks));
   for (int64_t c = 0; c < num_chunks; ++c) {
-    const ChunkKey key{context_id, layer, c};
-    const int64_t got = store_->ReadChunk(key, buf.data(), static_cast<int64_t>(buf.size()));
+    reqs[static_cast<size_t>(c)] =
+        ChunkReadRequest{ChunkKey{context_id, layer, c}, buf.data() + c * chunk_cap,
+                         chunk_cap, /*result=*/-1};
+  }
+  store_->ReadChunks(reqs);
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const uint8_t* chunk = buf.data() + c * chunk_cap;
+    const int64_t got = reqs[static_cast<size_t>(c)].result;
     CHECK_GT(got, 0) << "missing chunk ctx=" << context_id << " L=" << layer << " C=" << c;
     ChunkInfo info;
-    CHECK(InspectChunk(buf.data(), got, cols, &info))
+    CHECK(InspectChunk(chunk, got, cols, &info))
         << "corrupt chunk ctx=" << context_id << " L=" << layer << " C=" << c;
     CHECK_EQ(info.cols, cols) << "chunk geometry mismatch";
     const int64_t first_tok = c * chunk_tokens_;
     const int64_t want_tokens = std::min(chunk_tokens_, n - first_tok);
     CHECK_GE(info.rows, want_tokens) << "short chunk";
     // Fused decode: dequantize straight into the destination rows.
-    DecodeChunkRange(buf.data(), got, info, 0, want_tokens, 0, cols, dst + first_tok * cols,
+    DecodeChunkRange(chunk, got, info, 0, want_tokens, 0, cols, dst + first_tok * cols,
                      cols);
   }
 }

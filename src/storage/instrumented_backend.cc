@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "src/common/logging.h"
 
@@ -41,6 +42,56 @@ int64_t InstrumentedBackend::ReadChunk(const ChunkKey& key, void* buf,
     read_hook_(key);
   }
   return inner_->ReadChunk(key, buf, buf_bytes);
+}
+
+void InstrumentedBackend::ReadChunks(std::span<ChunkReadRequest> requests,
+                                     const BatchCompletion& done) const {
+  read_batches_.fetch_add(1, std::memory_order_relaxed);
+  InjectLatency();  // once per batch: a batched submission is one device round trip
+  if (read_hook_) {
+    for (const ChunkReadRequest& req : requests) {
+      read_hook_(req.key);
+    }
+  }
+  inner_->ReadChunks(requests, done);
+}
+
+bool InstrumentedBackend::WriteChunks(std::span<ChunkWriteRequest> requests,
+                                      const BatchCompletion& done) {
+  write_batches_.fetch_add(1, std::memory_order_relaxed);
+  InjectLatency();
+  bool all_ok = true;
+  std::vector<ChunkWriteRequest> forwarded;
+  std::vector<size_t> forwarded_index;
+  forwarded.reserve(requests.size());
+  forwarded_index.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ChunkWriteRequest& req = requests[i];
+    if (write_hook_) {
+      write_hook_(req.key);
+    }
+    // Same decrement-and-test as the serial path: each injected failure is consumed
+    // by exactly one request, which fails without ever reaching `inner`.
+    if (fail_writes_.load(std::memory_order_relaxed) > 0 &&
+        fail_writes_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      ++injected_write_failures_;
+      req.ok = false;
+      all_ok = false;
+      continue;
+    }
+    forwarded.push_back(req);
+    forwarded_index.push_back(i);
+  }
+  if (!forwarded.empty()) {
+    all_ok &= inner_->WriteChunks(forwarded);
+    for (size_t j = 0; j < forwarded.size(); ++j) {
+      requests[forwarded_index[j]].ok = forwarded[j].ok;
+    }
+  }
+  if (done) {
+    done();
+  }
+  return all_ok;
 }
 
 bool InstrumentedBackend::HasChunk(const ChunkKey& key) const {

@@ -42,8 +42,22 @@ class InstrumentedBackend : public StorageBackend {
 
   int64_t injected_write_failures() const { return injected_write_failures_.load(); }
 
+  // Batch submissions observed (each ReadChunks/WriteChunks call counts once, however
+  // many requests it carries) — the conformance tests assert callers actually batch.
+  int64_t read_batches() const { return read_batches_.load(); }
+  int64_t write_batches() const { return write_batches_.load(); }
+
   bool WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) override;
   int64_t ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const override;
+  // Latency is injected ONCE per batch — a batched submission pays one device round
+  // trip, which is exactly the effect batching exists to model — then the per-request
+  // hooks run and the whole batch forwards to the inner backend's batched entry
+  // point. Write-failure injection stays per-request (decrement-and-test), and an
+  // injected failure never reaches `inner`.
+  void ReadChunks(std::span<ChunkReadRequest> requests,
+                  const BatchCompletion& done = {}) const override;
+  bool WriteChunks(std::span<ChunkWriteRequest> requests,
+                   const BatchCompletion& done = {}) override;
   bool HasChunk(const ChunkKey& key) const override;
   int64_t ChunkSize(const ChunkKey& key) const override;
   void DeleteContext(int64_t context_id) override;
@@ -60,6 +74,8 @@ class InstrumentedBackend : public StorageBackend {
   std::atomic<int64_t> io_latency_micros_{0};
   std::atomic<int64_t> fail_writes_{0};
   mutable std::atomic<int64_t> injected_write_failures_{0};
+  mutable std::atomic<int64_t> read_batches_{0};
+  std::atomic<int64_t> write_batches_{0};
   std::function<void(const ChunkKey&)> write_hook_;
   std::function<void(const ChunkKey&)> read_hook_;
 };

@@ -42,6 +42,24 @@ double StorageIoModel::ReadTime(const IoPattern& pattern) const {
   return DeviceLatency() + static_cast<double>(pattern.total_bytes()) / bw;
 }
 
+double StorageIoModel::SerialReadTime(const IoPattern& pattern) const {
+  if (pattern.num_ios <= 0) {
+    return 0.0;
+  }
+  // Queue depth 1: every IO pays the device latency, and no cross-device striping
+  // overlap is possible because the next request is not submitted until this one
+  // returned — each read streams from the single device holding its chunk.
+  const auto& st = platform_.storage;
+  const double stream_bw =
+      st.kind == StorageBackendSpec::Kind::kDram
+          ? platform_.gpu.pcie_bw
+          : std::min(st.ssd.EffectiveReadBw(static_cast<double>(pattern.io_size)),
+                     platform_.gpu.pcie_bw);
+  CHECK_GT(stream_bw, 0.0);
+  return static_cast<double>(pattern.num_ios) * DeviceLatency() +
+         static_cast<double>(pattern.total_bytes()) / stream_bw;
+}
+
 double StorageIoModel::WriteTime(const IoPattern& pattern) const {
   if (pattern.num_ios <= 0) {
     return 0.0;

@@ -22,9 +22,16 @@ class StorageIoModel {
   double EffectiveWriteBw(double io_size) const;
 
   // Wall time to execute `pattern` as reads into one GPU (striped, pipelined, high
-  // queue depth: one leading device latency plus streaming time).
+  // queue depth: one leading device latency plus streaming time). This is the
+  // batched-submission model — the cost StorageBackend::ReadChunks pays.
   double ReadTime(const IoPattern& pattern) const;
   double WriteTime(const IoPattern& pattern) const;
+
+  // Wall time for the same pattern issued as `num_ios` serial single-chunk reads
+  // (queue depth 1: each IO pays the full device latency before the next is
+  // submitted) — the cost of a per-chunk ReadChunk loop. The gap to ReadTime is the
+  // modeled win the batched read API exists to collect.
+  double SerialReadTime(const IoPattern& pattern) const;
 
   // Convenience wrappers for the restoration paths. `codec` sets the encoded bytes
   // the hidden-state stream moves (kFp16 = the paper's transport).

@@ -1,8 +1,10 @@
 #include "src/storage/memory_backend.h"
 
 #include <cstring>
+#include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 
 namespace hcache {
 
@@ -34,6 +36,49 @@ int64_t MemoryBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_byt
   read_bytes_ += size;
   std::memcpy(buf, it->second.data(), static_cast<size_t>(size));
   return size;
+}
+
+void MemoryBackend::ReadChunks(std::span<ChunkReadRequest> requests,
+                               const BatchCompletion& done) const {
+  struct Job {
+    ChunkReadRequest* req;
+    const char* src;
+    int64_t size;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(requests.size());
+  int64_t total_bytes = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ChunkReadRequest& req : requests) {
+    req.result = -1;
+    const auto it = chunks_.find(req.key);
+    if (it == chunks_.end()) {
+      continue;
+    }
+    const int64_t size = static_cast<int64_t>(it->second.size());
+    if (size > req.buf_bytes) {
+      continue;  // short buffer fails only this request, no bytes / no stats
+    }
+    jobs.push_back(Job{&req, it->second.data(), size});
+    total_bytes += size;
+  }
+  total_reads_ += static_cast<int64_t>(jobs.size());
+  read_bytes_ += total_bytes;
+  // mu_ stays held across the copies (the map values must not move), which is safe to
+  // combine with ParallelFor: the subranges below never touch mu_, and the caller
+  // participates in the loop, so a pool worker blocked elsewhere cannot stall us.
+  ParallelFor(0, static_cast<int64_t>(jobs.size()),
+              total_bytes >= (1 << 20) ? 1 : static_cast<int64_t>(jobs.size()),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  const Job& job = jobs[static_cast<size_t>(i)];
+                  std::memcpy(job.req->buf, job.src, static_cast<size_t>(job.size));
+                  job.req->result = job.size;
+                }
+              });
+  if (done) {
+    done();
+  }
 }
 
 bool MemoryBackend::HasChunk(const ChunkKey& key) const {

@@ -20,6 +20,10 @@ class MemoryBackend : public StorageBackend {
 
   bool WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) override;
   int64_t ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const override;
+  // Batched read: one lock acquisition resolves the whole batch (N serial calls pay
+  // N lock round trips); large batches work-share the memcpys across the pool.
+  void ReadChunks(std::span<ChunkReadRequest> requests,
+                  const BatchCompletion& done = {}) const override;
   bool HasChunk(const ChunkKey& key) const override;
   int64_t ChunkSize(const ChunkKey& key) const override;
   void DeleteContext(int64_t context_id) override;

@@ -8,4 +8,30 @@ StorageBackend::StorageBackend(int64_t chunk_bytes) : chunk_bytes_(chunk_bytes) 
   CHECK_GT(chunk_bytes_, 0);
 }
 
+// Base implementation: the sequential loop. Correct for every backend (each request
+// is exactly one serial ReadChunk), so overrides only have to improve throughput,
+// never semantics.
+void StorageBackend::ReadChunks(std::span<ChunkReadRequest> requests,
+                                const BatchCompletion& done) const {
+  for (ChunkReadRequest& req : requests) {
+    req.result = ReadChunk(req.key, req.buf, req.buf_bytes);
+  }
+  if (done) {
+    done();
+  }
+}
+
+bool StorageBackend::WriteChunks(std::span<ChunkWriteRequest> requests,
+                                 const BatchCompletion& done) {
+  bool all_ok = true;
+  for (ChunkWriteRequest& req : requests) {
+    req.ok = WriteChunk(req.key, req.data, req.bytes);
+    all_ok &= req.ok;
+  }
+  if (done) {
+    done();
+  }
+  return all_ok;
+}
+
 }  // namespace hcache

@@ -20,6 +20,8 @@
 #define HCACHE_SRC_STORAGE_STORAGE_BACKEND_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 
 namespace hcache {
@@ -31,6 +33,29 @@ struct ChunkKey {
 
   friend auto operator<=>(const ChunkKey&, const ChunkKey&) = default;
 };
+
+// One read of a batched ReadChunks submission. The caller owns `buf` (capacity
+// `buf_bytes`) and keeps it alive until the batch's completion has run; `result` is
+// written by the backend: the chunk's byte count on success, -1 when the chunk is
+// absent or the buffer too small (the same per-request rule as ReadChunk).
+struct ChunkReadRequest {
+  ChunkKey key;
+  void* buf = nullptr;
+  int64_t buf_bytes = 0;
+  int64_t result = -1;
+};
+
+// One write of a batched WriteChunks submission (the tiered drainer's write-back
+// path). `ok` is written by the backend, mirroring WriteChunk's return value.
+struct ChunkWriteRequest {
+  ChunkKey key;
+  const void* data = nullptr;
+  int64_t bytes = 0;
+  bool ok = false;
+};
+
+// Invoked exactly once when every request of a batch has its result/ok field set.
+using BatchCompletion = std::function<void()>;
 
 // Uniform counters every backend maintains. Tier fields stay zero for single-tier
 // backends; for TieredBackend a read is either a `dram_hits` (hot tier) or a
@@ -100,6 +125,41 @@ class StorageBackend {
   // tiered backend performs no cold-tier IO, no promotion, and no LRU update for a
   // short-buffer read. Callers distinguish "absent" from "too small" via ChunkSize.
   virtual int64_t ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const = 0;
+
+  // Batched read: one submission for a whole layer's (or batch's) chunks, replacing
+  // N serial ReadChunk round trips on the restore hot path.
+  //
+  // ReadChunks contract (uniform across Memory/File/Tiered/Instrumented, pinned by
+  // tests/storage/read_chunks_test.cc, same rigor as the short-buffer rule above):
+  //
+  //   * Results: each request's `result` is set exactly as a serial
+  //     ReadChunk(key, buf, buf_bytes) would return it, and on success `buf` holds
+  //     the chunk bytes. Requests may be serviced in any order and concurrently;
+  //     duplicate keys in one batch are allowed (each is served independently).
+  //   * Partial failure: an absent chunk or short buffer fails ONLY its own request
+  //     (result = -1, no bytes written, no stats counted, no side effects — for a
+  //     tiered backend no cold IO, promotion, or LRU update for that request). It
+  //     never poisons the rest of the batch.
+  //   * Completion thread: every `result` is written before `done` runs; `done` is
+  //     invoked exactly once, on the calling thread, and ReadChunks returns only
+  //     after it — the call is a submission barrier. (Asynchrony is layered above:
+  //     the pipelined restorer overlaps whole-batch submissions with compute.)
+  //   * Stats: counters advance exactly as the same N serial ReadChunk calls would
+  //     (hit tiering included), so dram_hit_bytes + cold_hit_bytes continues to
+  //     equal the bytes actually delivered.
+  //
+  // The base implementation is the sequential loop; backends override it to batch
+  // (FileBackend: pread fan-out grouped per device; MemoryBackend: one lock
+  // acquisition; TieredBackend: DRAM hits inline + ONE batched cold round trip).
+  virtual void ReadChunks(std::span<ChunkReadRequest> requests,
+                          const BatchCompletion& done = {}) const;
+
+  // Batched write: the drainer's write-back flushes land a whole ticket in one
+  // submission. Each request's `ok` mirrors WriteChunk's return value; failures are
+  // per-request. Returns true iff every request succeeded. Same completion-before-
+  // return barrier semantics as ReadChunks.
+  virtual bool WriteChunks(std::span<ChunkWriteRequest> requests,
+                           const BatchCompletion& done = {});
 
   virtual bool HasChunk(const ChunkKey& key) const = 0;
   virtual int64_t ChunkSize(const ChunkKey& key) const = 0;  // -1 when absent

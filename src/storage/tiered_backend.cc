@@ -150,37 +150,56 @@ void TieredBackend::LegacyEvictToBudgetLocked(Shard& shard) const {
 
 bool TieredBackend::ProcessTicket(const DrainTicket& ticket) const {
   Shard& shard = *shards_[ticket.shard];
-  bool all_ok = true;
-  for (const auto& [key, gen] : ticket.chunks) {
+  // Snapshot every still-current payload under ONE lock hold, then land the whole
+  // ticket in ONE batched cold-tier submission with no lock held — on a striped file
+  // cold tier the writes fan out per device instead of trickling one fsync at a time.
+  struct Flush {
+    ChunkKey key;
+    uint64_t gen = 0;
     std::shared_ptr<const std::vector<char>> data;
-    {
-      std::lock_guard<std::mutex> lock(shard.mu);
+  };
+  std::vector<Flush> flushes;
+  flushes.reserve(ticket.chunks.size());
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, gen] : ticket.chunks) {
       const auto it = shard.pending.find(key);
       if (it == shard.pending.end() || it->second.gen != gen) {
         continue;  // rescued, superseded by a newer write, or deleted
       }
-      data = it->second.data;
+      flushes.push_back(Flush{key, gen, it->second.data});
     }
-    const int64_t bytes = static_cast<int64_t>(data->size());
-    const bool ok = cold_->WriteChunk(key, data->data(), bytes);  // no lock held
-    {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      const auto it = shard.pending.find(key);
-      if (it == shard.pending.end() || it->second.gen != gen) {
+  }
+  bool all_ok = true;
+  if (!flushes.empty()) {
+    std::vector<ChunkWriteRequest> writes;
+    writes.reserve(flushes.size());
+    for (const Flush& f : flushes) {
+      writes.push_back(ChunkWriteRequest{f.key, f.data->data(),
+                                         static_cast<int64_t>(f.data->size()),
+                                         /*ok=*/false});
+    }
+    cold_->WriteChunks(writes);  // no lock held
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i = 0; i < flushes.size(); ++i) {
+      const Flush& f = flushes[i];
+      const auto it = shard.pending.find(f.key);
+      if (it == shard.pending.end() || it->second.gen != f.gen) {
         continue;  // superseded while the write was in flight; its bytes moved on
       }
+      const int64_t bytes = static_cast<int64_t>(f.data->size());
       shard.pending.erase(it);
       pending_bytes_ -= bytes;
-      if (ok) {
+      if (writes[i].ok) {
         ++writeback_chunks_;
         writeback_bytes_ += bytes;
       } else {
         all_ok = false;
-        HCACHE_LOG_ERROR << "tiered write-back failed: ctx=" << key.context_id
-                         << " L=" << key.layer << " C=" << key.chunk_index
+        HCACHE_LOG_ERROR << "tiered write-back failed: ctx=" << f.key.context_id
+                         << " L=" << f.key.layer << " C=" << f.key.chunk_index
                          << "; re-admitting to DRAM";
-        InsertHotLocked(shard, key, data->data(), bytes, /*dirty=*/true);
-        TouchLocked(shard, key.context_id);
+        InsertHotLocked(shard, f.key, f.data->data(), bytes, /*dirty=*/true);
+        TouchLocked(shard, f.key.context_id);
       }
     }
   }
@@ -457,6 +476,137 @@ int64_t TieredBackend::ReadChunk(const ChunkKey& key, void* buf,
   }
   DispatchTickets(std::move(tickets));
   return got;
+}
+
+void TieredBackend::ReadChunks(std::span<ChunkReadRequest> requests,
+                               const BatchCompletion& done) const {
+  if (options_.writeback == TieredOptions::Writeback::kLegacyLocked) {
+    StorageBackend::ReadChunks(requests, done);  // pre-redesign baseline stays serial
+    return;
+  }
+  struct Miss {
+    ChunkReadRequest* req;
+    uint64_t read_gen;  // write generation the unlocked cold read will serve
+  };
+  std::vector<std::vector<ChunkReadRequest*>> by_shard(shards_.size());
+  for (ChunkReadRequest& req : requests) {
+    req.result = -1;
+    by_shard[ShardOf(req.key.context_id)].push_back(&req);
+  }
+  // Phase 1 — per shard, under that shard's lock: serve hot hits and drain-queue
+  // rescues (ReadChunk's exact rules: short buffers fail with no side effects, a
+  // rescue re-admits only into FREE space) and snapshot each miss's generation.
+  std::vector<std::vector<Miss>> miss_by_shard(shards_.size());
+  size_t num_misses = 0;
+  bool rescued_pending = false;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) {
+      continue;
+    }
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (ChunkReadRequest* req : by_shard[s]) {
+      const ChunkKey& key = req->key;
+      const auto hot_it = shard.hot.find(key);
+      if (hot_it != shard.hot.end()) {
+        const int64_t size = static_cast<int64_t>(hot_it->second.data.size());
+        if (size > req->buf_bytes) {
+          continue;
+        }
+        std::memcpy(req->buf, hot_it->second.data.data(), static_cast<size_t>(size));
+        TouchLocked(shard, key.context_id);
+        ++total_reads_;
+        ++dram_hits_;
+        dram_hit_bytes_ += size;
+        req->result = size;
+        continue;
+      }
+      const auto pit = shard.pending.find(key);
+      if (pit != shard.pending.end()) {
+        const std::shared_ptr<const std::vector<char>> data = pit->second.data;
+        const int64_t size = static_cast<int64_t>(data->size());
+        if (size > req->buf_bytes) {
+          continue;
+        }
+        std::memcpy(req->buf, data->data(), static_cast<size_t>(size));
+        ++total_reads_;
+        ++dram_hits_;
+        dram_hit_bytes_ += size;
+        ++drain_rescued_chunks_;
+        if (size <= shard.capacity - shard.hot_bytes) {
+          pending_bytes_ -= size;
+          shard.pending.erase(pit);
+          rescued_pending = true;
+          InsertHotLocked(shard, key, data->data(), size, /*dirty=*/true);
+          TouchLocked(shard, key.context_id);
+        }
+        req->result = size;
+        continue;
+      }
+      const auto iit = shard.index.find(key);
+      if (iit == shard.index.end() || iit->second.size > req->buf_bytes) {
+        continue;  // absent or short buffer: no IO, no stats, no side effects
+      }
+      miss_by_shard[s].push_back(Miss{req, iit->second.gen});
+      ++num_misses;
+    }
+  }
+  if (rescued_pending) {
+    SignalDrainProgress();
+  }
+  if (num_misses > 0) {
+    // Phase 2 — every shard lock released: ONE batched cold round trip for all
+    // misses, reading straight into the callers' buffers.
+    std::vector<ChunkReadRequest> cold_reqs;
+    cold_reqs.reserve(num_misses);
+    for (const auto& misses : miss_by_shard) {
+      for (const Miss& m : misses) {
+        cold_reqs.push_back(ChunkReadRequest{m.req->key, m.req->buf, m.req->buf_bytes,
+                                             /*result=*/-1});
+      }
+    }
+    cold_->ReadChunks(cold_reqs);
+    // Phase 3 — per shard, under the lock again: stats + gen-checked clean
+    // promotion (a concurrent write or delete invalidates the snapshot), one
+    // eviction pass per shard, tickets dispatched after release.
+    std::vector<DrainTicket> tickets;
+    size_t j = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (miss_by_shard[s].empty()) {
+        continue;
+      }
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const Miss& m : miss_by_shard[s]) {
+        const int64_t got = cold_reqs[j++].result;
+        if (got < 0) {
+          continue;  // vanished from the cold tier too (deleted mid-flight)
+        }
+        ++total_reads_;
+        ++cold_hits_;
+        cold_hit_bytes_ += got;
+        m.req->result = got;
+        const auto iit = shard.index.find(m.req->key);
+        const bool current = iit != shard.index.end() && iit->second.gen == m.read_gen;
+        const bool displaced =
+            shard.hot.count(m.req->key) != 0 || shard.pending.count(m.req->key) != 0;
+        if (current && !displaced) {
+          if (got <= shard.capacity) {
+            InsertHotLocked(shard, m.req->key, static_cast<const char*>(m.req->buf),
+                            got, /*dirty=*/false);
+            TouchLocked(shard, m.req->key.context_id);
+          } else {
+            ++promotions_skipped_;
+          }
+        }
+      }
+      EvictToBudgetLocked(shard, &tickets);
+    }
+    DispatchTickets(std::move(tickets));
+  }
+  if (done) {
+    done();
+  }
 }
 
 bool TieredBackend::HasChunk(const ChunkKey& key) const {

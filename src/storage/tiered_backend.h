@@ -88,6 +88,16 @@ class TieredBackend : public StorageBackend {
 
   bool WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) override;
   int64_t ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const override;
+  // Batched read in three phases: (1) per shard, under that shard's lock, serve hot
+  // hits and drain-queue rescues and snapshot the misses' write generations; (2) with
+  // every lock released, ONE batched cold-tier round trip for all misses — a restore
+  // that hits cold pays one submission instead of a per-chunk lock/IO/lock cycle;
+  // (3) per shard, gen-checked clean promotion under the lock, eviction tickets
+  // dispatched after release. Promotion, rescue, budget, and short-buffer rules are
+  // exactly ReadChunk's; no lock is ever held across cold-tier IO.
+  // (kLegacyLocked keeps the serial loop — it is the pre-redesign baseline.)
+  void ReadChunks(std::span<ChunkReadRequest> requests,
+                  const BatchCompletion& done = {}) const override;
   bool HasChunk(const ChunkKey& key) const override;
   int64_t ChunkSize(const ChunkKey& key) const override;
   void DeleteContext(int64_t context_id) override;
