@@ -1,0 +1,197 @@
+// hcache-fsck: offline integrity checker for on-disk chunk stores.
+//
+// Scans a FileBackend's device directories, classifies every chunk
+// (clean / unverified / partial / corrupt) by re-parsing headers and re-computing
+// payload CRC32Cs, reports orphaned temp files from torn writes, and — with
+// --repair — quarantines the damage so the serving read path sees ordinary misses
+// (recompute-from-tokens) instead of per-read CRC failures.
+//
+//   hcache-fsck [--repair] [--json] <device_dir> [<device_dir>...]
+//   hcache-fsck --selftest
+//
+// Exit status: 0 when the store is healthy (or --repair fixed everything),
+// 1 when damage remains, 2 on usage errors. --selftest builds a throwaway store,
+// injects corruption/truncation/orphans, and checks fsck catches all of it — the
+// CI smoke run.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/storage/codec.h"
+#include "src/storage/file_backend.h"
+#include "src/storage/fsck.h"
+#include "src/storage/instrumented_backend.h"
+#include "src/storage/layout.h"
+
+using namespace hcache;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// The backend needs a chunk capacity >= the largest stored object; derive it from
+// the store itself so fsck needs no knowledge of the writer's configuration.
+int64_t LargestFileUnder(const std::vector<std::string>& dirs) {
+  int64_t largest = 0;
+  for (const std::string& dir : dirs) {
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (it->is_regular_file(ec)) {
+        largest = std::max(largest, static_cast<int64_t>(it->file_size(ec)));
+      }
+    }
+  }
+  return largest;
+}
+
+void PrintHuman(const FsckReport& r) {
+  std::printf("hcache-fsck: %lld chunks, %lld bytes scanned\n",
+              static_cast<long long>(r.chunks_scanned),
+              static_cast<long long>(r.bytes_scanned));
+  std::printf("  clean (CRC verified): %lld\n", static_cast<long long>(r.clean));
+  std::printf("  unverified (no CRC):  %lld\n", static_cast<long long>(r.unverified));
+  std::printf("  partial (truncated):  %lld\n", static_cast<long long>(r.partial));
+  std::printf("  corrupt (CRC failed): %lld\n", static_cast<long long>(r.corrupt));
+  std::printf("  orphaned temp files:  %lld\n",
+              static_cast<long long>(r.orphaned_temp_files));
+  std::printf("  repaired:             %lld\n", static_cast<long long>(r.repaired));
+  for (const FsckFinding& f : r.findings) {
+    std::printf("  [%s]%s ctx=%lld L=%lld C=%lld (%lld bytes): %s\n",
+                FsckClassName(f.klass), f.repaired ? " repaired" : "",
+                static_cast<long long>(f.key.context_id),
+                static_cast<long long>(f.key.layer),
+                static_cast<long long>(f.key.chunk_index),
+                static_cast<long long>(f.bytes), f.detail.c_str());
+  }
+  std::printf("store %s\n", r.Healthy() ? "HEALTHY" : "DAMAGED");
+}
+
+#define SELFTEST_CHECK(cond)                                                    \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::fprintf(stderr, "selftest FAILED at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                                      \
+      return 1;                                                                 \
+    }                                                                           \
+  } while (0)
+
+// Builds a store with known damage and checks the scanner and the repair pass see
+// exactly what was injected.
+int RunSelftest() {
+  const fs::path root = fs::temp_directory_path() / "hcache_fsck_selftest";
+  fs::remove_all(root);
+  const std::vector<std::string> dirs = {(root / "d0").string(), (root / "d1").string()};
+  constexpr int64_t kChunkBytes = 1 << 16;
+  {
+    FileBackend store(dirs, kChunkBytes);
+    InstrumentedBackend chaos(&store);
+    // Six well-formed v2 chunks across two contexts.
+    std::vector<uint8_t> payload(static_cast<size_t>(EncodedChunkBytes(
+        ChunkCodec::kFp32, /*rows=*/16, /*cols=*/32)));
+    for (int64_t ctx = 1; ctx <= 2; ++ctx) {
+      for (int64_t c = 0; c < 3; ++c) {
+        for (size_t i = sizeof(ChunkHeader); i < payload.size(); ++i) {
+          payload[i] = static_cast<uint8_t>(ctx * 31 + c * 7 + i);
+        }
+        WriteChunkHeader(ChunkCodec::kFp32, 16, 32, payload.data());
+        SELFTEST_CHECK(chaos.WriteChunk(ChunkKey{ctx, 0, c}, payload.data(),
+                                        static_cast<int64_t>(payload.size())));
+      }
+    }
+    // Damage: one payload bit flip, one lost tail, one orphaned temp file.
+    SELFTEST_CHECK(chaos.CorruptChunk(ChunkKey{1, 0, 1},
+                                      8 * (sizeof(ChunkHeader) + 5) + 2));
+    SELFTEST_CHECK(chaos.TruncateChunk(ChunkKey{2, 0, 2},
+                                       static_cast<int64_t>(payload.size() / 2)));
+    std::FILE* orphan = std::fopen((root / "d0" / "ctx1" / "L0_C9.bin.tmp").c_str(), "wb");
+    SELFTEST_CHECK(orphan != nullptr);
+    std::fputs("torn", orphan);
+    std::fclose(orphan);
+  }
+  // Fresh process view: recover the index from disk, but keep the orphan in place
+  // (sweep_temp_files=false) so the scanner — not the constructor — finds it.
+  FileBackendOptions opts;
+  opts.sweep_temp_files = false;
+  FileBackend store(dirs, kChunkBytes, opts);
+  FsckOptions fsck;
+  fsck.scan_dirs = dirs;
+  FsckReport before = RunFsck(&store, fsck);
+  std::printf("%s\n", before.ToJson().c_str());
+  SELFTEST_CHECK(before.chunks_scanned == 6);
+  SELFTEST_CHECK(before.clean == 4);
+  SELFTEST_CHECK(before.corrupt == 1);
+  SELFTEST_CHECK(before.partial == 1);
+  SELFTEST_CHECK(before.orphaned_temp_files == 1);
+  SELFTEST_CHECK(!before.Healthy());
+  fsck.repair = true;
+  FsckReport repaired = RunFsck(&store, fsck);
+  SELFTEST_CHECK(repaired.repaired == 3);
+  fsck.repair = false;
+  FsckReport after = RunFsck(&store, fsck);
+  std::printf("%s\n", after.ToJson().c_str());
+  SELFTEST_CHECK(after.Healthy());
+  SELFTEST_CHECK(after.chunks_scanned == 4 && after.clean == 4);
+  fs::remove_all(root);
+  std::printf("hcache-fsck selftest OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool repair = false, json = false, selftest = false;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repair") {
+      repair = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--selftest") {
+      selftest = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (selftest) {
+    return RunSelftest();
+  }
+  if (dirs.empty()) {
+    std::fprintf(stderr,
+                 "usage: hcache-fsck [--repair] [--json] <device_dir>...\n"
+                 "       hcache-fsck --selftest\n");
+    return 2;
+  }
+  for (const std::string& dir : dirs) {
+    if (!fs::is_directory(dir)) {
+      std::fprintf(stderr, "not a directory: %s\n", dir.c_str());
+      return 2;
+    }
+  }
+  const int64_t chunk_bytes = std::max<int64_t>(LargestFileUnder(dirs), 1);
+  // Keep orphaned temp files in place: this run classifies them (and only a
+  // --repair run removes them).
+  FileBackendOptions opts;
+  opts.sweep_temp_files = false;
+  FileBackend store(dirs, chunk_bytes, opts);
+  FsckOptions fsck;
+  fsck.repair = repair;
+  fsck.scan_dirs = dirs;
+  const FsckReport report = RunFsck(&store, fsck);
+  if (json) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    PrintHuman(report);
+  }
+  return report.Healthy() || (repair && report.repaired > 0 &&
+                              report.partial + report.corrupt + report.orphaned_temp_files ==
+                                  report.repaired)
+             ? 0
+             : 1;
+}

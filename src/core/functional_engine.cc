@@ -1,5 +1,6 @@
 #include "src/core/functional_engine.h"
 
+#include <atomic>
 #include <cstring>
 #include <future>
 #include <numeric>
@@ -80,7 +81,7 @@ void FunctionalHCache::SaveKvLayers(int64_t context_id, const PagedKvSequence& s
   }
 }
 
-void FunctionalHCache::LoadKvLayer(int64_t context_id, int64_t layer, int64_t n, Tensor* k,
+bool FunctionalHCache::LoadKvLayer(int64_t context_id, int64_t layer, int64_t n, Tensor* k,
                                    Tensor* v) const {
   const ModelConfig& cfg = model_->config();
   const int64_t kv_dim = cfg.kv_dim();
@@ -106,15 +107,20 @@ void FunctionalHCache::LoadKvLayer(int64_t context_id, int64_t layer, int64_t n,
     const int64_t first = c * chunk_tokens_;
     const int64_t count = std::min(chunk_tokens_, n - first);
     ChunkInfo info;
-    CHECK(got > 0 && InspectChunk(chunk, got, row_floats, &info) &&
-          info.cols == row_floats && info.rows >= count)
-        << "missing/short KV chunk ctx=" << context_id << " L=" << layer << " C=" << c;
+    if (got <= 0 || !InspectChunk(chunk, got, row_floats, &info) ||
+        info.cols != row_floats || info.rows < count) {
+      HCACHE_LOG_ERROR << "KV chunk "
+                       << (got == kChunkCorrupt ? "corrupt" : "missing/short")
+                       << ": ctx=" << context_id << " L=" << layer << " C=" << c;
+      return false;
+    }
     // Fused decode + de-interleave: each stored [K | V] row dequantizes directly into
     // the two destination tensors via column sub-ranges — no FP32 staging pass.
     DecodeChunkRange(chunk, got, info, 0, count, 0, kv_dim, k->row(first), kv_dim);
     DecodeChunkRange(chunk, got, info, 0, count, kv_dim, row_floats, v->row(first),
                      kv_dim);
   }
+  return true;
 }
 
 bool FunctionalHCache::CanRestore(int64_t context_id, const PartitionScheme& scheme,
@@ -207,11 +213,23 @@ bool FunctionalHCache::RestoreContext(int64_t context_id, const PartitionScheme&
     }
   }
 
+  // CanRestore vets sizes, not payloads: a chunk that passed the size check can still
+  // fail its CRC (or parse) when actually read. Loads therefore report failure through
+  // `load_failed` (they may run on a pool thread, where throwing or CHECKing would
+  // take the process down) and the pipeline unwinds to "still evicted" below.
+  std::atomic<bool> load_failed{false};
   auto load = [&](LayerState& entry) {
     if (entry.from_hidden) {
-      entry.hidden = reader.ReadLayer(context_id, entry.layer, n);
+      Tensor hidden({n, cfg.hidden_dim});
+      if (!reader.ReadLayerInto(context_id, entry.layer, n, hidden.data())) {
+        load_failed.store(true, std::memory_order_release);
+        return;
+      }
+      entry.hidden = std::move(hidden);
     } else {
-      LoadKvLayer(context_id, entry.layer, n, &entry.k, &entry.v);
+      if (!LoadKvLayer(context_id, entry.layer, n, &entry.k, &entry.v)) {
+        load_failed.store(true, std::memory_order_release);
+      }
     }
   };
   auto submit_load = [&](LayerState& entry) {
@@ -232,11 +250,16 @@ bool FunctionalHCache::RestoreContext(int64_t context_id, const PartitionScheme&
     LayerState& entry = plan[idx];
     if (next_loaded.valid()) {
       next_loaded.get();  // wait for this layer's read...
-      if (idx + 1 < plan.size()) {
+      if (idx + 1 < plan.size() && !load_failed.load(std::memory_order_acquire)) {
         next_loaded = submit_load(plan[idx + 1]);  // ...and start the next one now
+      } else {
+        next_loaded = std::future<void>();
       }
     } else {
       load(entry);
+    }
+    if (load_failed.load(std::memory_order_acquire)) {
+      break;
     }
     if (entry.from_hidden) {
       Tensor k, v;
@@ -246,6 +269,20 @@ bool FunctionalHCache::RestoreContext(int64_t context_id, const PartitionScheme&
     } else {
       seq->WriteKv(entry.layer, 0, entry.k, entry.v);
     }
+  }
+  if (load_failed.load(std::memory_order_acquire)) {
+    // The failure may have been set by the layer we just consumed while its
+    // *successor's* prefetch was already submitted — wait that one out before
+    // unwinding so no pool task still references this frame.
+    if (next_loaded.valid()) {
+      next_loaded.get();
+    }
+    // Leave the sequence exactly as a failed-precondition return does: evicted
+    // (partially written KV released) with its history length intact, so the caller
+    // can recompute from tokens.
+    seq->Evict();
+    HCACHE_LOG_ERROR << "restore aborted, sequence left evicted: ctx=" << context_id;
+    return false;
   }
   return true;
 }

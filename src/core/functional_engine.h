@@ -77,7 +77,9 @@ class FunctionalHCache {
   static constexpr int64_t kKvLayerBase = 1'000'000;
 
   void SaveKvLayer(int64_t context_id, const PagedKvSequence& seq, int64_t layer);
-  void LoadKvLayer(int64_t context_id, int64_t layer, int64_t n, Tensor* k, Tensor* v) const;
+  // False (with a log) when any covering KV chunk is missing, short, or detected
+  // corrupt — RestoreContext unwinds to "still evicted" and reports failure.
+  bool LoadKvLayer(int64_t context_id, int64_t layer, int64_t n, Tensor* k, Tensor* v) const;
 
   Transformer* model_;
   StorageBackend* store_;

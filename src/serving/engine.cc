@@ -57,11 +57,16 @@ int64_t ServingEngine::DeriveKvCapacityTokens() const {
 }
 
 double ServingEngine::RestoreTime(int64_t history_tokens, double* compute_busy) const {
-  if (history_tokens <= 0 || options_.method == RestoreMethod::kIdeal) {
+  return RestoreTimeWith(options_.method, history_tokens, compute_busy);
+}
+
+double ServingEngine::RestoreTimeWith(RestoreMethod method, int64_t history_tokens,
+                                      double* compute_busy) const {
+  if (history_tokens <= 0 || method == RestoreMethod::kIdeal) {
     *compute_busy = 0;
     return 0;
   }
-  const RestoreResult res = restorer_.Restore(options_.method, history_tokens);
+  const RestoreResult res = restorer_.Restore(method, history_tokens);
   *compute_busy = res.compute_busy;
   return res.total_time;
 }
@@ -212,10 +217,10 @@ void ServingEngine::SaveState(int64_t session, int64_t old_tokens, int64_t new_t
   report_.state_encoded_bytes += appended * encoded_bpt;
 }
 
-void ServingEngine::LoadState(int64_t session, int64_t tokens) {
+bool ServingEngine::LoadState(int64_t session, int64_t tokens) {
   StorageBackend* backend = options_.state_backend;
   if (backend == nullptr || tokens <= 0) {
-    return;
+    return true;  // nothing to read back — restoration proceeds on the timing model
   }
   const int64_t num_chunks = (tokens + chunk_capacity_tokens_ - 1) / chunk_capacity_tokens_;
   // Batched restore: the session's chunks come up in bounded windows of one
@@ -235,7 +240,18 @@ void ServingEngine::LoadState(int64_t session, int64_t tokens) {
                            chunk_bytes, /*result=*/-1};
     }
     backend->ReadChunks(reqs);
+    for (int64_t i = 0; i < count; ++i) {
+      const int64_t got = reqs[static_cast<size_t>(i)].result;
+      if (got <= 0) {
+        HCACHE_LOG_ERROR << "session state "
+                         << (got == kChunkCorrupt ? "corrupt" : "missing")
+                         << ": session=" << session << " chunk=" << (c0 + i)
+                         << " — falling back to recompute";
+        return false;
+      }
+    }
   }
+  return true;
 }
 
 void ServingEngine::Submit(const RoundTask& r) {
@@ -341,9 +357,16 @@ void ServingEngine::Advance(double until, std::vector<RoundCompletion>* done) {
         if (restoring_.active) {
           break;  // one restoration channel; keep FCFS order
         }
-        LoadState(r.session, r.history);
+        // Verified readback: if the stored state is gone or fails its CRC, the round
+        // still completes — it just pays recompute-from-tokens restoration instead of
+        // trusting bytes that would decode to a wrong KV cache.
+        RestoreMethod method = options_.method;
+        if (!LoadState(r.session, r.history)) {
+          method = RestoreMethod::kRecompute;
+          ++report_.restore_fallbacks;
+        }
         double compute_busy = 0;
-        const double t = RestoreTime(r.history, &compute_busy);
+        const double t = RestoreTimeWith(method, r.history, &compute_busy);
         restoring_.r = r;
         restoring_.start = now_;
         restoring_.end = now_ + t;

@@ -86,6 +86,12 @@ struct ServingReport {
   ChunkCodec state_codec = ChunkCodec::kFp16;
   int64_t state_logical_bytes = 0;
   int64_t state_encoded_bytes = 0;
+  // Rounds whose stored state came back missing or corrupt at restore time and were
+  // served by full recomputation instead (detected-corrupt is a fallback, not a miss
+  // and never a crash — the durability plane's serving-level contract). The round
+  // pays recompute's restoration time, so corruption shows up as a tail-latency
+  // penalty rather than a wrong answer.
+  int64_t restore_fallbacks = 0;
 
   double StateCompressionRatio() const {
     return state_encoded_bytes > 0
@@ -208,6 +214,10 @@ class ServingEngine {
   double DirectSaveStall(int64_t batch_size, double iteration_compute) const;
 
   double RestoreTime(int64_t history_tokens, double* compute_busy) const;
+  // Same timing model under an explicit method — the corrupt-state fallback charges
+  // the round recompute's restoration cost whatever options_.method says.
+  double RestoreTimeWith(RestoreMethod method, int64_t history_tokens,
+                         double* compute_busy) const;
 
   // --- stepped-simulation internals (state between Advance calls) ---
   struct Active {
@@ -228,7 +238,10 @@ class ServingEngine {
   // registry that persists context descriptors through options_.state_backend).
   int64_t EncodedStateBytesPerToken() const;
   void SaveState(int64_t session, int64_t old_tokens, int64_t new_tokens);
-  void LoadState(int64_t session, int64_t tokens);
+  // Reads the session's state descriptor back from the backend. False when any
+  // covering chunk is absent or detected corrupt: the caller must not trust the
+  // stored state and falls back to recompute-from-tokens restoration.
+  bool LoadState(int64_t session, int64_t tokens);
   void FinishRound(Active& a, std::vector<RoundCompletion>* done);
 
   Platform platform_;

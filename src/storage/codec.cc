@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstring>
 
 #include "src/common/logging.h"
@@ -161,6 +162,11 @@ void WriteChunkHeader(ChunkCodec codec, int64_t rows, int64_t cols, void* dst) {
   h.codec = static_cast<uint8_t>(codec);
   h.rows = static_cast<uint32_t>(rows);
   h.cols = static_cast<uint32_t>(cols);
+  // Seal the already-encoded payload behind the header, then the header behind its
+  // own checksum (over every field above, i.e. the 20 bytes before header_crc32c).
+  const uint8_t* payload = static_cast<const uint8_t*>(dst) + sizeof(ChunkHeader);
+  h.payload_crc32c = Crc32c(payload, rows * CodecRowBytes(codec, cols));
+  h.header_crc32c = Crc32c(&h, offsetof(ChunkHeader, header_crc32c));
   std::memcpy(dst, &h, sizeof(h));
 }
 
@@ -201,11 +207,33 @@ bool InspectChunk(const void* data, int64_t bytes, int64_t legacy_cols, ChunkInf
     std::memcpy(&h, data, sizeof(h));
     if (h.magic == kChunkMagic && h.version == kChunkFormatVersion &&
         h.codec <= static_cast<uint8_t>(ChunkCodec::kInt8) && h.cols > 0 &&
-        EncodedChunkBytes(static_cast<ChunkCodec>(h.codec), h.rows, h.cols) == bytes) {
+        EncodedChunkBytes(static_cast<ChunkCodec>(h.codec), h.rows, h.cols) == bytes &&
+        Crc32c(data, offsetof(ChunkHeader, header_crc32c)) == h.header_crc32c) {
       info->codec = static_cast<ChunkCodec>(h.codec);
       info->rows = h.rows;
       info->cols = h.cols;
       info->header_bytes = static_cast<int64_t>(sizeof(ChunkHeader));
+      info->payload_crc32c = h.payload_crc32c;
+      info->has_crc = true;
+      return true;
+    }
+  }
+  // v1 (16-byte header, no checksums): still live on disk from pre-v2 writers.
+  if (bytes >= kChunkHeaderBytesV1) {
+    ChunkHeader h{};
+    std::memcpy(&h, data, static_cast<size_t>(kChunkHeaderBytesV1));
+    if (h.magic == kChunkMagic && h.version == 1 &&
+        h.codec <= static_cast<uint8_t>(ChunkCodec::kInt8) && h.cols > 0 &&
+        kChunkHeaderBytesV1 +
+                static_cast<int64_t>(h.rows) *
+                    CodecRowBytes(static_cast<ChunkCodec>(h.codec), h.cols) ==
+            bytes) {
+      info->codec = static_cast<ChunkCodec>(h.codec);
+      info->rows = h.rows;
+      info->cols = h.cols;
+      info->header_bytes = kChunkHeaderBytesV1;
+      info->payload_crc32c = 0;
+      info->has_crc = false;
       return true;
     }
   }

@@ -61,8 +61,9 @@ void Int8DecodeRow(const int8_t* values, float scale, int64_t cols, float* dst);
 // --- chunk encode ---
 
 // Fills a ChunkHeader for `rows` x `cols` under `codec` at `dst` (≥ sizeof(ChunkHeader)
-// bytes). The header may be (re)written after rows were encoded — encoding never
-// touches the header region.
+// bytes). MUST be called after the rows were encoded: the v2 header checksums the
+// rows * CodecRowBytes payload that follows it (encoding never touches the header
+// region, so sealing the header last is always safe).
 void WriteChunkHeader(ChunkCodec codec, int64_t rows, int64_t cols, void* dst);
 
 // Encodes `rows` rows of `cols` floats (row r at src + r * src_stride) into
@@ -76,19 +77,24 @@ void EncodeRowsInto(ChunkCodec codec, const float* src, int64_t src_stride, int6
 // --- chunk decode ---
 
 // What a stored chunk contains. header_bytes is 0 for legacy (v0, headerless raw
-// FP32) chunks, sizeof(ChunkHeader) otherwise.
+// FP32) chunks, kChunkHeaderBytesV1 for v1, sizeof(ChunkHeader) for v2.
 struct ChunkInfo {
   ChunkCodec codec = ChunkCodec::kFp32;
   int64_t rows = 0;
   int64_t cols = 0;
   int64_t header_bytes = 0;
+  // v2 only: the stored payload checksum (has_crc == true). Verification against the
+  // actual payload bytes is the read path's job (integrity.h's VerifyChunkBytes) —
+  // InspectChunk validates the header's own CRC but never walks the payload.
+  uint32_t payload_crc32c = 0;
+  bool has_crc = false;
 };
 
 // Parses a stored chunk. A chunk is *encoded* when it starts with a valid header
-// (magic, known version and codec, size == EncodedChunkBytes(codec, rows, cols));
-// anything else is treated as a legacy raw-FP32 chunk whose row width `legacy_cols`
-// the caller supplies (bytes must then be a whole number of rows). Returns false when
-// the bytes fit neither form.
+// (magic, known version and codec, size == EncodedChunkBytes(codec, rows, cols); a v2
+// header must additionally pass its own header CRC); anything else is treated as a
+// legacy raw-FP32 chunk whose row width `legacy_cols` the caller supplies (bytes must
+// then be a whole number of rows). Returns false when the bytes fit neither form.
 bool InspectChunk(const void* data, int64_t bytes, int64_t legacy_cols, ChunkInfo* info);
 
 // Decodes the rectangle rows [row0, row1) x cols [col0, col1) of an inspected chunk

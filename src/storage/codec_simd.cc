@@ -1,6 +1,7 @@
 #include "src/storage/codec_simd.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cctype>
 #include <cmath>
@@ -66,6 +67,38 @@ void Int8DequantizeScalar(const int8_t* src, float scale, float* dst, int64_t n)
   for (int64_t i = 0; i < n; ++i) {
     dst[i] = static_cast<float>(src[i]) * scale;
   }
+}
+
+// CRC32C reference: byte-wise table over the reflected Castagnoli polynomial
+// 0x82F63B78 — the exact function the SSE4.2 crc32 instruction implements, so the
+// hardware tier is bit-identical by construction (pinned by integrity_test).
+const uint32_t* Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+uint32_t Crc32cScalar(uint32_t crc, const void* data, int64_t n) {
+  const uint32_t* table = Crc32cTable();
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (int64_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32cCopyScalar(uint32_t crc, const void* src, void* dst, int64_t n) {
+  std::memcpy(dst, src, static_cast<size_t>(n));
+  return Crc32cScalar(crc, src, n);
 }
 
 #if HCACHE_CODEC_X86
@@ -411,20 +444,185 @@ __attribute__((target("avx512f"))) void Int8DequantizeAvx512(const int8_t* src,
   }
 }
 
+// ================================== crc32c ======================================
+//
+// One hardware kernel shared by every vector tier: the crc32q instruction is SSE4.2
+// (a strict subset of the F16C+AVX+SSE4.1 floor DetectTier requires for any vector
+// tier), and nothing wider helps. What DOES help is breaking the dependency chain:
+// crc32q retires 1/cycle but has 3-cycle latency, so a single chained loop runs at a
+// third of peak. Large buffers are split into three independent streams checksummed
+// in one interleaved loop, then recombined.
+//
+// Recombination uses the linearity of the raw CRC register: processing segment B
+// from state s equals (s pushed through |B| zero bytes) XOR (B from state 0). The
+// zero-push for the fixed stream length is a GF(2)-linear map, tabulated per state
+// byte (Adler's two-level scheme) by running each of the 32 state basis bits through
+// the hardware instruction once at first use — no magic polynomial constants.
+
+constexpr int64_t kCrcStreamBytes = 1024;  // per-stream block; tail < 3KiB stays chained
+
+struct CrcZeroShiftTable {
+  uint32_t t[4][256];
+};
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cPushZeros(uint32_t state, int64_t n) {
+  uint64_t c = state;
+  for (; n >= 8; n -= 8) {
+    c = _mm_crc32_u64(c, 0);
+  }
+  auto crc = static_cast<uint32_t>(c);
+  for (; n > 0; --n) {
+    crc = _mm_crc32_u8(crc, 0);
+  }
+  return crc;
+}
+
+const CrcZeroShiftTable& CrcStreamShiftTable() {
+  static const CrcZeroShiftTable table = [] {
+    CrcZeroShiftTable tb;
+    uint32_t basis[32];
+    for (int bit = 0; bit < 32; ++bit) {
+      basis[bit] = Crc32cPushZeros(1u << bit, kCrcStreamBytes);
+    }
+    for (int k = 0; k < 4; ++k) {
+      for (int b = 0; b < 256; ++b) {
+        uint32_t v = 0;
+        for (int bit = 0; bit < 8; ++bit) {
+          if ((b >> bit) & 1) {
+            v ^= basis[8 * k + bit];
+          }
+        }
+        tb.t[k][b] = v;
+      }
+    }
+    return tb;
+  }();
+  return table;
+}
+
+inline uint32_t CrcShiftStream(const CrcZeroShiftTable& tb, uint32_t crc) {
+  return tb.t[0][crc & 0xFF] ^ tb.t[1][(crc >> 8) & 0xFF] ^
+         tb.t[2][(crc >> 16) & 0xFF] ^ tb.t[3][crc >> 24];
+}
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cSse42(uint32_t crc, const void* data,
+                                                       int64_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  if (n >= 3 * kCrcStreamBytes) {
+    const CrcZeroShiftTable& shift = CrcStreamShiftTable();
+    uint64_t c0 = crc;
+    do {
+      uint64_t c1 = 0, c2 = 0;
+      for (int64_t i = 0; i < kCrcStreamBytes; i += 8) {
+        uint64_t w0, w1, w2;
+        std::memcpy(&w0, p + i, sizeof(w0));
+        std::memcpy(&w1, p + kCrcStreamBytes + i, sizeof(w1));
+        std::memcpy(&w2, p + 2 * kCrcStreamBytes + i, sizeof(w2));
+        c0 = _mm_crc32_u64(c0, w0);
+        c1 = _mm_crc32_u64(c1, w1);
+        c2 = _mm_crc32_u64(c2, w2);
+      }
+      c0 = CrcShiftStream(shift, static_cast<uint32_t>(c0)) ^ c1;
+      c0 = CrcShiftStream(shift, static_cast<uint32_t>(c0)) ^ c2;
+      p += 3 * kCrcStreamBytes;
+      n -= 3 * kCrcStreamBytes;
+    } while (n >= 3 * kCrcStreamBytes);
+    crc = static_cast<uint32_t>(c0);
+  }
+  uint64_t c = crc;
+  for (; n >= 8; p += 8, n -= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    c = _mm_crc32_u64(c, word);
+  }
+  crc = static_cast<uint32_t>(c);
+  for (; n > 0; ++p, --n) {
+    crc = _mm_crc32_u8(crc, *p);
+  }
+  return crc;
+}
+
+// The fused copy: the same three-stream CRC schedule riding on a 256-bit copy. The
+// bytes move src->dst through ymm registers (full store-port width — 8-byte scalar
+// stores would halve copy bandwidth); the crc32q feeds re-load each word from the
+// line the vector load just pulled into L1, so they cost load slots, not memory
+// traffic. crc32q issues on one ALU port at 8 bytes/cycle — the hard ceiling of any
+// checksummed path — so on a DRAM-bound copy most of the checksum hides behind the
+// byte movement instead of adding a second sweep. (Non-temporal stores were tried
+// for the big-copy case and rejected: on the virtualized hosts this targets they
+// measure SLOWER than regular stores, not faster.)
+__attribute__((target("avx,sse4.2"))) uint32_t Crc32cCopySse42(uint32_t crc,
+                                                               const void* src,
+                                                               void* dst, int64_t n) {
+  const auto* p = static_cast<const uint8_t*>(src);
+  auto* q = static_cast<uint8_t*>(dst);
+  if (n >= 3 * kCrcStreamBytes) {
+    const CrcZeroShiftTable& shift = CrcStreamShiftTable();
+    uint64_t c0 = crc;
+    do {
+      uint64_t c1 = 0, c2 = 0;
+      for (int64_t i = 0; i < kCrcStreamBytes; i += 32) {
+        const __m256i v0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+        const __m256i v1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(p + kCrcStreamBytes + i));
+        const __m256i v2 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(p + 2 * kCrcStreamBytes + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + i), v0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + kCrcStreamBytes + i), v1);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + 2 * kCrcStreamBytes + i),
+                            v2);
+        for (int64_t j = 0; j < 32; j += 8) {
+          uint64_t w0, w1, w2;
+          std::memcpy(&w0, p + i + j, sizeof(w0));
+          std::memcpy(&w1, p + kCrcStreamBytes + i + j, sizeof(w1));
+          std::memcpy(&w2, p + 2 * kCrcStreamBytes + i + j, sizeof(w2));
+          c0 = _mm_crc32_u64(c0, w0);
+          c1 = _mm_crc32_u64(c1, w1);
+          c2 = _mm_crc32_u64(c2, w2);
+        }
+      }
+      c0 = CrcShiftStream(shift, static_cast<uint32_t>(c0)) ^ c1;
+      c0 = CrcShiftStream(shift, static_cast<uint32_t>(c0)) ^ c2;
+      p += 3 * kCrcStreamBytes;
+      q += 3 * kCrcStreamBytes;
+      n -= 3 * kCrcStreamBytes;
+    } while (n >= 3 * kCrcStreamBytes);
+    crc = static_cast<uint32_t>(c0);
+  }
+  uint64_t c = crc;
+  for (; n >= 8; p += 8, q += 8, n -= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    c = _mm_crc32_u64(c, word);
+    std::memcpy(q, &word, sizeof(word));
+  }
+  crc = static_cast<uint32_t>(c);
+  for (; n > 0; ++p, ++q, --n) {
+    crc = _mm_crc32_u8(crc, *p);
+    *q = *p;
+  }
+  return crc;
+}
+
 #endif  // HCACHE_CODEC_X86
 
 // --------------------------------- dispatch -------------------------------------
 
 constexpr CodecKernels kScalarKernels = {Fp16EncodeScalar, Fp16DecodeScalar, MaxAbsScalar,
-                                         Int8QuantizeScalar, Int8DequantizeScalar};
+                                         Int8QuantizeScalar, Int8DequantizeScalar,
+                                         Crc32cScalar, Crc32cCopyScalar};
 
 #if HCACHE_CODEC_X86
 constexpr CodecKernels kF16cKernels = {Fp16EncodeF16c, Fp16DecodeF16c, MaxAbsAvx,
-                                       Int8QuantizeF16c, Int8DequantizeF16c};
+                                       Int8QuantizeF16c, Int8DequantizeF16c, Crc32cSse42,
+                                       Crc32cCopySse42};
 constexpr CodecKernels kAvx2Kernels = {Fp16EncodeAvx2, Fp16DecodeAvx2, MaxAbsAvx,
-                                       Int8QuantizeF16c, Int8DequantizeAvx2};
+                                       Int8QuantizeF16c, Int8DequantizeAvx2, Crc32cSse42,
+                                       Crc32cCopySse42};
 constexpr CodecKernels kAvx512Kernels = {Fp16EncodeAvx512, Fp16DecodeAvx2, MaxAbsAvx512,
-                                         Int8QuantizeAvx512, Int8DequantizeAvx512};
+                                         Int8QuantizeAvx512, Int8DequantizeAvx512,
+                                         Crc32cSse42, Crc32cCopySse42};
 #else
 constexpr CodecKernels kF16cKernels = kScalarKernels;
 constexpr CodecKernels kAvx2Kernels = kScalarKernels;
@@ -437,9 +635,10 @@ constexpr CodecKernels kKernelTables[kNumSimdTiers] = {kScalarKernels, kF16cKern
 SimdTier DetectTier() {
 #if HCACHE_CODEC_X86
   __builtin_cpu_init();
-  // Every vector tier converts through F16C; without it only scalar is usable.
+  // Every vector tier converts through F16C and checksums through the SSE4.2 crc32
+  // instruction; without them only scalar is usable.
   if (!__builtin_cpu_supports("f16c") || !__builtin_cpu_supports("avx") ||
-      !__builtin_cpu_supports("sse4.1")) {
+      !__builtin_cpu_supports("sse4.1") || !__builtin_cpu_supports("sse4.2")) {
     return SimdTier::kScalar;
   }
   if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
@@ -535,6 +734,10 @@ const CodecKernels& CodecKernelsFor(SimdTier tier) {
 }
 
 const CodecKernels& ActiveCodecKernels() { return CodecKernelsFor(ActiveSimdTier()); }
+
+uint32_t Crc32c(const void* data, int64_t n) {
+  return ActiveCodecKernels().crc32c(0xFFFFFFFFu, data, n) ^ 0xFFFFFFFFu;
+}
 
 }  // namespace hcache
 

@@ -69,6 +69,16 @@ struct CodecKernels {
   void (*int8_quantize)(const float* src, float inv_scale, int8_t* dst, int64_t n);
   // dst[i] = (float)src[i] * scale.
   void (*int8_dequantize)(const int8_t* src, float scale, float* dst, int64_t n);
+  // CRC32C (Castagnoli) over n bytes, chainable: takes and returns the RAW shift
+  // register state (no ~ applied). Callers wanting the conventional checksum use
+  // Crc32c() below. The vector tiers run the SSE4.2 crc32 instruction; the scalar
+  // tier a byte-wise table — identical results by construction.
+  uint32_t (*crc32c)(uint32_t crc, const void* data, int64_t n);
+  // memcpy(dst, src, n) fused with the same chainable CRC over the bytes moved —
+  // the verified read path's one-pass copy+checksum (the data is flowing through
+  // registers anyway, so checksumming it there costs ports, not a second memory
+  // sweep). src and dst must not overlap.
+  uint32_t (*crc32c_copy)(uint32_t crc, const void* src, void* dst, int64_t n);
 };
 
 // The table for one specific tier. CHECK-fails if `tier` exceeds DetectedSimdTier()
@@ -77,6 +87,10 @@ const CodecKernels& CodecKernelsFor(SimdTier tier);
 
 // The table the codec hot paths dispatch through (CodecKernelsFor(ActiveSimdTier())).
 const CodecKernels& ActiveCodecKernels();
+
+// One-shot CRC32C of a buffer under the active tier: ~0 init, final xor — the value
+// stored in ChunkHeader::payload_crc32c. CRC32C("123456789") == 0xE3069283.
+uint32_t Crc32c(const void* data, int64_t n);
 
 }  // namespace hcache
 

@@ -6,10 +6,13 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/storage/integrity.h"
 
 namespace hcache {
 
@@ -57,15 +60,118 @@ bool PreadAll(int fd, void* buf, int64_t size) {
   return true;
 }
 
+// Writes exactly [0, size) to `fd`, retrying EINTR and short writes.
+bool WriteAll(int fd, const void* buf, int64_t size) {
+  const char* src = static_cast<const char*>(buf);
+  int64_t off = 0;
+  while (off < size) {
+    const ssize_t put = ::write(fd, src + off, static_cast<size_t>(size - off));
+    if (put < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += put;
+  }
+  return true;
+}
+
+// Parses "L<layer>_C<chunk>.bin"; false for anything else (incl. "*.tmp").
+bool ParseChunkFileName(const std::string& name, int64_t* layer, int64_t* chunk) {
+  long long l = 0;
+  long long c = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "L%lld_C%lld.bin%n", &l, &c, &consumed) != 2 ||
+      static_cast<size_t>(consumed) != name.size()) {
+    return false;
+  }
+  *layer = l;
+  *chunk = c;
+  return true;
+}
+
+bool IsTempFileName(const std::string& name) {
+  constexpr const char kSuffix[] = ".tmp";
+  return name.size() > sizeof(kSuffix) - 1 &&
+         name.compare(name.size() - (sizeof(kSuffix) - 1), sizeof(kSuffix) - 1,
+                      kSuffix) == 0;
+}
+
 }  // namespace
 
 FileBackend::FileBackend(std::vector<std::string> device_dirs, int64_t chunk_bytes)
-    : StorageBackend(chunk_bytes), device_dirs_(std::move(device_dirs)) {
+    : FileBackend(std::move(device_dirs), chunk_bytes, FileBackendOptions{}) {}
+
+FileBackend::FileBackend(std::vector<std::string> device_dirs, int64_t chunk_bytes,
+                         const FileBackendOptions& options)
+    : StorageBackend(chunk_bytes), device_dirs_(std::move(device_dirs)), options_(options) {
   CHECK(!device_dirs_.empty());
   for (const auto& dir : device_dirs_) {
     std::error_code ec;
     fs::create_directories(dir, ec);
     CHECK(!ec) << "cannot create device dir " << dir << ": " << ec.message();
+  }
+  if (options_.recover_index) {
+    RecoverFromDisk();
+  }
+}
+
+void FileBackend::RecoverFromDisk() {
+  for (int device = 0; device < num_devices(); ++device) {
+    const fs::path dev_dir(device_dirs_[static_cast<size_t>(device)]);
+    std::error_code ec;
+    for (const auto& ctx_entry : fs::directory_iterator(dev_dir, ec)) {
+      if (!ctx_entry.is_directory()) {
+        continue;
+      }
+      long long context_id = 0;
+      int consumed = 0;
+      const std::string ctx_name = ctx_entry.path().filename().string();
+      if (std::sscanf(ctx_name.c_str(), "ctx%lld%n", &context_id, &consumed) != 1 ||
+          static_cast<size_t>(consumed) != ctx_name.size()) {
+        continue;
+      }
+      bool saw_chunk = false;
+      std::error_code ec2;
+      for (const auto& entry : fs::directory_iterator(ctx_entry.path(), ec2)) {
+        if (!entry.is_regular_file()) {
+          continue;
+        }
+        const std::string name = entry.path().filename().string();
+        if (IsTempFileName(name)) {
+          // A writer died between creating the temp and the rename: the chunk was
+          // never published, so the temp is garbage by construction.
+          if (options_.sweep_temp_files) {
+            std::error_code rm_ec;
+            fs::remove(entry.path(), rm_ec);
+            ++swept_temp_files_;
+          }
+          continue;
+        }
+        int64_t layer = 0;
+        int64_t chunk = 0;
+        if (!ParseChunkFileName(name, &layer, &chunk)) {
+          continue;
+        }
+        const ChunkKey key{context_id, layer, chunk};
+        if (DeviceOf(key) != device) {
+          continue;  // misplaced file (foreign dir contents); never index it
+        }
+        std::error_code sz_ec;
+        const auto size = static_cast<int64_t>(fs::file_size(entry.path(), sz_ec));
+        if (sz_ec || size <= 0 || size > chunk_bytes()) {
+          continue;  // unreadable or impossible size: leave it for fsck
+        }
+        auto& indexed = index_[key];
+        bytes_stored_ += size - indexed;
+        indexed = size;
+        saw_chunk = true;
+      }
+      if (saw_chunk) {
+        context_dirs_.insert({context_id, device});
+      }
+    }
   }
 }
 
@@ -162,20 +268,33 @@ bool FileBackend::WriteChunk(const ChunkKey& key, const void* data, int64_t byte
   if (!EnsureContextDir(DeviceOf(key), key.context_id)) {
     return false;
   }
+  // Write-temp + fsync + atomic rename: the final path either holds the complete
+  // old chunk or the complete new one, never a torn mix — and a failure at any step
+  // (short write, full disk, crash) leaves at worst a `.tmp` the recovery scan
+  // sweeps. The fd is closed on EVERY path (a short write used to short-circuit
+  // past fclose and leak it) and the partial temp is unlinked before returning.
   const std::string path = PathFor(key);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    HCACHE_LOG_ERROR << "open failed: " << path;
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    HCACHE_LOG_ERROR << "open failed: " << tmp;
     return false;
   }
-  const size_t written = std::fwrite(data, 1, static_cast<size_t>(bytes), f);
-  const bool ok = written == static_cast<size_t>(bytes) && std::fclose(f) == 0;
+  bool ok = WriteAll(fd, data, bytes);
+  if (ok && options_.fsync_writes) {
+    ok = ::fsync(fd) == 0;
+  }
+  ok = (::close(fd) == 0) && ok;
+  if (ok) {
+    ok = ::rename(tmp.c_str(), path.c_str()) == 0;
+  }
   if (!ok) {
-    HCACHE_LOG_ERROR << "short write: " << path;
+    HCACHE_LOG_ERROR << "write failed: " << path << " (" << std::strerror(errno) << ")";
+    ::unlink(tmp.c_str());
     return false;
   }
-  // Overwrites truncate in place (same inode), so a cached fd would still see the
-  // new bytes — dropped anyway so the cache never outlives a rewrite's assumptions.
+  // The rename swapped the inode under the final path; a cached fd still maps the
+  // OLD bytes and must be dropped.
   DropCachedFd(key);
   std::lock_guard<std::mutex> lock(mu_);
   auto& indexed = index_[key];
@@ -185,7 +304,8 @@ bool FileBackend::WriteChunk(const ChunkKey& key, const void* data, int64_t byte
   return true;
 }
 
-int64_t FileBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const {
+int64_t FileBackend::ReadChunkImpl(const ChunkKey& key, void* buf, int64_t buf_bytes,
+                                   bool verify) const {
   int64_t size;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -202,15 +322,41 @@ int64_t FileBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes
   if (fd == nullptr || !PreadAll(fd->fd, buf, size)) {
     return -1;
   }
+  int64_t checked = 0;
+  if (verify && VerifyChunkBytes(buf, size, &checked) == ChunkVerdict::kCorrupt) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++crc_failures_;
+    return kChunkCorrupt;  // bytes in `buf` are damage, not data — no read counted
+  }
   // Count only successful reads, so stats stay comparable across backends.
   std::lock_guard<std::mutex> lock(mu_);
   ++total_reads_;
   read_bytes_ += size;
+  crc_checked_bytes_ += checked;
   return size;
+}
+
+int64_t FileBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const {
+  return ReadChunkImpl(key, buf, buf_bytes, /*verify=*/true);
+}
+
+int64_t FileBackend::ReadChunkUnverified(const ChunkKey& key, void* buf,
+                                         int64_t buf_bytes) const {
+  return ReadChunkImpl(key, buf, buf_bytes, /*verify=*/false);
 }
 
 void FileBackend::ReadChunks(std::span<ChunkReadRequest> requests,
                              const BatchCompletion& done) const {
+  ReadChunksImpl(requests, done, /*verify=*/true);
+}
+
+void FileBackend::ReadChunksUnverified(std::span<ChunkReadRequest> requests,
+                                       const BatchCompletion& done) const {
+  ReadChunksImpl(requests, done, /*verify=*/false);
+}
+
+void FileBackend::ReadChunksImpl(std::span<ChunkReadRequest> requests,
+                                 const BatchCompletion& done, bool verify) const {
   // One index pass resolves every request, then the preads fan out per device.
   struct Job {
     ChunkReadRequest* req;
@@ -230,14 +376,28 @@ void FileBackend::ReadChunks(std::span<ChunkReadRequest> requests,
   }
   std::atomic<int64_t> ok_reads{0};
   std::atomic<int64_t> ok_bytes{0};
+  std::atomic<int64_t> crc_fails{0};
+  std::atomic<int64_t> crc_bytes{0};
   ParallelFor(0, static_cast<int64_t>(per_device.size()), 1, [&](int64_t lo, int64_t hi) {
     for (int64_t d = lo; d < hi; ++d) {
       int64_t reads = 0;
       int64_t bytes = 0;
+      int64_t fails = 0;
+      int64_t checked_total = 0;
       for (const Job& job : per_device[static_cast<size_t>(d)]) {
         const std::shared_ptr<FdHolder> fd = AcquireFd(job.req->key);
         if (fd == nullptr || !PreadAll(fd->fd, job.req->buf, job.size)) {
           continue;
+        }
+        if (verify) {
+          int64_t checked = 0;
+          if (VerifyChunkBytes(job.req->buf, job.size, &checked) ==
+              ChunkVerdict::kCorrupt) {
+            job.req->result = kChunkCorrupt;  // fails only this request
+            ++fails;
+            continue;
+          }
+          checked_total += checked;
         }
         job.req->result = job.size;
         ++reads;
@@ -245,6 +405,8 @@ void FileBackend::ReadChunks(std::span<ChunkReadRequest> requests,
       }
       ok_reads.fetch_add(reads, std::memory_order_relaxed);
       ok_bytes.fetch_add(bytes, std::memory_order_relaxed);
+      crc_fails.fetch_add(fails, std::memory_order_relaxed);
+      crc_bytes.fetch_add(checked_total, std::memory_order_relaxed);
     }
   });
   {
@@ -252,6 +414,8 @@ void FileBackend::ReadChunks(std::span<ChunkReadRequest> requests,
     std::lock_guard<std::mutex> lock(mu_);
     total_reads_ += ok_reads.load(std::memory_order_relaxed);
     read_bytes_ += ok_bytes.load(std::memory_order_relaxed);
+    crc_failures_ += crc_fails.load(std::memory_order_relaxed);
+    crc_checked_bytes_ += crc_bytes.load(std::memory_order_relaxed);
   }
   if (done) {
     done();
@@ -292,6 +456,32 @@ int64_t FileBackend::ChunkSize(const ChunkKey& key) const {
   return it == index_.end() ? -1 : it->second;
 }
 
+std::vector<std::pair<ChunkKey, int64_t>> FileBackend::ListChunks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<ChunkKey, int64_t>> out;
+  out.reserve(index_.size());
+  for (const auto& [key, size] : index_) {
+    out.emplace_back(key, size);
+  }
+  return out;
+}
+
+bool FileBackend::DeleteChunk(const ChunkKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    bytes_stored_ -= it->second;
+    index_.erase(it);
+  }
+  DropCachedFd(key);
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);
+  return true;
+}
+
 void FileBackend::DeleteContext(int64_t context_id) {
   DropContextFds(context_id);
   std::vector<int> devices;
@@ -325,6 +515,8 @@ StorageStats FileBackend::Stats() const {
   s.total_reads = total_reads_;
   s.cold_hits = total_reads_;  // every read is served by the file tier
   s.cold_hit_bytes = read_bytes_;
+  s.crc_failures = crc_failures_;
+  s.crc_checked_bytes = crc_checked_bytes_;
   return s;
 }
 

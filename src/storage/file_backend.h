@@ -30,12 +30,33 @@
 
 namespace hcache {
 
+// Durability knobs. The defaults are the crash-consistent configuration; tests and
+// tools relax them to observe intermediate states.
+struct FileBackendOptions {
+  // fsync the temp file before the rename publishes it. With it, a published chunk
+  // survives power loss; without it, only process crashes (the rename is still
+  // atomic either way). Benches on tmpfs can turn it off — fsync there is ~free but
+  // the syscalls are not.
+  bool fsync_writes = true;
+  // Rebuild the in-memory index from the chunk files already present in the device
+  // dirs (a previous process's chunks become readable again after a crash/restart).
+  bool recover_index = true;
+  // Unlink orphaned `*.tmp` files left by a writer that died mid-write. fsck turns
+  // this off so it can classify the orphans instead.
+  bool sweep_temp_files = true;
+};
+
 class FileBackend : public StorageBackend {
  public:
   // `device_dirs` are created if absent. `chunk_bytes` is the sealed-chunk capacity;
   // the final chunk of a layer may be smaller.
   FileBackend(std::vector<std::string> device_dirs, int64_t chunk_bytes);
+  FileBackend(std::vector<std::string> device_dirs, int64_t chunk_bytes,
+              const FileBackendOptions& options);
 
+  // Publishes via write-temp + fsync + rename(2): a reader (or a crash) never
+  // observes a half-written chunk — at worst an orphaned `<path>.tmp` remains,
+  // which the startup recovery scan (or hcache-fsck) sweeps.
   bool WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) override;
   int64_t ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const override;
   // Batched submission: one index pass resolves every request, then the preads fan
@@ -43,13 +64,22 @@ class FileBackend : public StorageBackend {
   // striping, §4.2.1). Stats land in one update equal to the N serial calls'.
   void ReadChunks(std::span<ChunkReadRequest> requests,
                   const BatchCompletion& done = {}) const override;
+  void ReadChunksUnverified(std::span<ChunkReadRequest> requests,
+                            const BatchCompletion& done = {}) const override;
   bool WriteChunks(std::span<ChunkWriteRequest> requests,
                    const BatchCompletion& done = {}) override;
   bool HasChunk(const ChunkKey& key) const override;
   int64_t ChunkSize(const ChunkKey& key) const override;
   void DeleteContext(int64_t context_id) override;
+  std::vector<std::pair<ChunkKey, int64_t>> ListChunks() const override;
+  int64_t ReadChunkUnverified(const ChunkKey& key, void* buf,
+                              int64_t buf_bytes) const override;
+  bool DeleteChunk(const ChunkKey& key) override;
   StorageStats Stats() const override;
   std::string Name() const override { return "file"; }
+
+  // Orphaned temp files the startup recovery scan removed (0 unless recover_index).
+  int64_t swept_temp_files() const { return swept_temp_files_; }
 
   // Device a chunk is striped onto (round-robin by chunk index — §4.2.1's bandwidth
   // aggregation scheme).
@@ -64,6 +94,14 @@ class FileBackend : public StorageBackend {
   // Ensures the per-context directory exists on `device` (memoized; mkdir is not on
   // the per-write fast path after the first chunk of a context lands on a device).
   bool EnsureContextDir(int device, int64_t context_id);
+  // Startup pass: re-registers surviving chunk files in the index and (optionally)
+  // sweeps orphaned temp files a crashed writer left behind.
+  void RecoverFromDisk();
+  // Shared bodies of the verified and unverified read paths.
+  int64_t ReadChunkImpl(const ChunkKey& key, void* buf, int64_t buf_bytes,
+                        bool verify) const;
+  void ReadChunksImpl(std::span<ChunkReadRequest> requests, const BatchCompletion& done,
+                      bool verify) const;
 
   // Owns one O_RDONLY fd; closes it on destruction. Refcounted so an eviction (or
   // DeleteContext) never closes an fd another thread is mid-pread on.
@@ -75,6 +113,8 @@ class FileBackend : public StorageBackend {
   void DropContextFds(int64_t context_id);
 
   std::vector<std::string> device_dirs_;
+  FileBackendOptions options_;
+  int64_t swept_temp_files_ = 0;  // written once during construction
 
   // fd cache state, guarded separately from the index so preads in flight never
   // contend with index lookups.
@@ -91,6 +131,8 @@ class FileBackend : public StorageBackend {
   int64_t total_writes_ = 0;
   mutable int64_t total_reads_ = 0;    // successful reads only
   mutable int64_t read_bytes_ = 0;     // encoded bytes served by successful reads
+  mutable int64_t crc_failures_ = 0;
+  mutable int64_t crc_checked_bytes_ = 0;
 };
 
 // The storage layer's historical name for the file tier; kept so call sites reading

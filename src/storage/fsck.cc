@@ -1,0 +1,194 @@
+#include "src/storage/fsck.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/storage/codec.h"
+#include "src/storage/codec_simd.h"
+#include "src/storage/integrity.h"
+
+namespace hcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Classifies one chunk's stored bytes. VerifyChunkBytes alone folds every
+// magic-bearing failure into kCorrupt; fsck wants to split out the torn-write case
+// (header intact and trustworthy, payload tail missing), so it re-parses the header
+// prefix by hand when verification fails.
+FsckClass ClassifyChunk(const uint8_t* data, int64_t bytes, std::string* detail) {
+  switch (VerifyChunkBytes(data, bytes)) {
+    case ChunkVerdict::kOkVerified:
+      return FsckClass::kClean;
+    case ChunkVerdict::kOkUnverified:
+      detail->assign("no checksum (v1/legacy/opaque)");
+      return FsckClass::kUnverified;
+    case ChunkVerdict::kCorrupt:
+      break;
+  }
+  // Magic is present (else the verdict would be kOkUnverified). Read the fixed
+  // prefix fields; every header version starts {magic u32, version u16, codec u8,
+  // reserved u8, rows u32, cols u32}.
+  if (bytes < kChunkHeaderBytesV1) {
+    detail->assign("truncated inside the header");
+    return FsckClass::kPartial;
+  }
+  uint16_t version = 0;
+  uint8_t codec = 0;
+  uint32_t rows = 0, cols = 0;
+  std::memcpy(&version, data + 4, sizeof(version));
+  std::memcpy(&codec, data + 6, sizeof(codec));
+  std::memcpy(&rows, data + 8, sizeof(rows));
+  std::memcpy(&cols, data + 12, sizeof(cols));
+  const bool fields_sane = (version == 1 || version == kChunkFormatVersion) &&
+                           codec <= static_cast<uint8_t>(ChunkCodec::kInt8) && cols > 0;
+  if (fields_sane) {
+    const int64_t header_bytes =
+        version == 1 ? kChunkHeaderBytesV1 : static_cast<int64_t>(sizeof(ChunkHeader));
+    if (version == kChunkFormatVersion &&
+        bytes >= static_cast<int64_t>(sizeof(ChunkHeader))) {
+      // Full v2 header present: only trust its row/col claim if the header's own
+      // CRC holds — a flipped bit in `rows` must not masquerade as truncation.
+      uint32_t stored_hcrc = 0;
+      std::memcpy(&stored_hcrc, data + offsetof(ChunkHeader, header_crc32c),
+                  sizeof(stored_hcrc));
+      if (Crc32c(data, offsetof(ChunkHeader, header_crc32c)) != stored_hcrc) {
+        detail->assign("header CRC mismatch");
+        return FsckClass::kCorrupt;
+      }
+    }
+    const int64_t expected = header_bytes + static_cast<int64_t>(rows) *
+                                                CodecRowBytes(static_cast<ChunkCodec>(codec),
+                                                              static_cast<int64_t>(cols));
+    if (bytes < expected) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "truncated: %lld of %lld bytes",
+                    static_cast<long long>(bytes), static_cast<long long>(expected));
+      detail->assign(buf);
+      return FsckClass::kPartial;
+    }
+  }
+  detail->assign("payload/header CRC mismatch");
+  return FsckClass::kCorrupt;
+}
+
+void AppendJsonFinding(std::ostringstream& os, const FsckFinding& f, bool first) {
+  if (!first) {
+    os << ',';
+  }
+  os << "{\"context\":" << f.key.context_id << ",\"layer\":" << f.key.layer
+     << ",\"chunk\":" << f.key.chunk_index << ",\"bytes\":" << f.bytes << ",\"class\":\""
+     << FsckClassName(f.klass) << "\",\"repaired\":" << (f.repaired ? "true" : "false")
+     << ",\"detail\":\"";
+  for (const char c : f.detail) {  // detail strings are ASCII we wrote ourselves
+    if (c == '"' || c == '\\') {
+      os << '\\';
+    }
+    os << c;
+  }
+  os << "\"}";
+}
+
+}  // namespace
+
+const char* FsckClassName(FsckClass c) {
+  switch (c) {
+    case FsckClass::kClean:
+      return "clean";
+    case FsckClass::kUnverified:
+      return "unverified";
+    case FsckClass::kPartial:
+      return "partial";
+    case FsckClass::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+FsckReport RunFsck(StorageBackend* backend, const FsckOptions& options) {
+  CHECK(backend != nullptr);
+  FsckReport report;
+  std::vector<uint8_t> buf;
+  for (const auto& [key, size] : backend->ListChunks()) {
+    ++report.chunks_scanned;
+    if (size <= 0) {
+      report.findings.push_back(
+          {key, size, FsckClass::kCorrupt, false, "unreadable: empty or stat failed"});
+      ++report.corrupt;
+      continue;
+    }
+    buf.resize(static_cast<size_t>(size));
+    const int64_t got = backend->ReadChunkUnverified(key, buf.data(), size);
+    if (got != size) {
+      report.findings.push_back(
+          {key, size, FsckClass::kCorrupt, false, "unreadable: short read"});
+      ++report.corrupt;
+      continue;
+    }
+    report.bytes_scanned += size;
+    std::string detail;
+    const FsckClass klass = ClassifyChunk(buf.data(), size, &detail);
+    switch (klass) {
+      case FsckClass::kClean:
+        ++report.clean;
+        continue;
+      case FsckClass::kUnverified:
+        ++report.unverified;
+        continue;  // healthy-but-unchecked: counted, not listed
+      case FsckClass::kPartial:
+        ++report.partial;
+        break;
+      case FsckClass::kCorrupt:
+        ++report.corrupt;
+        break;
+    }
+    FsckFinding finding{key, size, klass, false, detail};
+    if (options.repair && backend->DeleteChunk(key)) {
+      finding.repaired = true;
+      ++report.repaired;
+    }
+    report.findings.push_back(std::move(finding));
+  }
+  // Orphan sweep: `*.tmp` under the scan dirs is always residue of a torn write —
+  // the rename that would have published it never happened.
+  for (const std::string& dir : options.scan_dirs) {
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (!it->is_regular_file(ec) || it->path().extension() != ".tmp") {
+        continue;
+      }
+      ++report.orphaned_temp_files;
+      FsckFinding finding;
+      finding.bytes = static_cast<int64_t>(it->file_size(ec));
+      finding.klass = FsckClass::kPartial;
+      finding.detail = "orphaned temp file: " + it->path().string();
+      if (options.repair && fs::remove(it->path(), ec) && !ec) {
+        finding.repaired = true;
+        ++report.repaired;
+      }
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  return report;
+}
+
+std::string FsckReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"chunks_scanned\":" << chunks_scanned << ",\"bytes_scanned\":" << bytes_scanned
+     << ",\"clean\":" << clean << ",\"unverified\":" << unverified
+     << ",\"partial\":" << partial << ",\"corrupt\":" << corrupt
+     << ",\"orphaned_temp_files\":" << orphaned_temp_files << ",\"repaired\":" << repaired
+     << ",\"healthy\":" << (Healthy() ? "true" : "false") << ",\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    AppendJsonFinding(os, findings[i], i == 0);
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hcache

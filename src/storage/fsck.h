@@ -1,0 +1,86 @@
+// Offline integrity checker for chunk stores (the `hcache-fsck` tool's engine).
+//
+// Walks every chunk a backend can enumerate (ListChunks), reads it back UNVERIFIED,
+// and classifies it:
+//
+//   kClean      — v2 header, payload CRC32C matches (bit-exact as written).
+//   kUnverified — parses but carries no checksum (v1 header or legacy headerless
+//                 FP32; also opaque chunks like the serving plane's descriptors).
+//                 Nothing to verify against; reported so operators can see how much
+//                 of the store predates the v2 format.
+//   kPartial    — the header parses and claims more payload than the chunk holds: a
+//                 torn/truncated write (lost tail).
+//   kCorrupt    — chunk bears the magic but fails its header or payload CRC (or is
+//                 internally inconsistent): a media fault or bit rot.
+//
+// With `repair` set, corrupt and partial chunks are *quarantined* — deleted from the
+// backend so the read path reports them absent (-1) instead of corrupt (-2), which
+// turns a per-read CRC failure into an ordinary recompute-from-tokens miss.
+// Unverified chunks are never touched: no checksum means no evidence of damage.
+//
+// `scan_dirs` additionally sweeps filesystem directories for orphaned `*.tmp` files —
+// the residue of a writer that died between open and rename. These are never valid
+// chunks (the atomic-rename protocol guarantees a published chunk is complete), so
+// repair unlinks them.
+//
+// Pure library; examples/hcache_fsck.cpp wraps it in a CLI.
+#ifndef HCACHE_SRC_STORAGE_FSCK_H_
+#define HCACHE_SRC_STORAGE_FSCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/storage/layout.h"
+#include "src/storage/storage_backend.h"
+
+namespace hcache {
+
+enum class FsckClass { kClean = 0, kUnverified = 1, kPartial = 2, kCorrupt = 3 };
+
+const char* FsckClassName(FsckClass c);
+
+struct FsckOptions {
+  // Quarantine damaged chunks (delete corrupt/partial from the backend) and unlink
+  // orphaned temp files found under scan_dirs. Off = report-only.
+  bool repair = false;
+  // Filesystem directories to sweep for `*.tmp` orphans (a FileBackend's device
+  // dirs, typically — pass FileBackend::device_dirs()). Walked recursively.
+  std::vector<std::string> scan_dirs;
+};
+
+// One damaged (or swept) object, for the report's detail listing.
+struct FsckFinding {
+  ChunkKey key;            // zeroed for orphaned temp files
+  int64_t bytes = 0;       // stored size
+  FsckClass klass = FsckClass::kCorrupt;
+  bool repaired = false;   // deleted/unlinked by this run
+  std::string detail;      // human-readable cause (or the orphan's path)
+};
+
+struct FsckReport {
+  int64_t chunks_scanned = 0;
+  int64_t bytes_scanned = 0;
+  int64_t clean = 0;
+  int64_t unverified = 0;
+  int64_t partial = 0;
+  int64_t corrupt = 0;
+  int64_t orphaned_temp_files = 0;
+  int64_t repaired = 0;  // quarantined chunks + unlinked orphans
+  std::vector<FsckFinding> findings;  // damaged chunks and orphans only
+
+  bool Healthy() const { return partial == 0 && corrupt == 0 && orphaned_temp_files == 0; }
+
+  // Machine-readable single-object JSON (stable key order, findings inlined) —
+  // what `hcache-fsck --json` prints for dashboards/CI to parse.
+  std::string ToJson() const;
+};
+
+// Scans `backend` (and `options.scan_dirs`) and returns the classification report.
+// Requires a backend whose ListChunks/ReadChunkUnverified are functional (memory,
+// file, tiered, or an instrumented wrapper of those).
+FsckReport RunFsck(StorageBackend* backend, const FsckOptions& options = {});
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_STORAGE_FSCK_H_

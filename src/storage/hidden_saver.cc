@@ -166,12 +166,12 @@ void DirectHiddenWriter::OnLayerInput(int64_t layer, const Tensor& hidden,
 void DirectHiddenWriter::Seal() { inner_.Seal(); }
 
 HiddenStateReader::HiddenStateReader(const StorageBackend* store, const ModelConfig& cfg,
-                                     int64_t chunk_tokens)
-    : store_(store), cfg_(cfg), chunk_tokens_(chunk_tokens) {
+                                     int64_t chunk_tokens, bool verify)
+    : store_(store), cfg_(cfg), chunk_tokens_(chunk_tokens), verify_(verify) {
   CHECK(store != nullptr);
 }
 
-void HiddenStateReader::ReadLayerInto(int64_t context_id, int64_t layer, int64_t n,
+bool HiddenStateReader::ReadLayerInto(int64_t context_id, int64_t layer, int64_t n,
                                       float* dst) const {
   CHECK_GT(n, 0);
   const int64_t cols = cfg_.hidden_dim;
@@ -179,37 +179,61 @@ void HiddenStateReader::ReadLayerInto(int64_t context_id, int64_t layer, int64_t
   // FP32 is the widest encoding, so its chunk size bounds every stored form
   // (including legacy headerless chunks, which lack the 16-byte header).
   const int64_t chunk_cap = EncodedChunkBytes(ChunkCodec::kFp32, chunk_tokens_, cols);
-  std::vector<uint8_t> buf(static_cast<size_t>(num_chunks * chunk_cap));
+  // Per-thread scratch reused across restores. A fresh multi-MB allocation here would
+  // dominate the layer read: large mallocs are mmap-backed, so every call would repay
+  // soft page faults (and a zeroing sweep, for a value-initialized vector) across the
+  // whole staging buffer. The vector only zero-fills on growth, once per high-water mark.
+  static thread_local std::vector<uint8_t> scratch;
+  if (scratch.size() < static_cast<size_t>(num_chunks * chunk_cap)) {
+    scratch.resize(static_cast<size_t>(num_chunks * chunk_cap));
+  }
+  uint8_t* const buf = scratch.data();
   // One batched submission for the whole layer: the backend overlaps the chunk
   // fetches (per-device pread fan-out, or one cold round trip on a tiered store)
   // instead of paying num_chunks serial round trips.
   std::vector<ChunkReadRequest> reqs(static_cast<size_t>(num_chunks));
   for (int64_t c = 0; c < num_chunks; ++c) {
     reqs[static_cast<size_t>(c)] =
-        ChunkReadRequest{ChunkKey{context_id, layer, c}, buf.data() + c * chunk_cap,
+        ChunkReadRequest{ChunkKey{context_id, layer, c}, buf + c * chunk_cap,
                          chunk_cap, /*result=*/-1};
   }
-  store_->ReadChunks(reqs);
+  if (verify_) {
+    store_->ReadChunks(reqs);
+  } else {
+    store_->ReadChunksUnverified(reqs);
+  }
   for (int64_t c = 0; c < num_chunks; ++c) {
-    const uint8_t* chunk = buf.data() + c * chunk_cap;
+    const uint8_t* chunk = buf + c * chunk_cap;
     const int64_t got = reqs[static_cast<size_t>(c)].result;
-    CHECK_GT(got, 0) << "missing chunk ctx=" << context_id << " L=" << layer << " C=" << c;
+    // Any failure (absent, detected-corrupt, bad geometry) fails the whole layer —
+    // a hidden-state tensor with a hole in it is worthless — but must not take the
+    // process down: the caller recomputes from tokens instead.
+    if (got <= 0) {
+      HCACHE_LOG_ERROR << "hidden-state chunk "
+                       << (got == kChunkCorrupt ? "corrupt" : "missing")
+                       << ": ctx=" << context_id << " L=" << layer << " C=" << c;
+      return false;
+    }
     ChunkInfo info;
-    CHECK(InspectChunk(chunk, got, cols, &info))
-        << "corrupt chunk ctx=" << context_id << " L=" << layer << " C=" << c;
-    CHECK_EQ(info.cols, cols) << "chunk geometry mismatch";
     const int64_t first_tok = c * chunk_tokens_;
     const int64_t want_tokens = std::min(chunk_tokens_, n - first_tok);
-    CHECK_GE(info.rows, want_tokens) << "short chunk";
+    if (!InspectChunk(chunk, got, cols, &info) || info.cols != cols ||
+        info.rows < want_tokens) {
+      HCACHE_LOG_ERROR << "hidden-state chunk unparsable or short: ctx=" << context_id
+                       << " L=" << layer << " C=" << c << " bytes=" << got;
+      return false;
+    }
     // Fused decode: dequantize straight into the destination rows.
     DecodeChunkRange(chunk, got, info, 0, want_tokens, 0, cols, dst + first_tok * cols,
                      cols);
   }
+  return true;
 }
 
 Tensor HiddenStateReader::ReadLayer(int64_t context_id, int64_t layer, int64_t n) const {
   Tensor out({n, cfg_.hidden_dim});
-  ReadLayerInto(context_id, layer, n, out.data());
+  CHECK(ReadLayerInto(context_id, layer, n, out.data()))
+      << "hidden-state read failed: ctx=" << context_id << " L=" << layer;
   return out;
 }
 

@@ -134,16 +134,24 @@ class DirectHiddenWriter : public HiddenStateSink {
 // handles any mix of codecs (and legacy headerless FP32 chunks) within a context.
 class HiddenStateReader {
  public:
+  // `verify` selects the batched read flavor ReadLayerInto submits: true (the
+  // production default) funnels every chunk through CRC verification; false reads
+  // raw bytes (ReadChunksUnverified) — for trusted-memory deployments that opt out
+  // and for the bench row that measures exactly what verification costs, since the
+  // two flavors share every other instruction of the restore path.
   HiddenStateReader(const StorageBackend* store, const ModelConfig& cfg,
-                    int64_t chunk_tokens = kDefaultChunkTokens);
+                    int64_t chunk_tokens = kDefaultChunkTokens, bool verify = true);
 
-  // Reads tokens [0, n) of `layer`. CHECK-fails if chunks are missing or short.
+  // Reads tokens [0, n) of `layer`. CHECK-fails if chunks are missing, short, or
+  // corrupt — use only where absence is a programming error (tests, benches).
   Tensor ReadLayer(int64_t context_id, int64_t layer, int64_t n) const;
 
   // Same, but decodes straight into `dst` ([n, hidden_dim] row-major floats) — the
   // fused path: dequantization writes the projection GEMM's input buffer directly,
-  // with no intermediate FP32 chunk staging.
-  void ReadLayerInto(int64_t context_id, int64_t layer, int64_t n, float* dst) const;
+  // with no intermediate FP32 chunk staging. Returns false (logging the failing
+  // chunk) when any covering chunk is missing, short, or detected corrupt; `dst`
+  // contents are then unspecified and the caller falls back to recomputation.
+  bool ReadLayerInto(int64_t context_id, int64_t layer, int64_t n, float* dst) const;
 
   // True when every chunk covering tokens [0, n) of every layer exists. `expected` is
   // the codec this context's writer is configured with (legacy headerless FP32 chunks
@@ -161,6 +169,7 @@ class HiddenStateReader {
   const StorageBackend* store_;
   ModelConfig cfg_;
   int64_t chunk_tokens_;
+  bool verify_;
 };
 
 }  // namespace hcache

@@ -94,6 +94,40 @@ bool InstrumentedBackend::WriteChunks(std::span<ChunkWriteRequest> requests,
   return all_ok;
 }
 
+bool InstrumentedBackend::CorruptChunk(const ChunkKey& key, int64_t bit_offset) {
+  const int64_t size = inner_->ChunkSize(key);
+  if (size <= 0) {
+    return false;
+  }
+  std::vector<char> bytes(static_cast<size_t>(size));
+  // Unverified readback: the chunk may already be corrupt from a previous
+  // injection, and the point is to mutate whatever is at rest.
+  if (inner_->ReadChunkUnverified(key, bytes.data(), size) != size) {
+    return false;
+  }
+  if (bit_offset < 0) {
+    bit_offset = 0;
+  }
+  if (bit_offset >= 8 * size) {
+    bit_offset = 8 * size - 1;
+  }
+  bytes[static_cast<size_t>(bit_offset / 8)] ^=
+      static_cast<char>(1u << (bit_offset % 8));
+  return inner_->WriteChunk(key, bytes.data(), size);
+}
+
+bool InstrumentedBackend::TruncateChunk(const ChunkKey& key, int64_t new_bytes) {
+  const int64_t size = inner_->ChunkSize(key);
+  if (size <= 0 || new_bytes <= 0 || new_bytes >= size) {
+    return false;
+  }
+  std::vector<char> full(static_cast<size_t>(size));
+  if (inner_->ReadChunkUnverified(key, full.data(), size) != size) {
+    return false;
+  }
+  return inner_->WriteChunk(key, full.data(), new_bytes);
+}
+
 bool InstrumentedBackend::HasChunk(const ChunkKey& key) const {
   return inner_->HasChunk(key);
 }

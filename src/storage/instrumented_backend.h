@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/storage/storage_backend.h"
 
@@ -30,6 +32,23 @@ class InstrumentedBackend : public StorageBackend {
 
   // The next `n` WriteChunk calls fail (return false) without touching `inner`.
   void FailNextWrites(int64_t n) { fail_writes_ = n; }
+
+  // --- Corruption fault injection (the durability suite's chaos monkey) ---
+  //
+  // Both operate on the chunk *at rest* in the inner backend: read the stored
+  // bytes back unverified, mutate, rewrite. They model media faults (a flipped
+  // cell, a lost tail), not API misuse — the write path itself stays correct.
+  // Return false if the chunk does not exist (or the mutated rewrite fails).
+
+  // Flips one bit of the stored chunk. `bit_offset` indexes from byte 0 of the
+  // stored object (header included) and is clamped into range, so e.g. 0 hits the
+  // magic and `8 * stored_size - 1` hits the last payload byte.
+  bool CorruptChunk(const ChunkKey& key, int64_t bit_offset);
+
+  // Replaces the stored chunk with its first `new_bytes` bytes (a torn write /
+  // lost tail). `new_bytes` must be in [1, stored_size); shrinking to 0 is a
+  // delete, not a truncation — use DeleteChunk for that.
+  bool TruncateChunk(const ChunkKey& key, int64_t new_bytes);
 
   // Hooks run while the forwarded operation is conceptually in flight (after the
   // injected latency, before the inner call). Install before sharing the backend.
@@ -61,6 +80,14 @@ class InstrumentedBackend : public StorageBackend {
   bool HasChunk(const ChunkKey& key) const override;
   int64_t ChunkSize(const ChunkKey& key) const override;
   void DeleteContext(int64_t context_id) override;
+  std::vector<std::pair<ChunkKey, int64_t>> ListChunks() const override {
+    return inner_->ListChunks();
+  }
+  int64_t ReadChunkUnverified(const ChunkKey& key, void* buf,
+                              int64_t buf_bytes) const override {
+    return inner_->ReadChunkUnverified(key, buf, buf_bytes);
+  }
+  bool DeleteChunk(const ChunkKey& key) override { return inner_->DeleteChunk(key); }
   StorageStats Stats() const override;
   std::string Name() const override { return "instrumented(" + inner_->Name() + ")"; }
   void Quiesce() override { inner_->Quiesce(); }

@@ -1,0 +1,96 @@
+#include "src/storage/integrity.h"
+
+#include <cstring>
+
+#include "src/storage/codec.h"
+#include "src/storage/codec_simd.h"
+#include "src/storage/layout.h"
+
+namespace hcache {
+
+const char* ChunkVerdictName(ChunkVerdict verdict) {
+  switch (verdict) {
+    case ChunkVerdict::kOkVerified:
+      return "ok-verified";
+    case ChunkVerdict::kOkUnverified:
+      return "ok-unverified";
+    case ChunkVerdict::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+ChunkVerdict VerifyChunkBytes(const void* data, int64_t bytes, int64_t* checked_bytes) {
+  if (checked_bytes != nullptr) {
+    *checked_bytes = 0;
+  }
+  if (data == nullptr || bytes <= 0) {
+    return ChunkVerdict::kOkUnverified;
+  }
+  ChunkInfo info;
+  // legacy_cols = 0: the backend does not know the caller's row geometry, so the
+  // legacy-FP32 interpretation never fires here — headerless bytes simply stay
+  // unverified (the decode path still vets their size against its own geometry).
+  if (InspectChunk(data, bytes, /*legacy_cols=*/0, &info)) {
+    if (!info.has_crc) {
+      return ChunkVerdict::kOkUnverified;  // v1: readable, carries no checksum
+    }
+    const uint8_t* payload = static_cast<const uint8_t*>(data) + info.header_bytes;
+    const int64_t payload_bytes = bytes - info.header_bytes;
+    if (Crc32c(payload, payload_bytes) != info.payload_crc32c) {
+      return ChunkVerdict::kCorrupt;
+    }
+    if (checked_bytes != nullptr) {
+      *checked_bytes = payload_bytes;
+    }
+    return ChunkVerdict::kOkVerified;
+  }
+  // Unparseable. If the bytes CLAIM the chunk format (the magic is present) the
+  // claim failed — header bit flip, bad header CRC, or truncation — and that is a
+  // detected corruption, not an opaque blob.
+  uint32_t magic = 0;
+  if (bytes >= static_cast<int64_t>(sizeof(magic))) {
+    std::memcpy(&magic, data, sizeof(magic));
+    if (magic == kChunkMagic) {
+      return ChunkVerdict::kCorrupt;
+    }
+  }
+  return ChunkVerdict::kOkUnverified;
+}
+
+ChunkVerdict VerifyAndCopyChunk(const void* data, int64_t bytes, void* dst,
+                                int64_t* checked_bytes) {
+  if (checked_bytes != nullptr) {
+    *checked_bytes = 0;
+  }
+  if (data == nullptr || bytes <= 0) {
+    return ChunkVerdict::kOkUnverified;  // nothing to copy
+  }
+  ChunkInfo info;
+  if (InspectChunk(data, bytes, /*legacy_cols=*/0, &info) && info.has_crc) {
+    // Sealed v2 chunk: checksum the payload while it moves.
+    const auto* src = static_cast<const uint8_t*>(data);
+    auto* out = static_cast<uint8_t*>(dst);
+    std::memcpy(out, src, static_cast<size_t>(info.header_bytes));
+    const int64_t payload_bytes = bytes - info.header_bytes;
+    const uint32_t crc =
+        ActiveCodecKernels().crc32c_copy(0xFFFFFFFFu, src + info.header_bytes,
+                                         out + info.header_bytes, payload_bytes) ^
+        0xFFFFFFFFu;
+    if (crc != info.payload_crc32c) {
+      return ChunkVerdict::kCorrupt;  // dst contents unspecified
+    }
+    if (checked_bytes != nullptr) {
+      *checked_bytes = payload_bytes;
+    }
+    return ChunkVerdict::kOkVerified;
+  }
+  // v1 / opaque / corrupt format claim: the two-pass verdict, plain copy on success.
+  const ChunkVerdict verdict = VerifyChunkBytes(data, bytes, nullptr);
+  if (verdict != ChunkVerdict::kCorrupt) {
+    std::memcpy(dst, data, static_cast<size_t>(bytes));
+  }
+  return verdict;
+}
+
+}  // namespace hcache

@@ -53,8 +53,28 @@ const char* ChunkCodecName(ChunkCodec codec);
 // transmission cost the restoration model charges). kInt8 carries its per-row scale.
 int64_t CodecRowBytes(ChunkCodec codec, int64_t cols);
 
-// Self-describing header at the front of every encoded chunk. 16 bytes, little-endian,
+// Self-describing header at the front of every encoded chunk. 24 bytes, little-endian,
 // laid out so old headerless FP32 chunks are distinguishable by magic + size check.
+//
+// --- storage-format note (version history + durability protocol) ---
+//
+//   v0 — headerless raw-FP32 rows; recognized purely by size (LegacyChunkRows).
+//   v1 — 16-byte header {magic, version, codec, rows, cols}; no integrity check.
+//   v2 — 24-byte header appending two CRC32C checksums (Castagnoli polynomial,
+//        ~0 init, final xor, i.e. the SSE4.2 `crc32` instruction's convention):
+//          payload_crc32c — over the rows * CodecRowBytes payload that follows the
+//                           header. Backends verify it on EVERY read of a v2 chunk
+//                           (ReadChunk, ReadChunks, tiered promotion) and report a
+//                           mismatch as kChunkCorrupt, never as decoded data.
+//          header_crc32c  — over the first 20 header bytes, so a bit flip inside
+//                           the header itself (rows, cols, codec) is detected
+//                           before any field is trusted.
+//        v1 and v0 chunks still read back, but pass unverified.
+//
+//   Crash consistency: FileBackend publishes a chunk by writing `<path>.tmp`,
+//   fsync-ing it, then rename(2)-ing it over the final path — a reader never
+//   observes a half-written chunk, and a crash leaves at worst an orphaned `.tmp`
+//   the startup recovery scan (or hcache-fsck) sweeps.
 struct ChunkHeader {
   uint32_t magic = 0;    // kChunkMagic
   uint16_t version = 0;  // kChunkFormatVersion
@@ -62,11 +82,15 @@ struct ChunkHeader {
   uint8_t reserved = 0;
   uint32_t rows = 0;     // tokens stored in this chunk
   uint32_t cols = 0;     // elements per row
+  uint32_t payload_crc32c = 0;  // CRC32C over the payload (rows * CodecRowBytes)
+  uint32_t header_crc32c = 0;   // CRC32C over the 20 header bytes above
 };
-static_assert(sizeof(ChunkHeader) == 16, "header layout is part of the storage format");
+static_assert(sizeof(ChunkHeader) == 24, "header layout is part of the storage format");
 
 inline constexpr uint32_t kChunkMagic = 0x4b434348;  // "HCCK" little-endian
-inline constexpr uint16_t kChunkFormatVersion = 1;
+inline constexpr uint16_t kChunkFormatVersion = 2;
+// Size of the v1 header (everything before the CRC fields); v1 chunks still parse.
+inline constexpr int64_t kChunkHeaderBytesV1 = 16;
 
 // Total stored size of an encoded chunk: header + rows * CodecRowBytes.
 int64_t EncodedChunkBytes(ChunkCodec codec, int64_t rows, int64_t cols);

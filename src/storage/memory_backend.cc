@@ -1,10 +1,12 @@
 #include "src/storage/memory_backend.h"
 
+#include <atomic>
 #include <cstring>
 #include <vector>
 
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/storage/integrity.h"
 
 namespace hcache {
 
@@ -22,7 +24,8 @@ bool MemoryBackend::WriteChunk(const ChunkKey& key, const void* data, int64_t by
   return true;
 }
 
-int64_t MemoryBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const {
+int64_t MemoryBackend::ReadChunkImpl(const ChunkKey& key, void* buf, int64_t buf_bytes,
+                                     bool verify) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = chunks_.find(key);
   if (it == chunks_.end()) {
@@ -32,14 +35,47 @@ int64_t MemoryBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_byt
   if (size > buf_bytes) {
     return -1;
   }
+  if (verify) {
+    // Fused verify+copy: one pass over the chunk instead of a CRC sweep followed
+    // by a memcpy sweep.
+    int64_t checked = 0;
+    if (VerifyAndCopyChunk(it->second.data(), size, buf, &checked) ==
+        ChunkVerdict::kCorrupt) {
+      ++crc_failures_;
+      return kChunkCorrupt;  // no data delivered (buf unspecified), no read counted
+    }
+    crc_checked_bytes_ += checked;
+    ++total_reads_;
+    read_bytes_ += size;
+    return size;
+  }
   ++total_reads_;
   read_bytes_ += size;
   std::memcpy(buf, it->second.data(), static_cast<size_t>(size));
   return size;
 }
 
+int64_t MemoryBackend::ReadChunk(const ChunkKey& key, void* buf, int64_t buf_bytes) const {
+  return ReadChunkImpl(key, buf, buf_bytes, /*verify=*/true);
+}
+
+int64_t MemoryBackend::ReadChunkUnverified(const ChunkKey& key, void* buf,
+                                           int64_t buf_bytes) const {
+  return ReadChunkImpl(key, buf, buf_bytes, /*verify=*/false);
+}
+
 void MemoryBackend::ReadChunks(std::span<ChunkReadRequest> requests,
                                const BatchCompletion& done) const {
+  ReadChunksImpl(requests, done, /*verify=*/true);
+}
+
+void MemoryBackend::ReadChunksUnverified(std::span<ChunkReadRequest> requests,
+                                         const BatchCompletion& done) const {
+  ReadChunksImpl(requests, done, /*verify=*/false);
+}
+
+void MemoryBackend::ReadChunksImpl(std::span<ChunkReadRequest> requests,
+                                   const BatchCompletion& done, bool verify) const {
   struct Job {
     ChunkReadRequest* req;
     const char* src;
@@ -62,20 +98,47 @@ void MemoryBackend::ReadChunks(std::span<ChunkReadRequest> requests,
     jobs.push_back(Job{&req, it->second.data(), size});
     total_bytes += size;
   }
-  total_reads_ += static_cast<int64_t>(jobs.size());
-  read_bytes_ += total_bytes;
   // mu_ stays held across the copies (the map values must not move), which is safe to
   // combine with ParallelFor: the subranges below never touch mu_, and the caller
   // participates in the loop, so a pool worker blocked elsewhere cannot stall us.
+  // Verification rides inside the loop via the fused verify+copy kernel, so the CRC
+  // sweep is spread across the same threads that move the bytes.
+  std::atomic<int64_t> ok_reads{0};
+  std::atomic<int64_t> ok_bytes{0};
+  std::atomic<int64_t> checked_bytes{0};
+  std::atomic<int64_t> failures{0};
   ParallelFor(0, static_cast<int64_t>(jobs.size()),
               total_bytes >= (1 << 20) ? 1 : static_cast<int64_t>(jobs.size()),
               [&](int64_t lo, int64_t hi) {
+                int64_t my_reads = 0, my_bytes = 0, my_checked = 0, my_failures = 0;
                 for (int64_t i = lo; i < hi; ++i) {
                   const Job& job = jobs[static_cast<size_t>(i)];
-                  std::memcpy(job.req->buf, job.src, static_cast<size_t>(job.size));
+                  if (verify) {
+                    int64_t checked = 0;
+                    if (VerifyAndCopyChunk(job.src, job.size, job.req->buf, &checked) ==
+                        ChunkVerdict::kCorrupt) {
+                      // Fails only this request, like a serial ReadChunk.
+                      job.req->result = kChunkCorrupt;
+                      ++my_failures;
+                      continue;
+                    }
+                    my_checked += checked;
+                  } else {
+                    std::memcpy(job.req->buf, job.src, static_cast<size_t>(job.size));
+                  }
                   job.req->result = job.size;
+                  ++my_reads;
+                  my_bytes += job.size;
                 }
+                ok_reads.fetch_add(my_reads, std::memory_order_relaxed);
+                ok_bytes.fetch_add(my_bytes, std::memory_order_relaxed);
+                checked_bytes.fetch_add(my_checked, std::memory_order_relaxed);
+                failures.fetch_add(my_failures, std::memory_order_relaxed);
               });
+  total_reads_ += ok_reads.load(std::memory_order_relaxed);
+  read_bytes_ += ok_bytes.load(std::memory_order_relaxed);
+  crc_checked_bytes_ += checked_bytes.load(std::memory_order_relaxed);
+  crc_failures_ += failures.load(std::memory_order_relaxed);
   if (done) {
     done();
   }
@@ -90,6 +153,27 @@ int64_t MemoryBackend::ChunkSize(const ChunkKey& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = chunks_.find(key);
   return it == chunks_.end() ? -1 : static_cast<int64_t>(it->second.size());
+}
+
+std::vector<std::pair<ChunkKey, int64_t>> MemoryBackend::ListChunks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<ChunkKey, int64_t>> out;
+  out.reserve(chunks_.size());
+  for (const auto& [key, data] : chunks_) {
+    out.emplace_back(key, static_cast<int64_t>(data.size()));
+  }
+  return out;
+}
+
+bool MemoryBackend::DeleteChunk(const ChunkKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = chunks_.find(key);
+  if (it == chunks_.end()) {
+    return false;
+  }
+  bytes_stored_ -= static_cast<int64_t>(it->second.size());
+  chunks_.erase(it);
+  return true;
 }
 
 void MemoryBackend::DeleteContext(int64_t context_id) {
@@ -110,6 +194,8 @@ StorageStats MemoryBackend::Stats() const {
   s.total_reads = total_reads_;
   s.dram_hits = total_reads_;  // every read is served from DRAM
   s.dram_hit_bytes = read_bytes_;
+  s.crc_failures = crc_failures_;
+  s.crc_checked_bytes = crc_checked_bytes_;
   return s;
 }
 

@@ -24,19 +24,33 @@ class MemoryBackend : public StorageBackend {
   // N lock round trips); large batches work-share the memcpys across the pool.
   void ReadChunks(std::span<ChunkReadRequest> requests,
                   const BatchCompletion& done = {}) const override;
+  void ReadChunksUnverified(std::span<ChunkReadRequest> requests,
+                            const BatchCompletion& done = {}) const override;
   bool HasChunk(const ChunkKey& key) const override;
   int64_t ChunkSize(const ChunkKey& key) const override;
   void DeleteContext(int64_t context_id) override;
+  std::vector<std::pair<ChunkKey, int64_t>> ListChunks() const override;
+  int64_t ReadChunkUnverified(const ChunkKey& key, void* buf,
+                              int64_t buf_bytes) const override;
+  bool DeleteChunk(const ChunkKey& key) override;
   StorageStats Stats() const override;
   std::string Name() const override { return "memory"; }
 
  private:
+  // Shared bodies of the verified and unverified read paths.
+  int64_t ReadChunkImpl(const ChunkKey& key, void* buf, int64_t buf_bytes,
+                        bool verify) const;
+  void ReadChunksImpl(std::span<ChunkReadRequest> requests, const BatchCompletion& done,
+                      bool verify) const;
+
   mutable std::mutex mu_;
   std::map<ChunkKey, std::vector<char>> chunks_;
   int64_t bytes_stored_ = 0;
   int64_t total_writes_ = 0;
   mutable int64_t total_reads_ = 0;
   mutable int64_t read_bytes_ = 0;
+  mutable int64_t crc_failures_ = 0;
+  mutable int64_t crc_checked_bytes_ = 0;
 };
 
 }  // namespace hcache

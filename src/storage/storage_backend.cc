@@ -21,6 +21,16 @@ void StorageBackend::ReadChunks(std::span<ChunkReadRequest> requests,
   }
 }
 
+void StorageBackend::ReadChunksUnverified(std::span<ChunkReadRequest> requests,
+                                          const BatchCompletion& done) const {
+  for (ChunkReadRequest& req : requests) {
+    req.result = ReadChunkUnverified(req.key, req.buf, req.buf_bytes);
+  }
+  if (done) {
+    done();
+  }
+}
+
 bool StorageBackend::WriteChunks(std::span<ChunkWriteRequest> requests,
                                  const BatchCompletion& done) {
   bool all_ok = true;

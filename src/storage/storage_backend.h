@@ -23,6 +23,8 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace hcache {
 
@@ -33,6 +35,13 @@ struct ChunkKey {
 
   friend auto operator<=>(const ChunkKey&, const ChunkKey&) = default;
 };
+
+// Read-path status for a chunk whose stored bytes FAILED integrity verification
+// (ChunkHeader v2 payload-CRC mismatch, or a header that contradicts itself).
+// Distinct from -1 (absent / short buffer): a corrupt chunk EXISTS — callers must
+// not retry the read or treat the key as free, they must fall back to recompute
+// (and fsck can quarantine it). Returned by ReadChunk / ReadChunks `result`.
+inline constexpr int64_t kChunkCorrupt = -2;
 
 // One read of a batched ReadChunks submission. The caller owns `buf` (capacity
 // `buf_bytes`) and keeps it alive until the batch's completion has run; `result` is
@@ -85,6 +94,11 @@ struct StorageStats {
   int64_t writer_stalls = 0;         // writes blocked on the drain high-water mark
   int64_t writeback_failures = 0;    // evictions rolled back on cold-tier write error
   int64_t promotions_skipped = 0;    // cold reads not admitted (chunk can't fit)
+  int64_t writeback_retries = 0;     // transient cold write failures retried by drain
+
+  // Integrity plane (ChunkHeader v2 CRC32C verification on the read paths).
+  int64_t crc_failures = 0;       // reads rejected on checksum mismatch (kChunkCorrupt)
+  int64_t crc_checked_bytes = 0;  // payload bytes CRC-verified on successful reads
 
   // Fraction of reads served from DRAM (1.0 for MemoryBackend, 0.0 for FileBackend).
   double DramHitRatio() const {
@@ -116,7 +130,9 @@ class StorageBackend {
   virtual bool WriteChunk(const ChunkKey& key, const void* data, int64_t bytes) = 0;
 
   // Reads a chunk into `buf` (capacity `buf_bytes`). Returns the chunk's byte count,
-  // or -1 if the chunk does not exist or the buffer is too small.
+  // -1 if the chunk does not exist or the buffer is too small, or kChunkCorrupt (-2)
+  // when the stored bytes exist but fail integrity verification (v2 CRC mismatch; the
+  // read counts in Stats().crc_failures, delivers no data, and has no side effects).
   //
   // Short-buffer contract (uniform across Memory/File/Tiered, pinned by the
   // cross-backend conformance test): when the stored chunk is larger than
@@ -166,6 +182,33 @@ class StorageBackend {
 
   // Removes every chunk belonging to a context (session ended / state dropped).
   virtual void DeleteContext(int64_t context_id) = 0;
+
+  // --- inspection / repair surface (hcache-fsck and recovery tooling) ---
+
+  // Every resident (key, stored bytes) pair, in unspecified order — a scan
+  // snapshot, not a consistency point. Default: empty (backend not enumerable).
+  virtual std::vector<std::pair<ChunkKey, int64_t>> ListChunks() const { return {}; }
+
+  // ReadChunk minus verification: returns whatever bytes are at `key`, corrupt or
+  // not, so fsck can inspect damage the verified path refuses to deliver. Default
+  // forwards to ReadChunk (correct for backends that never verify).
+  virtual int64_t ReadChunkUnverified(const ChunkKey& key, void* buf,
+                                      int64_t buf_bytes) const {
+    return ReadChunk(key, buf, buf_bytes);
+  }
+
+  // ReadChunks without integrity checking — the batched analogue of
+  // ReadChunkUnverified, same contract as ReadChunks minus the CRC pass. For fsck
+  // sweeps over damaged stores and for measuring exactly what verification costs on
+  // the restore path (bench). Production restores use ReadChunks. Default: the
+  // sequential unverified loop; backends that batch override it alongside ReadChunks.
+  virtual void ReadChunksUnverified(std::span<ChunkReadRequest> requests,
+                                    const BatchCompletion& done = {}) const;
+
+  // Removes one chunk (fsck quarantine of a corrupt chunk so the context reads as
+  // incomplete and falls back to recompute). Returns true if the key was resident.
+  // Default: unsupported.
+  virtual bool DeleteChunk(const ChunkKey& key) { (void)key; return false; }
 
   virtual StorageStats Stats() const = 0;
   virtual std::string Name() const = 0;

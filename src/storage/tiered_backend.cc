@@ -1,6 +1,7 @@
 #include "src/storage/tiered_backend.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "src/common/logging.h"
@@ -171,37 +172,60 @@ bool TieredBackend::ProcessTicket(const DrainTicket& ticket) const {
     }
   }
   bool all_ok = true;
-  if (!flushes.empty()) {
+  // Cold writes are attempted in rounds: each round lands one batched WriteChunks
+  // (no lock held), retires the successes, and retries the failures after a capped
+  // doubling backoff — a transiently overloaded cold tier absorbs the flush without
+  // tripping the rollback. Before every round each chunk's pending generation is
+  // re-checked under the shard lock, so a rescue/overwrite/delete that happened
+  // while we slept drops the chunk from the retry set.
+  std::vector<Flush> attempt = std::move(flushes);
+  int64_t backoff_us = options_.writeback_retry_backoff_us;
+  for (int round = 0; !attempt.empty(); ++round) {
     std::vector<ChunkWriteRequest> writes;
-    writes.reserve(flushes.size());
-    for (const Flush& f : flushes) {
+    writes.reserve(attempt.size());
+    for (const Flush& f : attempt) {
       writes.push_back(ChunkWriteRequest{f.key, f.data->data(),
                                          static_cast<int64_t>(f.data->size()),
                                          /*ok=*/false});
     }
     cold_->WriteChunks(writes);  // no lock held
-    std::lock_guard<std::mutex> lock(shard.mu);
-    for (size_t i = 0; i < flushes.size(); ++i) {
-      const Flush& f = flushes[i];
-      const auto it = shard.pending.find(f.key);
-      if (it == shard.pending.end() || it->second.gen != f.gen) {
-        continue;  // superseded while the write was in flight; its bytes moved on
-      }
-      const int64_t bytes = static_cast<int64_t>(f.data->size());
-      shard.pending.erase(it);
-      pending_bytes_ -= bytes;
-      if (writes[i].ok) {
-        ++writeback_chunks_;
-        writeback_bytes_ += bytes;
-      } else {
+    std::vector<Flush> failed;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (size_t i = 0; i < attempt.size(); ++i) {
+        const Flush& f = attempt[i];
+        const auto it = shard.pending.find(f.key);
+        if (it == shard.pending.end() || it->second.gen != f.gen) {
+          continue;  // superseded while the write was in flight; its bytes moved on
+        }
+        const int64_t bytes = static_cast<int64_t>(f.data->size());
+        if (writes[i].ok) {
+          shard.pending.erase(it);
+          pending_bytes_ -= bytes;
+          ++writeback_chunks_;
+          writeback_bytes_ += bytes;
+          continue;
+        }
+        if (round < options_.writeback_retry_limit) {
+          failed.push_back(f);  // stays pending (still rescuable) for the next round
+          continue;
+        }
         all_ok = false;
+        shard.pending.erase(it);
+        pending_bytes_ -= bytes;
         HCACHE_LOG_ERROR << "tiered write-back failed: ctx=" << f.key.context_id
                          << " L=" << f.key.layer << " C=" << f.key.chunk_index
-                         << "; re-admitting to DRAM";
+                         << " after " << round << " retries; re-admitting to DRAM";
         InsertHotLocked(shard, f.key, f.data->data(), bytes, /*dirty=*/true);
         TouchLocked(shard, f.key.context_id);
       }
     }
+    if (!failed.empty()) {
+      writeback_retries_ += static_cast<int64_t>(failed.size());
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = std::min(backoff_us * 2, options_.writeback_retry_backoff_cap_us);
+    }
+    attempt = std::move(failed);
   }
   if (!all_ok) {
     // The context is (at least partially) resident again: the eviction did not
@@ -438,6 +462,12 @@ int64_t TieredBackend::ReadChunk(const ChunkKey& key, void* buf,
   // Miss in DRAM: the chunk lives in the cold tier. The read runs with no lock
   // held, so other contexts — and other chunks of this one — proceed concurrently.
   const int64_t got = cold_->ReadChunk(key, buf, buf_bytes);
+  if (got == kChunkCorrupt) {
+    // Detected at the cold tier: surface the distinct status (the chunk EXISTS,
+    // callers must fall back to recompute, not re-read) and never promote damage.
+    ++crc_failures_;
+    return kChunkCorrupt;
+  }
   if (got < 0) {
     return got;
   }
@@ -579,6 +609,11 @@ void TieredBackend::ReadChunks(std::span<ChunkReadRequest> requests,
       std::lock_guard<std::mutex> lock(shard.mu);
       for (const Miss& m : miss_by_shard[s]) {
         const int64_t got = cold_reqs[j++].result;
+        if (got == kChunkCorrupt) {
+          m.req->result = kChunkCorrupt;  // detected-corrupt is NOT a miss
+          ++crc_failures_;
+          continue;
+        }
         if (got < 0) {
           continue;  // vanished from the cold tier too (deleted mid-flight)
         }
@@ -664,6 +699,63 @@ void TieredBackend::DeleteContext(int64_t context_id) {
   cold_->DeleteContext(context_id);
 }
 
+std::vector<std::pair<ChunkKey, int64_t>> TieredBackend::ListChunks() const {
+  std::vector<std::pair<ChunkKey, int64_t>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->index) {
+      out.emplace_back(key, entry.size);
+    }
+  }
+  return out;
+}
+
+int64_t TieredBackend::ReadChunkUnverified(const ChunkKey& key, void* buf,
+                                           int64_t buf_bytes) const {
+  const int64_t got = ReadChunk(key, buf, buf_bytes);
+  if (got != kChunkCorrupt) {
+    return got;  // DRAM hits are trusted; a verified cold hit is already vetted
+  }
+  return cold_->ReadChunkUnverified(key, buf, buf_bytes);
+}
+
+bool TieredBackend::DeleteChunk(const ChunkKey& key) {
+  Shard& shard = *shards_[ShardOf(key.context_id)];
+  bool cancelled_pending = false;
+  bool was_indexed = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto hot_it = shard.hot.find(key);
+    if (hot_it != shard.hot.end()) {
+      shard.hot_bytes -= static_cast<int64_t>(hot_it->second.data.size());
+      shard.hot.erase(hot_it);
+    }
+    const auto pit = shard.pending.find(key);
+    if (pit != shard.pending.end()) {
+      pending_bytes_ -= static_cast<int64_t>(pit->second.data->size());
+      shard.pending.erase(pit);
+      cancelled_pending = true;
+    }
+    const auto iit = shard.index.find(key);
+    if (iit != shard.index.end()) {
+      shard.bytes_stored -= iit->second.size;
+      shard.index.erase(iit);
+      was_indexed = true;
+    }
+  }
+  if (cancelled_pending) {
+    SignalDrainProgress();
+  }
+  if (options_.writeback == TieredOptions::Writeback::kAsync) {
+    // An in-flight write-back of this context could re-materialize the chunk in the
+    // cold tier after our delete; wait it out (same rule as DeleteContext).
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drained_cv_.wait(lock, [this, &key] { return inflight_context_ != key.context_id; });
+  }
+  const bool cold_deleted = cold_->DeleteChunk(key);
+  return was_indexed || cold_deleted;
+}
+
 int64_t TieredBackend::dram_bytes() const {
   int64_t total = 0;
   for (const auto& shard : shards_) {
@@ -706,6 +798,12 @@ StorageStats TieredBackend::Stats() const {
   s.writer_stalls = writer_stalls_.load();
   s.writeback_failures = writeback_failures_.load();
   s.promotions_skipped = promotions_skipped_.load();
+  s.writeback_retries = writeback_retries_.load();
+  // This tier's crc_failures_ counts the cold rejections it propagated (DRAM bytes
+  // are trusted); the cold backend is where payloads are actually CRC-checked, so
+  // surface its verified-byte figure as the stack's.
+  s.crc_failures = crc_failures_.load();
+  s.crc_checked_bytes = cold_->Stats().crc_checked_bytes;
   return s;
 }
 

@@ -74,6 +74,13 @@ struct TieredOptions {
   // high_water_factor * dram_capacity_bytes + 4 chunks (the floor keeps 0-budget
   // write-through tiers from stalling on every write).
   double high_water_factor = 1.0;
+
+  // Transient cold-tier write failures (a loaded device, a momentary IO error) are
+  // retried up to this many times with doubling backoff before the rollback path
+  // re-admits the chunks to DRAM. 0 = fail straight to rollback.
+  int writeback_retry_limit = 3;
+  int64_t writeback_retry_backoff_us = 500;       // first retry's sleep
+  int64_t writeback_retry_backoff_cap_us = 8000;  // backoff ceiling (bounds shutdown)
 };
 
 class TieredBackend : public StorageBackend {
@@ -101,6 +108,13 @@ class TieredBackend : public StorageBackend {
   bool HasChunk(const ChunkKey& key) const override;
   int64_t ChunkSize(const ChunkKey& key) const override;
   void DeleteContext(int64_t context_id) override;
+  std::vector<std::pair<ChunkKey, int64_t>> ListChunks() const override;
+  // Verified read first (DRAM bytes are trusted; a cold hit is verified by the cold
+  // backend); only a detected-corrupt cold chunk falls through to the cold tier's
+  // unverified read, so fsck can inspect the damaged bytes.
+  int64_t ReadChunkUnverified(const ChunkKey& key, void* buf,
+                              int64_t buf_bytes) const override;
+  bool DeleteChunk(const ChunkKey& key) override;
   StorageStats Stats() const override;
   std::string Name() const override { return "tiered(" + cold_->Name() + ")"; }
 
@@ -232,6 +246,8 @@ class TieredBackend : public StorageBackend {
   mutable std::atomic<int64_t> writer_stalls_{0};
   mutable std::atomic<int64_t> writeback_failures_{0};
   mutable std::atomic<int64_t> promotions_skipped_{0};
+  mutable std::atomic<int64_t> writeback_retries_{0};
+  mutable std::atomic<int64_t> crc_failures_{0};  // cold reads rejected as corrupt
 };
 
 }  // namespace hcache

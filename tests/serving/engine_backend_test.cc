@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <filesystem>
 #include <memory>
 
 #include "src/serving/engine.h"
+#include "src/storage/codec.h"
 #include "src/storage/file_backend.h"
 #include "src/storage/memory_backend.h"
 #include "src/storage/tiered_backend.h"
@@ -148,6 +150,78 @@ TEST_F(EngineBackendTest, AmpleDramBudgetServesReadsFromDram) {
   EXPECT_DOUBLE_EQ(r.storage.DramHitRatio(), 1.0);
   // Nothing ever spilled: the cold tier is untouched.
   EXPECT_EQ(cold->total_writes(), 0);
+}
+
+TEST_F(EngineBackendTest, DamagedStateFallsBackToRecomputeNotDrop) {
+  // The serving-level durability contract: state that comes back corrupt OR missing
+  // at restore time costs recompute latency, never a wrong answer and never a
+  // dropped round. Driven through the stepped interface so damage can be injected
+  // between a session's rounds.
+  MemoryBackend memory(kChunkBytes);
+  ServingOptions o;
+  o.method = RestoreMethod::kHCache;
+  o.state_backend = &memory;
+  ServingEngine engine(Platform::DefaultTestbed(1, 4), ModelConfig::Llama2_7B(), o);
+  engine.StartExternal();
+  std::vector<RoundCompletion> done;
+
+  auto run_round = [&](int64_t session, int64_t history, double arrival,
+                       bool last) -> RoundCompletion {
+    engine.Submit(RoundTask{session, history, /*input=*/128, /*output=*/32, arrival, last});
+    done.clear();
+    // A generous-but-bounded horizon: Advance parks the idle clock AT the horizon,
+    // so it must stay well below max_sim_seconds across all four rounds.
+    engine.Advance(arrival + 60.0, &done);
+    EXPECT_EQ(done.size(), 1u);
+    if (done.empty()) {
+      return RoundCompletion{};
+    }
+    EXPECT_FALSE(done[0].dropped) << "session " << session;
+    return done[0];
+  };
+
+  // Two sessions complete their opening rounds and persist state.
+  const RoundCompletion s7 = run_round(7, 0, 0.0, false);
+  const RoundCompletion s8 = run_round(8, 0, s7.finish_time + 0.5, false);
+  ASSERT_TRUE(memory.HasChunk({7, 0, 0}));
+  ASSERT_TRUE(memory.HasChunk({8, 0, 0}));
+
+  // Session 7's state rots in place. The descriptor blobs are opaque (no format
+  // claim), so a plain bit flip would pass unverified — overwrite with a SEALED
+  // chunk whose payload is then flipped, which the verified read path must flag.
+  std::vector<uint8_t> poison(
+      static_cast<size_t>(EncodedChunkBytes(ChunkCodec::kFp32, 4, 8)), 0x5A);
+  WriteChunkHeader(ChunkCodec::kFp32, 4, 8, poison.data());
+  poison[sizeof(ChunkHeader) + 3] ^= 0x01;
+  ASSERT_TRUE(memory.WriteChunk({7, 0, 0}, poison.data(),
+                                static_cast<int64_t>(poison.size())));
+  // Session 8's state is simply gone (a cold tier that lost the file).
+  ASSERT_TRUE(memory.DeleteChunk({8, 0, 0}));
+
+  const RoundCompletion s7b =
+      run_round(7, s7.new_tokens, s8.finish_time + 0.5, true);
+  const RoundCompletion s8b =
+      run_round(8, s8.new_tokens, s7b.finish_time + 0.5, true);
+  EXPECT_FALSE(s7b.dropped);
+  EXPECT_FALSE(s8b.dropped);
+  EXPECT_EQ(s7b.new_tokens, 128 + 32);
+  EXPECT_EQ(s8b.new_tokens, 128 + 32);
+
+  const ServingReport r = engine.FinishExternal();
+  EXPECT_EQ(r.rounds_completed, 4);
+  EXPECT_EQ(r.restore_fallbacks, 2);  // one corrupt, one missing
+  EXPECT_GE(memory.Stats().crc_failures, 1);
+}
+
+TEST_F(EngineBackendTest, IntactStateNeverTriggersFallback) {
+  // Control for the damage test: the identical conversation workload over an intact
+  // backend reports zero fallbacks, pinning the false-positive rate of the verified
+  // restore path at nil.
+  MemoryBackend memory(kChunkBytes);
+  const ServingReport r = Run(&memory);
+  EXPECT_EQ(r.rounds_completed, r.rounds_submitted);
+  EXPECT_EQ(r.restore_fallbacks, 0);
+  EXPECT_EQ(r.storage.crc_failures, 0);
 }
 
 }  // namespace

@@ -48,7 +48,9 @@ TEST(CodecTest, RowBytesAndChunkBytes) {
   EXPECT_EQ(CodecRowBytes(ChunkCodec::kFp32, 64), 256);
   EXPECT_EQ(CodecRowBytes(ChunkCodec::kFp16, 64), 128);
   EXPECT_EQ(CodecRowBytes(ChunkCodec::kInt8, 64), 68);  // values + per-row scale
-  EXPECT_EQ(EncodedChunkBytes(ChunkCodec::kFp16, 64, 128), 16 + 64 * 256);
+  // v2 header: 16 descriptor bytes + payload CRC32C + header CRC32C.
+  EXPECT_EQ(static_cast<int64_t>(sizeof(ChunkHeader)), 24);
+  EXPECT_EQ(EncodedChunkBytes(ChunkCodec::kFp16, 64, 128), 24 + 64 * 256);
 }
 
 TEST(CodecTest, Fp16KnownValues) {

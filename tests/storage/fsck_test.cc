@@ -1,0 +1,184 @@
+// Library-level fsck: classification of every damage class, quarantine repair
+// semantics, the orphaned-temp sweep, and the JSON report CI parses.
+#include "src/storage/fsck.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/storage/codec.h"
+#include "src/storage/file_backend.h"
+#include "src/storage/instrumented_backend.h"
+#include "src/storage/memory_backend.h"
+
+namespace hcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int64_t kChunkBytes = 64 * 1024;
+
+std::vector<uint8_t> SealedChunk(int64_t rows, int64_t cols, uint8_t fill) {
+  std::vector<uint8_t> chunk(
+      static_cast<size_t>(EncodedChunkBytes(ChunkCodec::kFp32, rows, cols)), fill);
+  WriteChunkHeader(ChunkCodec::kFp32, rows, cols, chunk.data());
+  return chunk;
+}
+
+class FsckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = fs::temp_directory_path() /
+            ("hcache_fsck_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(base_);
+  }
+  void TearDown() override { fs::remove_all(base_); }
+
+  std::filesystem::path base_;
+};
+
+TEST_F(FsckTest, ClassifiesEveryDamageClass) {
+  MemoryBackend backend(kChunkBytes);
+  InstrumentedBackend chaos(&backend);
+
+  const auto sealed = SealedChunk(8, 16, 0x11);
+  const int64_t bytes = static_cast<int64_t>(sealed.size());
+  // Two clean, one opaque, one corrupt (payload flip), one partial (torn tail).
+  ASSERT_TRUE(backend.WriteChunk({1, 0, 0}, sealed.data(), bytes));
+  ASSERT_TRUE(backend.WriteChunk({1, 1, 0}, sealed.data(), bytes));
+  std::vector<char> blob(256, 'o');
+  ASSERT_TRUE(backend.WriteChunk({2, 0, 0}, blob.data(), 256));
+  ASSERT_TRUE(backend.WriteChunk({3, 0, 0}, sealed.data(), bytes));
+  ASSERT_TRUE(chaos.CorruptChunk({3, 0, 0}, 8 * (sizeof(ChunkHeader) + 7) + 2));
+  ASSERT_TRUE(backend.WriteChunk({4, 0, 0}, sealed.data(), bytes));
+  ASSERT_TRUE(chaos.TruncateChunk({4, 0, 0}, bytes / 2));
+
+  const FsckReport before = RunFsck(&backend);
+  EXPECT_EQ(before.chunks_scanned, 5);
+  EXPECT_EQ(before.clean, 2);
+  EXPECT_EQ(before.unverified, 1);
+  EXPECT_EQ(before.corrupt, 1);
+  EXPECT_EQ(before.partial, 1);
+  EXPECT_EQ(before.orphaned_temp_files, 0);
+  EXPECT_EQ(before.repaired, 0);
+  EXPECT_FALSE(before.Healthy());
+  // Findings list damage only (clean and unverified chunks are counted, not listed).
+  ASSERT_EQ(before.findings.size(), 2u);
+  for (const FsckFinding& f : before.findings) {
+    EXPECT_FALSE(f.repaired);
+    if (f.klass == FsckClass::kCorrupt) {
+      EXPECT_EQ(f.key.context_id, 3);
+      EXPECT_NE(f.detail.find("CRC"), std::string::npos) << f.detail;
+    } else {
+      EXPECT_EQ(f.klass, FsckClass::kPartial);
+      EXPECT_EQ(f.key.context_id, 4);
+      EXPECT_NE(f.detail.find("truncated"), std::string::npos) << f.detail;
+    }
+  }
+  // Report-only: nothing was touched.
+  EXPECT_TRUE(backend.HasChunk({3, 0, 0}));
+  EXPECT_TRUE(backend.HasChunk({4, 0, 0}));
+}
+
+TEST_F(FsckTest, RepairQuarantinesDamageAndSparesUnverified) {
+  MemoryBackend backend(kChunkBytes);
+  InstrumentedBackend chaos(&backend);
+  const auto sealed = SealedChunk(8, 16, 0x22);
+  const int64_t bytes = static_cast<int64_t>(sealed.size());
+  ASSERT_TRUE(backend.WriteChunk({1, 0, 0}, sealed.data(), bytes));
+  std::vector<char> blob(128, 'u');
+  ASSERT_TRUE(backend.WriteChunk({2, 0, 0}, blob.data(), 128));
+  ASSERT_TRUE(backend.WriteChunk({3, 0, 0}, sealed.data(), bytes));
+  ASSERT_TRUE(chaos.CorruptChunk({3, 0, 0}, 8 * sizeof(ChunkHeader)));
+  ASSERT_TRUE(backend.WriteChunk({4, 0, 0}, sealed.data(), bytes));
+  ASSERT_TRUE(chaos.TruncateChunk({4, 0, 0}, bytes - 4));
+
+  FsckOptions repair;
+  repair.repair = true;
+  const FsckReport r = RunFsck(&backend, repair);
+  EXPECT_EQ(r.repaired, 2);
+  for (const FsckFinding& f : r.findings) {
+    EXPECT_TRUE(f.repaired);
+  }
+  // Quarantine turns detected-corrupt (-2) into an ordinary miss (-1): the restore
+  // path recomputes instead of tripping a CRC failure on every read.
+  std::vector<char> buf(static_cast<size_t>(bytes));
+  EXPECT_EQ(backend.ReadChunk({3, 0, 0}, buf.data(), bytes), -1);
+  EXPECT_EQ(backend.ReadChunk({4, 0, 0}, buf.data(), bytes), -1);
+  // Clean and unverified chunks survive repair untouched.
+  EXPECT_EQ(backend.ReadChunk({1, 0, 0}, buf.data(), bytes), bytes);
+  EXPECT_EQ(backend.ReadChunk({2, 0, 0}, buf.data(), 128), 128);
+
+  const FsckReport after = RunFsck(&backend);
+  EXPECT_TRUE(after.Healthy());
+  EXPECT_EQ(after.chunks_scanned, 2);
+  EXPECT_EQ(after.clean, 1);
+  EXPECT_EQ(after.unverified, 1);
+}
+
+TEST_F(FsckTest, SweepsOrphanedTempFilesUnderScanDirs) {
+  // sweep_temp_files=false models inspecting a store that hasn't been reopened
+  // since the writer died — fsck is what finds the residue.
+  FileBackendOptions opts;
+  opts.sweep_temp_files = false;
+  FileBackend backend({(base_ / "d0").string()}, kChunkBytes, opts);
+  const auto sealed = SealedChunk(4, 8, 0x33);
+  ASSERT_TRUE(backend.WriteChunk({1, 0, 0}, sealed.data(),
+                                 static_cast<int64_t>(sealed.size())));
+  const fs::path orphan = base_ / "d0" / "ctx1" / "L2_C0.bin.tmp";
+  {
+    std::FILE* f = std::fopen(orphan.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("torn", f);
+    std::fclose(f);
+  }
+
+  FsckOptions scan;
+  scan.scan_dirs = {(base_ / "d0").string()};
+  const FsckReport before = RunFsck(&backend, scan);
+  EXPECT_EQ(before.orphaned_temp_files, 1);
+  EXPECT_FALSE(before.Healthy());
+  EXPECT_TRUE(fs::exists(orphan));  // report-only
+
+  scan.repair = true;
+  const FsckReport repaired = RunFsck(&backend, scan);
+  EXPECT_EQ(repaired.orphaned_temp_files, 1);
+  EXPECT_EQ(repaired.repaired, 1);
+  EXPECT_FALSE(fs::exists(orphan));
+
+  EXPECT_TRUE(RunFsck(&backend, scan).Healthy());
+}
+
+TEST_F(FsckTest, JsonReportCarriesTheCountsAndFindings) {
+  MemoryBackend backend(kChunkBytes);
+  InstrumentedBackend chaos(&backend);
+  const auto sealed = SealedChunk(8, 16, 0x44);
+  const int64_t bytes = static_cast<int64_t>(sealed.size());
+  ASSERT_TRUE(backend.WriteChunk({1, 0, 0}, sealed.data(), bytes));
+  ASSERT_TRUE(backend.WriteChunk({6, 3, 2}, sealed.data(), bytes));
+  ASSERT_TRUE(chaos.CorruptChunk({6, 3, 2}, 8 * (sizeof(ChunkHeader) + 1)));
+
+  const std::string json = RunFsck(&backend).ToJson();
+  for (const char* needle :
+       {"\"chunks_scanned\":2", "\"clean\":1", "\"corrupt\":1", "\"partial\":0",
+        "\"orphaned_temp_files\":0", "\"healthy\":false", "\"findings\":[",
+        "\"class\":\"corrupt\"", "\"context\":6", "\"layer\":3", "\"chunk\":2",
+        "\"repaired\":false"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
+  }
+
+  MemoryBackend pristine(kChunkBytes);
+  ASSERT_TRUE(pristine.WriteChunk({1, 0, 0}, sealed.data(), bytes));
+  const std::string clean_json = RunFsck(&pristine).ToJson();
+  EXPECT_NE(clean_json.find("\"healthy\":true"), std::string::npos) << clean_json;
+  EXPECT_NE(clean_json.find("\"findings\":[]"), std::string::npos) << clean_json;
+}
+
+}  // namespace
+}  // namespace hcache

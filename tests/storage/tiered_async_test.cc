@@ -165,31 +165,36 @@ TEST(TieredAsyncTest, NoLockIsHeldAcrossColdTierIO) {
 }
 
 TEST(TieredAsyncTest, ColdWriteFailureRollsTheEvictionBack) {
-  // Satellite fix: a failed write-back must not leak accounting — the victim
-  // returns to the hot tier dirty (requeued MRU so other contexts evict first),
-  // `evicted_contexts` is not charged for the failed eviction, and no write-back
-  // bytes are counted.
+  // Satellite fix: a *persistently* failing write-back must not leak accounting —
+  // after the drainer exhausts its retry budget the victim returns to the hot tier
+  // dirty (requeued MRU so other contexts evict first), `evicted_contexts` is not
+  // charged for the failed eviction, and no write-back bytes are counted.
   MemoryBackend mem(kChunkBytes);
   InstrumentedBackend cold(&mem);
-  TieredBackend tiered(&cold, 2 * kChunkBytes, AsyncOpts(/*num_shards=*/1));
+  TieredOptions opts = AsyncOpts(/*num_shards=*/1);
+  opts.writeback_retry_limit = 2;
+  opts.writeback_retry_backoff_us = 100;  // keep the exhaust-retries path fast
+  TieredBackend tiered(&cold, 2 * kChunkBytes, opts);
 
   const auto v1 = Payload(kChunkBytes, '1');
   ASSERT_TRUE(tiered.WriteChunk({1, 0, 0}, v1.data(), kChunkBytes));
   const auto v2 = Payload(kChunkBytes, '2');
   ASSERT_TRUE(tiered.WriteChunk({2, 0, 0}, v2.data(), kChunkBytes));
 
-  cold.FailNextWrites(1);
+  // One failure per attempt: initial try + 2 retries all fail, forcing rollback.
+  cold.FailNextWrites(opts.writeback_retry_limit + 1);
   const auto v3 = Payload(kChunkBytes, '3');
   ASSERT_TRUE(tiered.WriteChunk({3, 0, 0}, v3.data(), kChunkBytes));  // evicts ctx 1
   tiered.Quiesce();
 
   StorageStats s = tiered.Stats();
   EXPECT_EQ(s.writeback_failures, 1);
+  EXPECT_EQ(s.writeback_retries, opts.writeback_retry_limit);
+  EXPECT_EQ(cold.injected_write_failures(), opts.writeback_retry_limit + 1);
   EXPECT_EQ(s.evicted_contexts, 0);  // the eviction did not stick
   EXPECT_EQ(s.writeback_chunks, 0);
   EXPECT_EQ(s.writeback_bytes, 0);
   EXPECT_EQ(s.drain_pending_bytes, 0);
-  EXPECT_EQ(cold.injected_write_failures(), 1);
   // The dirty payload survived, back in DRAM (budget degrades to best-effort).
   EXPECT_TRUE(tiered.IsDramResident({1, 0, 0}));
   std::vector<char> buf(kChunkBytes);
@@ -214,6 +219,42 @@ TEST(TieredAsyncTest, ColdWriteFailureRollsTheEvictionBack) {
         << "ctx " << ctx;
     EXPECT_EQ(buf[0], static_cast<char>('0' + ctx));
   }
+}
+
+TEST(TieredAsyncTest, TransientColdWriteFailureIsAbsorbedByRetry) {
+  // The flip side of the rollback test: when the cold tier recovers within the
+  // retry budget (a transient device hiccup), the eviction goes through — no
+  // rollback, no lost write-back, just retries counted.
+  MemoryBackend mem(kChunkBytes);
+  InstrumentedBackend cold(&mem);
+  TieredOptions opts = AsyncOpts(/*num_shards=*/1);
+  opts.writeback_retry_limit = 3;
+  opts.writeback_retry_backoff_us = 100;
+  TieredBackend tiered(&cold, 2 * kChunkBytes, opts);
+
+  const auto v1 = Payload(kChunkBytes, '1');
+  ASSERT_TRUE(tiered.WriteChunk({1, 0, 0}, v1.data(), kChunkBytes));
+  const auto v2 = Payload(kChunkBytes, '2');
+  ASSERT_TRUE(tiered.WriteChunk({2, 0, 0}, v2.data(), kChunkBytes));
+
+  cold.FailNextWrites(2);  // two attempts fail, the third lands
+  const auto v3 = Payload(kChunkBytes, '3');
+  ASSERT_TRUE(tiered.WriteChunk({3, 0, 0}, v3.data(), kChunkBytes));  // evicts ctx 1
+  tiered.Quiesce();
+
+  const StorageStats s = tiered.Stats();
+  EXPECT_EQ(s.writeback_failures, 0);
+  EXPECT_EQ(s.writeback_retries, 2);
+  EXPECT_EQ(s.writeback_chunks, 1);
+  EXPECT_EQ(s.writeback_bytes, kChunkBytes);
+  EXPECT_EQ(s.evicted_contexts, 1);
+  EXPECT_EQ(s.drain_pending_bytes, 0);
+  EXPECT_TRUE(cold.HasChunk({1, 0, 0}));
+  EXPECT_FALSE(tiered.IsDramResident({1, 0, 0}));
+  // The evicted payload survived the bumpy write-back bit-exactly.
+  std::vector<char> buf(kChunkBytes);
+  ASSERT_EQ(tiered.ReadChunk({1, 0, 0}, buf.data(), kChunkBytes), kChunkBytes);
+  EXPECT_EQ(buf[0], '1');
 }
 
 TEST(TieredAsyncTest, ShortBufferColdReadDoesNoIOAndNoPromotion) {
