@@ -7,19 +7,27 @@
 // (recompute-from-tokens) instead of per-read CRC failures.
 //
 //   hcache-fsck [--repair] [--json] <device_dir> [<device_dir>...]
+//   hcache-fsck --distributed [--replication R] [--repair] [--json] <node_dir>...
 //   hcache-fsck --selftest
+//
+// --distributed treats each directory as ONE storage node of a replicated cold
+// plane: every node store is scanned separately (per-node counts in --json), a
+// logical pass flags chunks below their home replica count, and --repair
+// re-replicates them from a surviving healthy copy instead of just quarantining.
 //
 // Exit status: 0 when the store is healthy (or --repair fixed everything),
 // 1 when damage remains, 2 on usage errors. --selftest builds a throwaway store,
-// injects corruption/truncation/orphans, and checks fsck catches all of it — the
-// CI smoke run.
+// injects corruption/truncation/orphans — plus a replicated store with a lost and
+// a rotted copy — and checks fsck catches all of it; the CI smoke run.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include "src/storage/codec.h"
+#include "src/storage/distributed_backend.h"
 #include "src/storage/file_backend.h"
 #include "src/storage/fsck.h"
 #include "src/storage/instrumented_backend.h"
@@ -57,7 +65,17 @@ void PrintHuman(const FsckReport& r) {
   std::printf("  corrupt (CRC failed): %lld\n", static_cast<long long>(r.corrupt));
   std::printf("  orphaned temp files:  %lld\n",
               static_cast<long long>(r.orphaned_temp_files));
+  if (!r.nodes.empty()) {
+    std::printf("  under-replicated:     %lld\n",
+                static_cast<long long>(r.under_replicated));
+  }
   std::printf("  repaired:             %lld\n", static_cast<long long>(r.repaired));
+  for (const FsckNodeReport& n : r.nodes) {
+    std::printf("  node %d: %lld chunks, %lld bytes, %lld corrupt%s%s%s\n", n.node,
+                static_cast<long long>(n.chunks), static_cast<long long>(n.bytes),
+                static_cast<long long>(n.corrupt), n.up ? "" : " [down]",
+                n.draining ? " [draining]" : "", n.removed ? " [removed]" : "");
+  }
   for (const FsckFinding& f : r.findings) {
     std::printf("  [%s]%s ctx=%lld L=%lld C=%lld (%lld bytes): %s\n",
                 FsckClassName(f.klass), f.repaired ? " repaired" : "",
@@ -135,6 +153,56 @@ int RunSelftest() {
   SELFTEST_CHECK(after.Healthy());
   SELFTEST_CHECK(after.chunks_scanned == 4 && after.clean == 4);
   fs::remove_all(root);
+
+  // Distributed leg: three file-backed nodes, R=2; lose one copy, rot another.
+  const fs::path droot = fs::temp_directory_path() / "hcache_fsck_selftest_dist";
+  fs::remove_all(droot);
+  std::vector<std::string> node_dirs;
+  for (int n = 0; n < 3; ++n) {
+    node_dirs.push_back((droot / ("node" + std::to_string(n))).string());
+  }
+  DistributedColdOptions dopts;
+  dopts.background_repair = false;
+  const auto factory = [&node_dirs](int node, int64_t bytes) {
+    return std::make_unique<FileBackend>(
+        std::vector<std::string>{node_dirs[static_cast<size_t>(node)]}, bytes);
+  };
+  DistributedColdBackend dist(3, kChunkBytes, dopts, factory);
+  std::vector<uint8_t> payload(static_cast<size_t>(EncodedChunkBytes(
+      ChunkCodec::kFp32, /*rows=*/16, /*cols=*/32)));
+  for (int64_t c = 0; c < 4; ++c) {
+    for (size_t i = sizeof(ChunkHeader); i < payload.size(); ++i) {
+      payload[i] = static_cast<uint8_t>(c * 17 + i * 3);
+    }
+    WriteChunkHeader(ChunkCodec::kFp32, 16, 32, payload.data());
+    SELFTEST_CHECK(dist.WriteChunk(ChunkKey{9, 0, c}, payload.data(),
+                                   static_cast<int64_t>(payload.size())));
+  }
+  const auto home0 = dist.CheckReplication(ChunkKey{9, 0, 0}).home;
+  SELFTEST_CHECK(dist.node_store(home0[0])->DeleteChunk(ChunkKey{9, 0, 0}));
+  const auto home1 = dist.CheckReplication(ChunkKey{9, 0, 1}).home;
+  SELFTEST_CHECK(dist.node_instrument(home1[0])->CorruptChunk(
+      ChunkKey{9, 0, 1}, 8 * (sizeof(ChunkHeader) + 11)));
+
+  FsckOptions dist_fsck;
+  dist_fsck.scan_dirs = node_dirs;
+  FsckReport dist_before = RunFsck(&dist, dist_fsck);
+  std::printf("%s\n", dist_before.ToJson().c_str());
+  SELFTEST_CHECK(dist_before.under_replicated == 2);
+  SELFTEST_CHECK(dist_before.corrupt == 1);
+  SELFTEST_CHECK(dist_before.nodes.size() == 3);
+  SELFTEST_CHECK(!dist_before.Healthy());
+  dist_fsck.repair = true;
+  FsckReport dist_fixed = RunFsck(&dist, dist_fsck);
+  SELFTEST_CHECK(dist_fixed.repaired == 3);  // 1 quarantine + 2 re-replications
+  dist_fsck.repair = false;
+  FsckReport dist_after = RunFsck(&dist, dist_fsck);
+  std::printf("%s\n", dist_after.ToJson().c_str());
+  SELFTEST_CHECK(dist_after.Healthy());
+  for (int64_t c = 0; c < 4; ++c) {
+    SELFTEST_CHECK(dist.CheckReplication(ChunkKey{9, 0, c}).FullyReplicated());
+  }
+  fs::remove_all(droot);
   std::printf("hcache-fsck selftest OK\n");
   return 0;
 }
@@ -142,7 +210,8 @@ int RunSelftest() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool repair = false, json = false, selftest = false;
+  bool repair = false, json = false, selftest = false, distributed = false;
+  int replication = 2;
   std::vector<std::string> dirs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -152,6 +221,14 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--selftest") {
       selftest = true;
+    } else if (arg == "--distributed") {
+      distributed = true;
+    } else if (arg == "--replication" && i + 1 < argc) {
+      replication = std::atoi(argv[++i]);
+      if (replication < 1) {
+        std::fprintf(stderr, "--replication must be >= 1\n");
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -165,6 +242,8 @@ int main(int argc, char** argv) {
   if (dirs.empty()) {
     std::fprintf(stderr,
                  "usage: hcache-fsck [--repair] [--json] <device_dir>...\n"
+                 "       hcache-fsck --distributed [--replication R] [--repair] [--json] "
+                 "<node_dir>...\n"
                  "       hcache-fsck --selftest\n");
     return 2;
   }
@@ -179,19 +258,46 @@ int main(int argc, char** argv) {
   // --repair run removes them).
   FileBackendOptions opts;
   opts.sweep_temp_files = false;
-  FileBackend store(dirs, chunk_bytes, opts);
   FsckOptions fsck;
   fsck.repair = repair;
   fsck.scan_dirs = dirs;
-  const FsckReport report = RunFsck(&store, fsck);
+  FsckReport report;
+  // Exit status reflects the store's state when we're done: a --repair run that
+  // found damage re-scans report-only, so "everything fixed" exits 0.
+  const auto scan = [&](StorageBackend* store) {
+    report = RunFsck(store, fsck);
+    if (report.Healthy()) {
+      return true;
+    }
+    if (!repair) {
+      return false;
+    }
+    FsckOptions verify = fsck;
+    verify.repair = false;
+    return RunFsck(store, verify).Healthy();
+  };
+  bool healthy = false;
+  if (distributed) {
+    // One node per directory; the constructor recovers the logical index from
+    // whatever the node stores hold.
+    DistributedColdOptions dopts;
+    dopts.replication = replication;
+    dopts.background_repair = false;  // fsck repairs synchronously or not at all
+    const auto factory = [&dirs, &opts](int node, int64_t bytes) {
+      return std::make_unique<FileBackend>(
+          std::vector<std::string>{dirs[static_cast<size_t>(node)]}, bytes, opts);
+    };
+    DistributedColdBackend store(static_cast<int>(dirs.size()), chunk_bytes, dopts,
+                                 factory);
+    healthy = scan(&store);
+  } else {
+    FileBackend store(dirs, chunk_bytes, opts);
+    healthy = scan(&store);
+  }
   if (json) {
     std::printf("%s\n", report.ToJson().c_str());
   } else {
     PrintHuman(report);
   }
-  return report.Healthy() || (repair && report.repaired > 0 &&
-                              report.partial + report.corrupt + report.orphaned_temp_files ==
-                                  report.repaired)
-             ? 0
-             : 1;
+  return healthy ? 0 : 1;
 }

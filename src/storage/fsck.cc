@@ -9,6 +9,7 @@
 #include "src/common/logging.h"
 #include "src/storage/codec.h"
 #include "src/storage/codec_simd.h"
+#include "src/storage/distributed_backend.h"
 #include "src/storage/integrity.h"
 
 namespace hcache {
@@ -82,8 +83,11 @@ void AppendJsonFinding(std::ostringstream& os, const FsckFinding& f, bool first)
   }
   os << "{\"context\":" << f.key.context_id << ",\"layer\":" << f.key.layer
      << ",\"chunk\":" << f.key.chunk_index << ",\"bytes\":" << f.bytes << ",\"class\":\""
-     << FsckClassName(f.klass) << "\",\"repaired\":" << (f.repaired ? "true" : "false")
-     << ",\"detail\":\"";
+     << FsckClassName(f.klass) << "\",\"repaired\":" << (f.repaired ? "true" : "false");
+  if (f.node >= 0) {
+    os << ",\"node\":" << f.node;
+  }
+  os << ",\"detail\":\"";
   for (const char c : f.detail) {  // detail strings are ASCII we wrote ourselves
     if (c == '"' || c == '\\') {
       os << '\\';
@@ -105,53 +109,121 @@ const char* FsckClassName(FsckClass c) {
       return "partial";
     case FsckClass::kCorrupt:
       return "corrupt";
+    case FsckClass::kUnderReplicated:
+      return "under-replicated";
   }
   return "unknown";
 }
 
+namespace {
+
+// Walks one physical store, classifying every chunk it enumerates. `node` tags the
+// findings (and accumulates a per-node corrupt count) for distributed scans; -1 for
+// a plain single-store scan.
+void ScanStore(StorageBackend* store, bool repair, int node, FsckReport* report,
+               FsckNodeReport* node_report) {
+  std::vector<uint8_t> buf;
+  for (const auto& [key, size] : store->ListChunks()) {
+    ++report->chunks_scanned;
+    FsckClass klass = FsckClass::kCorrupt;
+    std::string detail;
+    if (size <= 0) {
+      detail = "unreadable: empty or stat failed";
+    } else {
+      buf.resize(static_cast<size_t>(size));
+      if (store->ReadChunkUnverified(key, buf.data(), size) != size) {
+        detail = "unreadable: short read";
+      } else {
+        report->bytes_scanned += size;
+        klass = ClassifyChunk(buf.data(), size, &detail);
+      }
+    }
+    switch (klass) {
+      case FsckClass::kClean:
+        ++report->clean;
+        continue;
+      case FsckClass::kUnverified:
+        ++report->unverified;
+        continue;  // healthy-but-unchecked: counted, not listed
+      case FsckClass::kPartial:
+        ++report->partial;
+        break;
+      default:
+        klass = FsckClass::kCorrupt;
+        ++report->corrupt;
+        break;
+    }
+    if (node_report != nullptr) {
+      ++node_report->corrupt;
+    }
+    FsckFinding finding{key, size, klass, false, detail, node};
+    if (repair && store->DeleteChunk(key)) {
+      finding.repaired = true;
+      ++report->repaired;
+    }
+    report->findings.push_back(std::move(finding));
+  }
+}
+
+// The distributed deep scan: per-node physical classification, then a logical
+// replication audit. With repair on, a damaged copy is quarantined from its node
+// store first, so the RepairChunk that follows re-sources it from a clean replica.
+void ScanDistributed(DistributedColdBackend* dist, const FsckOptions& options,
+                     FsckReport* report) {
+  const auto infos = dist->NodeTable();
+  report->nodes.reserve(infos.size());
+  for (const auto& info : infos) {
+    FsckNodeReport nr;
+    nr.node = info.id;
+    nr.up = info.up;
+    nr.draining = info.draining;
+    nr.removed = info.removed;
+    report->nodes.push_back(nr);
+  }
+  for (size_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].removed) {
+      continue;  // retired by Drain: nothing resident, nothing to audit
+    }
+    // fsck is an offline tool: a node the serving plane marked down still has a
+    // readable store, and auditing it now is exactly when it matters.
+    ScanStore(dist->node_store(infos[i].id), options.repair, infos[i].id, report,
+              &report->nodes[i]);
+  }
+  for (const auto& [key, size] : dist->ListChunks()) {
+    const auto st = dist->CheckReplication(key);
+    const int replicas = static_cast<int>(st.home.size());
+    if (st.missing_copies == 0 && st.corrupt_copies == 0) {
+      continue;
+    }
+    ++report->under_replicated;
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), "%d of %d home copies healthy (%d missing, %d corrupt)",
+                  st.healthy_copies, replicas, st.missing_copies, st.corrupt_copies);
+    FsckFinding finding{key, size, FsckClass::kUnderReplicated, false, detail, -1};
+    if (options.repair && dist->RepairChunk(key)) {
+      finding.repaired = true;
+      ++report->repaired;
+      --report->under_replicated;
+    }
+    report->findings.push_back(std::move(finding));
+  }
+  // Refresh per-node occupancy after any repair traffic.
+  const auto after = dist->NodeTable();
+  for (size_t i = 0; i < after.size() && i < report->nodes.size(); ++i) {
+    report->nodes[i].chunks = after[i].chunks;
+    report->nodes[i].bytes = after[i].bytes;
+  }
+}
+
+}  // namespace
+
 FsckReport RunFsck(StorageBackend* backend, const FsckOptions& options) {
   CHECK(backend != nullptr);
   FsckReport report;
-  std::vector<uint8_t> buf;
-  for (const auto& [key, size] : backend->ListChunks()) {
-    ++report.chunks_scanned;
-    if (size <= 0) {
-      report.findings.push_back(
-          {key, size, FsckClass::kCorrupt, false, "unreadable: empty or stat failed"});
-      ++report.corrupt;
-      continue;
-    }
-    buf.resize(static_cast<size_t>(size));
-    const int64_t got = backend->ReadChunkUnverified(key, buf.data(), size);
-    if (got != size) {
-      report.findings.push_back(
-          {key, size, FsckClass::kCorrupt, false, "unreadable: short read"});
-      ++report.corrupt;
-      continue;
-    }
-    report.bytes_scanned += size;
-    std::string detail;
-    const FsckClass klass = ClassifyChunk(buf.data(), size, &detail);
-    switch (klass) {
-      case FsckClass::kClean:
-        ++report.clean;
-        continue;
-      case FsckClass::kUnverified:
-        ++report.unverified;
-        continue;  // healthy-but-unchecked: counted, not listed
-      case FsckClass::kPartial:
-        ++report.partial;
-        break;
-      case FsckClass::kCorrupt:
-        ++report.corrupt;
-        break;
-    }
-    FsckFinding finding{key, size, klass, false, detail};
-    if (options.repair && backend->DeleteChunk(key)) {
-      finding.repaired = true;
-      ++report.repaired;
-    }
-    report.findings.push_back(std::move(finding));
+  if (auto* dist = dynamic_cast<DistributedColdBackend*>(backend)) {
+    ScanDistributed(dist, options, &report);
+  } else {
+    ScanStore(backend, options.repair, /*node=*/-1, &report, nullptr);
   }
   // Orphan sweep: `*.tmp` under the scan dirs is always residue of a torn write —
   // the rename that would have published it never happened.
@@ -182,8 +254,21 @@ std::string FsckReport::ToJson() const {
   os << "{\"chunks_scanned\":" << chunks_scanned << ",\"bytes_scanned\":" << bytes_scanned
      << ",\"clean\":" << clean << ",\"unverified\":" << unverified
      << ",\"partial\":" << partial << ",\"corrupt\":" << corrupt
-     << ",\"orphaned_temp_files\":" << orphaned_temp_files << ",\"repaired\":" << repaired
-     << ",\"healthy\":" << (Healthy() ? "true" : "false") << ",\"findings\":[";
+     << ",\"orphaned_temp_files\":" << orphaned_temp_files
+     << ",\"under_replicated\":" << under_replicated << ",\"repaired\":" << repaired
+     << ",\"healthy\":" << (Healthy() ? "true" : "false");
+  if (!nodes.empty()) {
+    os << ",\"nodes\":[";
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const FsckNodeReport& n = nodes[i];
+      os << (i == 0 ? "" : ",") << "{\"node\":" << n.node << ",\"up\":"
+         << (n.up ? "true" : "false") << ",\"draining\":" << (n.draining ? "true" : "false")
+         << ",\"removed\":" << (n.removed ? "true" : "false") << ",\"chunks\":" << n.chunks
+         << ",\"bytes\":" << n.bytes << ",\"corrupt\":" << n.corrupt << '}';
+    }
+    os << ']';
+  }
+  os << ",\"findings\":[";
   for (size_t i = 0; i < findings.size(); ++i) {
     AppendJsonFinding(os, findings[i], i == 0);
   }

@@ -18,6 +18,13 @@
 // turns a per-read CRC failure into an ordinary recompute-from-tokens miss.
 // Unverified chunks are never touched: no checksum means no evidence of damage.
 //
+// Against a DistributedColdBackend the scan goes deeper: every node's store is
+// walked separately (per-node counts in the report), and a logical pass flags
+// chunks below their home replica count (kUnderReplicated). There `repair` does
+// better than quarantine — damaged copies are deleted, then the chunk is
+// re-replicated from a surviving healthy copy (RepairChunk), so fsck restores R
+// instead of merely amputating.
+//
 // `scan_dirs` additionally sweeps filesystem directories for orphaned `*.tmp` files —
 // the residue of a writer that died between open and rename. These are never valid
 // chunks (the atomic-rename protocol guarantees a published chunk is complete), so
@@ -36,7 +43,15 @@
 
 namespace hcache {
 
-enum class FsckClass { kClean = 0, kUnverified = 1, kPartial = 2, kCorrupt = 3 };
+enum class FsckClass {
+  kClean = 0,
+  kUnverified = 1,
+  kPartial = 2,
+  kCorrupt = 3,
+  // Distributed only: the chunk's bytes may be fine somewhere, but it sits below
+  // its home replica count (missing or corrupt home copies).
+  kUnderReplicated = 4,
+};
 
 const char* FsckClassName(FsckClass c);
 
@@ -54,8 +69,20 @@ struct FsckFinding {
   ChunkKey key;            // zeroed for orphaned temp files
   int64_t bytes = 0;       // stored size
   FsckClass klass = FsckClass::kCorrupt;
-  bool repaired = false;   // deleted/unlinked by this run
+  bool repaired = false;   // deleted/unlinked/re-replicated by this run
   std::string detail;      // human-readable cause (or the orphan's path)
+  int node = -1;           // owning storage node (distributed scans only)
+};
+
+// Per-node tallies of a distributed scan (one JSON object per node under "nodes").
+struct FsckNodeReport {
+  int node = -1;
+  bool up = true;
+  bool draining = false;
+  bool removed = false;
+  int64_t chunks = 0;   // physical copies resident after the scan (and any repair)
+  int64_t bytes = 0;
+  int64_t corrupt = 0;  // damaged copies found on this node by this scan
 };
 
 struct FsckReport {
@@ -66,10 +93,15 @@ struct FsckReport {
   int64_t partial = 0;
   int64_t corrupt = 0;
   int64_t orphaned_temp_files = 0;
-  int64_t repaired = 0;  // quarantined chunks + unlinked orphans
-  std::vector<FsckFinding> findings;  // damaged chunks and orphans only
+  int64_t under_replicated = 0;  // distributed scans: chunks below home replica count
+  int64_t repaired = 0;  // quarantined chunks + unlinked orphans + re-replications
+  std::vector<FsckFinding> findings;   // damaged chunks and orphans only
+  std::vector<FsckNodeReport> nodes;   // distributed scans: per-node counts
 
-  bool Healthy() const { return partial == 0 && corrupt == 0 && orphaned_temp_files == 0; }
+  bool Healthy() const {
+    return partial == 0 && corrupt == 0 && orphaned_temp_files == 0 &&
+           under_replicated == 0;
+  }
 
   // Machine-readable single-object JSON (stable key order, findings inlined) —
   // what `hcache-fsck --json` prints for dashboards/CI to parse.
@@ -78,7 +110,9 @@ struct FsckReport {
 
 // Scans `backend` (and `options.scan_dirs`) and returns the classification report.
 // Requires a backend whose ListChunks/ReadChunkUnverified are functional (memory,
-// file, tiered, or an instrumented wrapper of those).
+// file, tiered, or an instrumented wrapper of those). A DistributedColdBackend is
+// recognized (dynamic_cast) and gets the per-node + replication scan described
+// above.
 FsckReport RunFsck(StorageBackend* backend, const FsckOptions& options = {});
 
 }  // namespace hcache

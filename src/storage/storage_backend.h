@@ -100,6 +100,13 @@ struct StorageStats {
   int64_t crc_failures = 0;       // reads rejected on checksum mismatch (kChunkCorrupt)
   int64_t crc_checked_bytes = 0;  // payload bytes CRC-verified on successful reads
 
+  // Distributed cold plane (DistributedColdBackend only; zero elsewhere).
+  int64_t failover_reads = 0;           // reads served by a non-primary replica
+  int64_t nodes_down = 0;               // storage nodes currently marked down
+  int64_t under_replicated_chunks = 0;  // chunks below the replication factor
+  int64_t degraded_writes = 0;          // writes that reached >=1 but < R nodes
+  int64_t re_replicated_chunks = 0;     // replica copies restored by the repair worker
+
   // Fraction of reads served from DRAM (1.0 for MemoryBackend, 0.0 for FileBackend).
   double DramHitRatio() const {
     const int64_t total = dram_hits + cold_hits;

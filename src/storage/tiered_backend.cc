@@ -17,6 +17,28 @@ int AutoShards(int64_t capacity_bytes, int64_t chunk_bytes) {
 
 }  // namespace
 
+int64_t WritebackBackoffUs(const TieredOptions& options, int round, uint64_t seed) {
+  int64_t ceiling = options.writeback_retry_backoff_us;
+  if (ceiling <= 0 || options.writeback_retry_backoff_cap_us <= 0) {
+    return 0;
+  }
+  for (int i = 0; i < round && ceiling < options.writeback_retry_backoff_cap_us; ++i) {
+    ceiling *= 2;
+  }
+  ceiling = std::min(ceiling, options.writeback_retry_backoff_cap_us);
+  // splitmix64 over (seed, round): well-mixed and reproducible.
+  uint64_t x = seed + 0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(round) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  // Equal jitter: keep at least half the ceiling so progress never stalls on an
+  // unlucky near-zero draw, spread the rest to decorrelate concurrent drainers.
+  const int64_t floor = ceiling - ceiling / 2;
+  return floor + static_cast<int64_t>(x % static_cast<uint64_t>(ceiling / 2 + 1));
+}
+
 TieredBackend::TieredBackend(StorageBackend* cold, int64_t dram_capacity_bytes,
                              const TieredOptions& options)
     : StorageBackend(cold->chunk_bytes()),
@@ -173,13 +195,14 @@ bool TieredBackend::ProcessTicket(const DrainTicket& ticket) const {
   }
   bool all_ok = true;
   // Cold writes are attempted in rounds: each round lands one batched WriteChunks
-  // (no lock held), retires the successes, and retries the failures after a capped
-  // doubling backoff — a transiently overloaded cold tier absorbs the flush without
-  // tripping the rollback. Before every round each chunk's pending generation is
-  // re-checked under the shard lock, so a rescue/overwrite/delete that happened
-  // while we slept drops the chunk from the retry set.
+  // (no lock held), retires the successes, and retries the failures after a capped,
+  // jittered doubling backoff (WritebackBackoffUs, seeded by the round's first
+  // failed key so concurrent drainers desynchronize) — a transiently overloaded
+  // cold tier absorbs the flush without tripping the rollback. Before every round
+  // each chunk's pending generation is re-checked under the shard lock, so a
+  // rescue/overwrite/delete that happened while we slept drops the chunk from the
+  // retry set.
   std::vector<Flush> attempt = std::move(flushes);
-  int64_t backoff_us = options_.writeback_retry_backoff_us;
   for (int round = 0; !attempt.empty(); ++round) {
     std::vector<ChunkWriteRequest> writes;
     writes.reserve(attempt.size());
@@ -222,8 +245,12 @@ bool TieredBackend::ProcessTicket(const DrainTicket& ticket) const {
     }
     if (!failed.empty()) {
       writeback_retries_ += static_cast<int64_t>(failed.size());
-      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
-      backoff_us = std::min(backoff_us * 2, options_.writeback_retry_backoff_cap_us);
+      const ChunkKey& k = failed.front().key;
+      const uint64_t seed = (static_cast<uint64_t>(k.context_id) << 20) ^
+                            (static_cast<uint64_t>(k.layer) << 10) ^
+                            static_cast<uint64_t>(k.chunk_index);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(WritebackBackoffUs(options_, round, seed)));
     }
     attempt = std::move(failed);
   }

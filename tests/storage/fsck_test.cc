@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/storage/codec.h"
+#include "src/storage/distributed_backend.h"
 #include "src/storage/file_backend.h"
 #include "src/storage/instrumented_backend.h"
 #include "src/storage/memory_backend.h"
@@ -178,6 +179,52 @@ TEST_F(FsckTest, JsonReportCarriesTheCountsAndFindings) {
   const std::string clean_json = RunFsck(&pristine).ToJson();
   EXPECT_NE(clean_json.find("\"healthy\":true"), std::string::npos) << clean_json;
   EXPECT_NE(clean_json.find("\"findings\":[]"), std::string::npos) << clean_json;
+}
+
+TEST_F(FsckTest, DistributedScanFindsAndRepairsUnderReplication) {
+  DistributedColdOptions opts;
+  opts.background_repair = false;
+  DistributedColdBackend dist(3, kChunkBytes, opts);
+  const auto sealed = SealedChunk(8, 16, 0x55);
+  const int64_t bytes = static_cast<int64_t>(sealed.size());
+  for (int64_t c = 0; c < 6; ++c) {
+    ASSERT_TRUE(dist.WriteChunk({1, 0, c}, sealed.data(), bytes));
+  }
+  // Damage two chunks differently: one home copy bit-flipped at rest, one home
+  // copy deleted out from under the index (simulated media loss).
+  const auto home_a = dist.CheckReplication({1, 0, 0}).home;
+  ASSERT_TRUE(dist.node_instrument(home_a[0])->CorruptChunk(
+      {1, 0, 0}, 8 * (sizeof(ChunkHeader) + 3)));
+  const auto home_b = dist.CheckReplication({1, 0, 1}).home;
+  ASSERT_TRUE(dist.node_store(home_b[1])->DeleteChunk({1, 0, 1}));
+
+  FsckReport before = RunFsck(&dist);
+  EXPECT_EQ(before.chunks_scanned, 11);  // 6 keys x R=2, minus the deleted copy
+  EXPECT_EQ(before.corrupt, 1);          // the physical per-node scan
+  EXPECT_EQ(before.under_replicated, 2); // the logical replication audit
+  EXPECT_FALSE(before.Healthy());
+  ASSERT_EQ(before.nodes.size(), 3u);
+  EXPECT_EQ(before.nodes[static_cast<size_t>(home_a[0])].corrupt, 1);
+  const std::string json = before.ToJson();
+  for (const char* needle : {"\"under_replicated\":2", "\"nodes\":[", "\"node\":",
+                             "\"class\":\"under-replicated\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
+  }
+
+  // --repair: quarantine the bad copy, then re-replicate both keys from their
+  // surviving healthy copies.
+  FsckOptions repair;
+  repair.repair = true;
+  FsckReport fixed = RunFsck(&dist, repair);
+  EXPECT_EQ(fixed.repaired, 3);  // 1 quarantined copy + 2 re-replications
+  EXPECT_EQ(fixed.under_replicated, 0);
+
+  FsckReport after = RunFsck(&dist);
+  EXPECT_TRUE(after.Healthy()) << after.ToJson();
+  EXPECT_EQ(after.chunks_scanned, 12);
+  for (int64_t c = 0; c < 6; ++c) {
+    EXPECT_TRUE(dist.CheckReplication({1, 0, c}).FullyReplicated()) << c;
+  }
 }
 
 }  // namespace

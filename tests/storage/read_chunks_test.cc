@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/storage/distributed_backend.h"
 #include "src/storage/file_backend.h"
 #include "src/storage/instrumented_backend.h"
 #include "src/storage/memory_backend.h"
@@ -100,6 +101,14 @@ std::vector<std::shared_ptr<Fixture>> MakeFixtures(const std::string& tag) {
     f->backend = wrapped.get();
     f->owned.push_back(std::move(wrapped));
     f->owned.push_back(std::move(mem));
+    fixtures.push_back(std::move(f));
+  }
+  {
+    auto f = std::make_shared<Fixture>();
+    f->name = "distributed";
+    auto dist = std::make_unique<DistributedColdBackend>(3, kChunkBytes);
+    f->backend = dist.get();
+    f->owned.push_back(std::move(dist));
     fixtures.push_back(std::move(f));
   }
   return fixtures;

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/storage/distributed_backend.h"
 #include "src/storage/file_backend.h"
 #include "src/storage/memory_backend.h"
 #include "src/storage/tiered_backend.h"
@@ -38,6 +39,12 @@ class StorageBackendTest : public ::testing::TestWithParam<std::string> {
       fx_.backend = std::make_unique<FileBackend>(dirs, kChunkBytes);
     } else if (GetParam() == "memory") {
       fx_.backend = std::make_unique<MemoryBackend>(kChunkBytes);
+    } else if (GetParam() == "distributed") {
+      fx_.backend = std::make_unique<DistributedColdBackend>(3, kChunkBytes);
+    } else if (GetParam() == "tiered_dist") {
+      // The ISSUE-8 production shape: DRAM hot tier over the replicated plane.
+      fx_.cold = std::make_unique<DistributedColdBackend>(3, kChunkBytes);
+      fx_.backend = std::make_unique<TieredBackend>(fx_.cold.get(), 8 * kChunkBytes);
     } else {
       fx_.cold = std::make_unique<FileBackend>(dirs, kChunkBytes);
       // Budget of 8 chunks: small enough that the suite exercises eviction.
@@ -204,7 +211,8 @@ TEST_P(StorageBackendTest, ConcurrentWritersWithPollingReader) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, StorageBackendTest,
-                         ::testing::Values("file", "memory", "tiered"),
+                         ::testing::Values("file", "memory", "tiered", "distributed",
+                                           "tiered_dist"),
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            return info.param;
                          });

@@ -6,9 +6,11 @@
 // behavior is pinned separately in tiered_backend_test.cc (kSync mode).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -346,6 +348,44 @@ TEST(TieredAsyncTest, DeleteDuringDrainDoesNotResurrectTheContext) {
   EXPECT_FALSE(cold.HasChunk({1, 0, 0}));
   EXPECT_FALSE(tiered.HasChunk({1, 0, 0}));
   EXPECT_EQ(tiered.ChunkSize({1, 0, 0}), -1);
+}
+
+TEST(WritebackBackoffTest, EqualJitterStaysInBoundsAndIsDeterministic) {
+  TieredOptions opts;
+  opts.writeback_retry_backoff_us = 500;
+  opts.writeback_retry_backoff_cap_us = 8000;
+  for (int round = 0; round < 10; ++round) {
+    const int64_t ceiling = std::min<int64_t>(int64_t{500} << round, 8000);
+    for (const uint64_t seed : {0ull, 1ull, 42ull, 0xdeadbeefull, ~0ull}) {
+      const int64_t us = WritebackBackoffUs(opts, round, seed);
+      EXPECT_GE(us, ceiling - ceiling / 2) << "round " << round << " seed " << seed;
+      EXPECT_LE(us, ceiling) << "round " << round << " seed " << seed;
+      // Pure in (options, round, seed): the same call returns the same sleep.
+      EXPECT_EQ(us, WritebackBackoffUs(opts, round, seed));
+    }
+  }
+}
+
+TEST(WritebackBackoffTest, SeedsDecorrelateAndDegenerateConfigsSleepZero) {
+  TieredOptions opts;
+  opts.writeback_retry_backoff_us = 4000;
+  opts.writeback_retry_backoff_cap_us = 8000;
+  // Distinct seeds should not march in lockstep: across a few rounds at least one
+  // pair of drainers must disagree on their sleep.
+  bool diverged = false;
+  for (int round = 0; round < 4 && !diverged; ++round) {
+    diverged = WritebackBackoffUs(opts, round, /*seed=*/1) !=
+               WritebackBackoffUs(opts, round, /*seed=*/2);
+  }
+  EXPECT_TRUE(diverged);
+
+  TieredOptions off;
+  off.writeback_retry_backoff_us = 0;
+  EXPECT_EQ(WritebackBackoffUs(off, 0, 7), 0);
+  EXPECT_EQ(WritebackBackoffUs(off, 5, 7), 0);
+  off.writeback_retry_backoff_us = 500;
+  off.writeback_retry_backoff_cap_us = 0;
+  EXPECT_EQ(WritebackBackoffUs(off, 3, 7), 0);
 }
 
 }  // namespace
