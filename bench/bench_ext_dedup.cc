@@ -1,0 +1,340 @@
+// Extension bench: content-addressed dedup plane under a popularity-skewed RAG trace.
+//
+// The paper generates RAG document contexts offline (§2.3) and restores them at query
+// time; at fleet scale the sessions are Zipf-skewed over a small hot document set, so
+// most per-session hidden-state chunks are byte-identical copies. This bench measures
+// what DedupBackend buys on that trace, on the functional (tiny-model) plane with real
+// chunk contents:
+//
+//  (1) Dedup sweep (deterministic): sessions drawn from a Zipfian document-popularity
+//      distribution (s = 1.0) are offline-ingested through FunctionalHCache into a
+//      DedupBackend; per row, logical vs physical chunks/bytes. Acceptance: at the
+//      main row, physical bytes <= 0.5x logical bytes (the ROADMAP item 2 bar).
+//
+//  (2) Bit-identical restores: the SAME trace ingested into a plain (non-dedup) store
+//      and into the dedup store; every session's hidden states are read back from
+//      both and byte-compared, and sampled queries restored from the dedup store must
+//      greedy-decode identically to a from-scratch document prefill. Acceptance: all
+//      comparisons exact — sharing bytes must be invisible above the seam.
+//
+//  (3) DRAM-hit A/B at equal budget: dedup(tiered(file)) vs plain tiered(file), both
+//      given a DRAM budget sized between the unique and the duplicated working set
+//      (1.25x the measured physical bytes). The hot tier under dedup holds only
+//      unique chunks, so the skewed working set fits where the duplicated one
+//      spilled; the restore phase's DRAM hit-byte ratio must be strictly higher.
+//
+// Emits BENCH_ext_dedup.json with the rows and acceptance flags CI archives.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/core/functional_engine.h"
+#include "src/storage/dedup_backend.h"
+#include "src/storage/file_backend.h"
+#include "src/storage/memory_backend.h"
+#include "src/storage/tiered_backend.h"
+
+using namespace hcache;
+
+namespace {
+
+constexpr uint64_t kSeed = 99;
+constexpr int64_t kNumDocs = 8;
+constexpr double kZipfAlpha = 1.0;
+constexpr int64_t kChunkTokens = 8;
+constexpr int kMaxSessions = 128;
+constexpr int kMainSessions = 32;  // the acceptance row / restore + A/B trace
+constexpr int kSweepSessions[] = {8, 32, 128};
+constexpr int kNumQueries = 8;
+
+struct Trace {
+  std::map<int64_t, std::vector<int32_t>> doc_tokens;
+  std::vector<int64_t> session_doc;  // session id -> retrieved document
+};
+
+// One deterministic trace; sweep rows use nested prefixes of the session list so the
+// 32-session acceptance row is literally contained in the 128-session row.
+Trace MakeTrace(const ModelConfig& cfg) {
+  Trace t;
+  Rng rng(kSeed);
+  for (int64_t doc = 0; doc < kNumDocs; ++doc) {
+    std::vector<int32_t> tokens(static_cast<size_t>(24 + 8 * doc));
+    for (auto& tok : tokens) {
+      tok = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(cfg.vocab_size)));
+    }
+    t.doc_tokens[doc] = std::move(tokens);
+  }
+  ZipfianGenerator popularity(kNumDocs, kZipfAlpha);
+  t.session_doc.reserve(kMaxSessions);
+  for (int s = 0; s < kMaxSessions; ++s) {
+    t.session_doc.push_back(static_cast<int64_t>(popularity.Next(rng)));
+  }
+  return t;
+}
+
+// Offline ingestion: forward each session's document with capture, seal, drop the KV.
+void Ingest(FunctionalHCache& engine, KvBlockPool& pool, Transformer& model,
+            const Trace& trace, int num_sessions) {
+  for (int s = 0; s < num_sessions; ++s) {
+    PagedKvSequence ingest(&pool);
+    model.Forward(trace.doc_tokens.at(trace.session_doc[static_cast<size_t>(s)]),
+                  &ingest, engine.BeginCapture(s));
+    engine.SealContext(s);
+  }
+}
+
+bool RestoreSession(FunctionalHCache& engine, const ModelConfig& cfg,
+                    const Trace& trace, int64_t session, PagedKvSequence* seq) {
+  const auto& doc = trace.doc_tokens.at(trace.session_doc[static_cast<size_t>(session)]);
+  PartitionScheme all_hidden;
+  all_hidden.layers_hidden = cfg.num_layers;
+  all_hidden.complement = ComplementMethod::kNone;
+  if (!seq->EnsureCapacity(static_cast<int64_t>(doc.size()))) return false;
+  seq->CommitTokens(static_cast<int64_t>(doc.size()));
+  seq->Evict();
+  return engine.RestoreContext(session, all_hidden, {}, seq);
+}
+
+JsonValue DedupStatsJson(const DedupBackend& store) {
+  const StorageStats s = store.Stats();
+  JsonValue j = JsonValue::Object();
+  j.Set("logical_chunks", s.chunks_stored);
+  j.Set("logical_bytes", s.bytes_stored);
+  j.Set("unique_chunks", s.unique_chunks);
+  j.Set("physical_bytes", store.PhysicalBytes());
+  j.Set("dedup_hits", s.dedup_hits);
+  j.Set("dedup_bytes_saved", s.dedup_bytes_saved);
+  j.Set("collision_chains", store.collision_chains());
+  return j;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Extension: content-addressed dedup on a Zipf-skewed RAG trace");
+  const ModelConfig cfg = ModelConfig::TinyLlama(3, 48, 4);
+  const ModelWeights weights = ModelWeights::Random(cfg, 13);
+  Transformer model(&weights);
+  KvBlockPool pool(KvPoolConfig::ForModel(cfg, 256, 8));
+  const Trace trace = MakeTrace(cfg);
+  const auto dir = std::filesystem::temp_directory_path() / "hcache_dedup_bench";
+  std::filesystem::remove_all(dir);
+
+  std::printf("%lld docs, Zipf s=%.1f, %lld-token chunks, fp32, seed %llu\n",
+              static_cast<long long>(kNumDocs), kZipfAlpha,
+              static_cast<long long>(kChunkTokens),
+              static_cast<unsigned long long>(kSeed));
+
+  // ---- (1) dedup sweep ----
+  PrintSection("dedup sweep: sessions x (logical vs physical footprint)");
+  std::printf("  %8s | %9s %12s | %9s %12s | %7s %9s\n", "sessions", "log-chnk",
+              "log-bytes", "uniq-chnk", "phys-bytes", "dedup", "hit-wr");
+  JsonValue sweep = JsonValue::Array();
+  int64_t main_logical_bytes = 0, main_physical_bytes = 0;
+  double main_ratio = 0.0;
+  for (const int sessions : kSweepSessions) {
+    MemoryBackend mem(1 << 20);
+    DedupBackend store(&mem);
+    FunctionalHCache engine(&model, &store, /*flush_pool=*/nullptr, kChunkTokens);
+    Ingest(engine, pool, model, trace, sessions);
+    store.Quiesce();
+    const StorageStats s = store.Stats();
+    const int64_t phys_bytes = store.PhysicalBytes();
+    const double ratio = phys_bytes > 0
+                             ? static_cast<double>(s.bytes_stored) /
+                                   static_cast<double>(phys_bytes)
+                             : 0.0;
+    std::printf("  %8d | %9lld %12lld | %9lld %12lld | %6.2fx %9lld\n", sessions,
+                static_cast<long long>(s.chunks_stored),
+                static_cast<long long>(s.bytes_stored),
+                static_cast<long long>(s.unique_chunks),
+                static_cast<long long>(phys_bytes), ratio,
+                static_cast<long long>(s.dedup_hits));
+    if (sessions == kMainSessions) {
+      main_logical_bytes = s.bytes_stored;
+      main_physical_bytes = phys_bytes;
+      main_ratio = ratio;
+    }
+    JsonValue row = JsonValue::Object();
+    row.Set("sessions", sessions);
+    row.Set("storage", DedupStatsJson(store));
+    row.Set("dedup_ratio_bytes", ratio);
+    sweep.Push(std::move(row));
+  }
+  const bool dedup_meets_bar =
+      main_physical_bytes > 0 && 2 * main_physical_bytes <= main_logical_bytes;
+  std::printf("\n  %d-session row: physical %lld <= 0.5 x logical %lld: %s\n",
+              kMainSessions, static_cast<long long>(main_physical_bytes),
+              static_cast<long long>(main_logical_bytes),
+              dedup_meets_bar ? "yes [bar met]" : "NO");
+  PrintNote("the paper stores per-context hidden states (§3.1); content addressing is");
+  PrintNote("this repo's fleet extension — one physical copy per hot document.");
+
+  // ---- (2) bit-identical restores vs a non-dedup store ----
+  PrintSection("restore equivalence: dedup store vs plain store, byte-compared");
+  MemoryBackend plain_mem(1 << 20);
+  MemoryBackend dedup_mem(1 << 20);
+  DedupBackend dedup_store(&dedup_mem);
+  FunctionalHCache plain_engine(&model, &plain_mem, nullptr, kChunkTokens);
+  FunctionalHCache dedup_engine(&model, &dedup_store, nullptr, kChunkTokens);
+  Ingest(plain_engine, pool, model, trace, kMainSessions);
+  Ingest(dedup_engine, pool, model, trace, kMainSessions);
+  dedup_store.Quiesce();
+
+  int64_t layers_compared = 0, layers_identical = 0;
+  for (int64_t s = 0; s < kMainSessions; ++s) {
+    const int64_t n = static_cast<int64_t>(
+        trace.doc_tokens.at(trace.session_doc[static_cast<size_t>(s)]).size());
+    for (int64_t layer = 0; layer < cfg.num_layers; ++layer) {
+      const Tensor a = plain_engine.ReadHidden(s, layer, n);
+      const Tensor b = dedup_engine.ReadHidden(s, layer, n);
+      ++layers_compared;
+      layers_identical += a.numel() == b.numel() &&
+                          std::memcmp(a.data(), b.data(),
+                                      static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+    }
+  }
+  const bool restores_bit_identical = layers_identical == layers_compared;
+
+  Rng query_rng(kSeed + 1);
+  int queries_ok = 0;
+  for (int q = 0; q < kNumQueries; ++q) {
+    const int64_t session =
+        static_cast<int64_t>(query_rng.NextBounded(static_cast<uint64_t>(kMainSessions)));
+    const auto& doc = trace.doc_tokens.at(trace.session_doc[static_cast<size_t>(session)]);
+    std::vector<int32_t> question(6);
+    for (auto& t : question) {
+      t = static_cast<int32_t>(
+          query_rng.NextBounded(static_cast<uint64_t>(cfg.vocab_size)));
+    }
+    PagedKvSequence seq(&pool);
+    if (!RestoreSession(dedup_engine, cfg, trace, session, &seq)) continue;
+    model.Forward(question, &seq);
+    const auto answer = model.GreedyDecode(question.back(), 5, &seq);
+    PagedKvSequence base(&pool);
+    model.Forward(doc, &base);
+    model.Forward(question, &base);
+    queries_ok += answer == model.GreedyDecode(question.back(), 5, &base);
+  }
+  const bool queries_exact = queries_ok == kNumQueries;
+  std::printf("  hidden layers byte-identical across stores: %lld/%lld\n",
+              static_cast<long long>(layers_identical),
+              static_cast<long long>(layers_compared));
+  std::printf("  queries decoding identically to full prefill: %d/%d\n", queries_ok,
+              kNumQueries);
+
+  // ---- (3) DRAM-hit A/B at equal budget: dedup(tiered(file)) vs tiered(file) ----
+  // Budget sized from the measured footprints: 1.25x the unique bytes — the unique
+  // working set fits, the duplicated one (logical bytes) decisively does not.
+  const int64_t dram_budget = main_physical_bytes + main_physical_bytes / 4;
+  PrintSection("DRAM-hit A/B at equal budget (" + std::to_string(dram_budget >> 10) +
+               " KiB): dedup(tiered(file)) vs tiered(file)");
+  TieredOptions tier_opts;  // deterministic single-stripe sync tier for measurement
+  tier_opts.num_shards = 1;
+  tier_opts.writeback = TieredOptions::Writeback::kSync;
+
+  struct AbRow {
+    std::string stack;
+    double hit_ratio = 0.0;
+    int64_t dram_hit_bytes = 0, cold_hit_bytes = 0;
+    int restored = 0;
+  };
+  std::vector<AbRow> ab_rows;
+  for (const bool with_dedup : {false, true}) {
+    const auto leg_dir = dir / (with_dedup ? "dedup" : "plain");
+    FileBackend disk({leg_dir.string()}, 1 << 20);
+    TieredBackend tier(&disk, dram_budget, tier_opts);
+    DedupBackend dedup(&tier);
+    StorageBackend* store = with_dedup ? static_cast<StorageBackend*>(&dedup)
+                                       : static_cast<StorageBackend*>(&tier);
+    FunctionalHCache engine(&model, store, nullptr, kChunkTokens);
+    Ingest(engine, pool, model, trace, kMainSessions);
+    store->Quiesce();
+    const StorageStats before = tier.Stats();  // ingest-phase reads excluded
+
+    AbRow row;
+    row.stack = with_dedup ? "dedup(tiered(file))" : "tiered(file)";
+    for (int64_t s = 0; s < kMainSessions; ++s) {
+      PagedKvSequence seq(&pool);
+      row.restored += RestoreSession(engine, cfg, trace, s, &seq);
+    }
+    const StorageStats after = tier.Stats();
+    row.dram_hit_bytes = after.dram_hit_bytes - before.dram_hit_bytes;
+    row.cold_hit_bytes = after.cold_hit_bytes - before.cold_hit_bytes;
+    const int64_t total = row.dram_hit_bytes + row.cold_hit_bytes;
+    row.hit_ratio =
+        total > 0 ? static_cast<double>(row.dram_hit_bytes) / static_cast<double>(total)
+                  : 0.0;
+    ab_rows.push_back(std::move(row));
+  }
+  std::printf("  %-22s %10s %14s %14s %10s\n", "stack", "restored", "dram-bytes",
+              "cold-bytes", "dram-hit%");
+  for (const AbRow& r : ab_rows) {
+    std::printf("  %-22s %7d/%-2d %14lld %14lld %9.1f%%\n", r.stack.c_str(), r.restored,
+                kMainSessions, static_cast<long long>(r.dram_hit_bytes),
+                static_cast<long long>(r.cold_hit_bytes), 100.0 * r.hit_ratio);
+  }
+  const bool all_restored = ab_rows[0].restored == kMainSessions &&
+                            ab_rows[1].restored == kMainSessions;
+  const double dram_lift = ab_rows[0].hit_ratio > 0.0
+                               ? ab_rows[1].hit_ratio / ab_rows[0].hit_ratio
+                               : (ab_rows[1].hit_ratio > 0.0 ? 999.0 : 0.0);
+  const bool dram_meets_bar =
+      all_restored && ab_rows[1].hit_ratio > ab_rows[0].hit_ratio;
+  std::printf("\n  restore-phase DRAM hit-ratio lift from dedup: %.2fx%s\n", dram_lift,
+              dram_meets_bar ? "  [unique working set fits the budget]" : "");
+  PrintNote("equal DRAM budget; only the dedup layer differs — the hot tier under");
+  PrintNote("dedup caches each hot document once instead of once per session.");
+
+  const bool acceptance =
+      dedup_meets_bar && restores_bit_identical && queries_exact && dram_meets_bar;
+  std::printf("\n  acceptance: %s  (physical <= 0.5x logical at Zipf s=1.0, restores "
+              "bit-identical, DRAM-hit lift > 1x at equal budget)\n",
+              acceptance ? "MET" : "NOT MET");
+
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", "ext_dedup");
+  root.Set("model", cfg.name);
+  root.Set("workload", "zipf-rag-sessions");
+  root.Set("zipf_alpha", kZipfAlpha);
+  root.Set("num_docs", kNumDocs);
+  root.Set("chunk_tokens", kChunkTokens);
+  root.Set("seed", static_cast<int64_t>(kSeed));
+  root.Set("sweep", std::move(sweep));
+  JsonValue restore_leg = JsonValue::Object();
+  restore_leg.Set("sessions", kMainSessions);
+  restore_leg.Set("hidden_layers_compared", layers_compared);
+  restore_leg.Set("hidden_layers_identical", layers_identical);
+  restore_leg.Set("bit_identical", restores_bit_identical);
+  restore_leg.Set("queries", kNumQueries);
+  restore_leg.Set("queries_decode_exact", queries_ok);
+  root.Set("restore_equivalence", std::move(restore_leg));
+  JsonValue ab = JsonValue::Object();
+  ab.Set("dram_budget_bytes", dram_budget);
+  ab.Set("sessions", kMainSessions);
+  JsonValue ab_json = JsonValue::Array();
+  for (const AbRow& r : ab_rows) {
+    JsonValue e = JsonValue::Object();
+    e.Set("stack", r.stack);
+    e.Set("sessions_restored", r.restored);
+    e.Set("restore_dram_hit_bytes", r.dram_hit_bytes);
+    e.Set("restore_cold_hit_bytes", r.cold_hit_bytes);
+    e.Set("restore_dram_hit_ratio", r.hit_ratio);
+    ab_json.Push(std::move(e));
+  }
+  ab.Set("rows", std::move(ab_json));
+  ab.Set("dram_hit_lift", dram_lift);
+  ab.Set("meets_lift_bar", dram_meets_bar);
+  root.Set("dram_ab", std::move(ab));
+  root.Set("dedup_ratio_bytes_at_main_row", main_ratio);
+  root.Set("physical_half_of_logical", dedup_meets_bar);
+  root.Set("acceptance_met", acceptance);
+  WriteJsonFile("BENCH_ext_dedup.json", root);
+  std::filesystem::remove_all(dir);
+  return acceptance ? 0 : 1;
+}

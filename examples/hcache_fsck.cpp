@@ -18,7 +18,10 @@
 // Exit status: 0 when the store is healthy (or --repair fixed everything),
 // 1 when damage remains, 2 on usage errors. --selftest builds a throwaway store,
 // injects corruption/truncation/orphans — plus a replicated store with a lost and
-// a rotted copy — and checks fsck catches all of it; the CI smoke run.
+// a rotted copy, plus a content-addressed (dedup) store with an orphaned physical
+// chunk and a vanished one — and checks fsck catches all of it; the CI smoke run.
+// (The dedup leg is selftest/library-only: a DedupBackend's logical index lives
+// with the serving process, so there is no directory-only CLI mode for it.)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +30,7 @@
 #include <vector>
 
 #include "src/storage/codec.h"
+#include "src/storage/dedup_backend.h"
 #include "src/storage/distributed_backend.h"
 #include "src/storage/file_backend.h"
 #include "src/storage/fsck.h"
@@ -68,6 +72,12 @@ void PrintHuman(const FsckReport& r) {
   if (!r.nodes.empty()) {
     std::printf("  under-replicated:     %lld\n",
                 static_cast<long long>(r.under_replicated));
+  }
+  if (r.dedup_orphans != 0 || r.dedup_missing != 0 || r.dedup_drift != 0) {
+    std::printf("  dedup orphan/missing/drift: %lld/%lld/%lld\n",
+                static_cast<long long>(r.dedup_orphans),
+                static_cast<long long>(r.dedup_missing),
+                static_cast<long long>(r.dedup_drift));
   }
   std::printf("  repaired:             %lld\n", static_cast<long long>(r.repaired));
   for (const FsckNodeReport& n : r.nodes) {
@@ -203,6 +213,67 @@ int RunSelftest() {
     SELFTEST_CHECK(dist.CheckReplication(ChunkKey{9, 0, c}).FullyReplicated());
   }
   fs::remove_all(droot);
+
+  // Dedup leg: a content-addressed store with a refcount-invariant violation of
+  // each kind. The physical plane is file-backed; the logical index is live.
+  const fs::path dd_root = fs::temp_directory_path() / "hcache_fsck_selftest_dedup";
+  fs::remove_all(dd_root);
+  {
+    FileBackend phys({(dd_root / "p0").string()}, kChunkBytes);
+    DedupBackend dedup(&phys);
+    std::vector<uint8_t> blob(4096);
+    for (size_t i = 0; i < blob.size(); ++i) {
+      blob[i] = static_cast<uint8_t>(i * 13 + 7);
+    }
+    // Three contexts share one physical chunk; a second unique chunk rides along.
+    for (int64_t ctx = 1; ctx <= 3; ++ctx) {
+      SELFTEST_CHECK(dedup.WriteChunk(ChunkKey{ctx, 0, 0}, blob.data(),
+                                      static_cast<int64_t>(blob.size())));
+    }
+    blob[0] ^= 0xff;
+    SELFTEST_CHECK(dedup.WriteChunk(ChunkKey{4, 0, 0}, blob.data(),
+                                    static_cast<int64_t>(blob.size())));
+    SELFTEST_CHECK(RunFsck(&dedup).Healthy());
+
+    // Orphan: bytes in the physical store no index entry claims (a crash between
+    // physical write and index publish). Missing: the shared chunk's bytes vanish
+    // behind the index's back (media loss).
+    SELFTEST_CHECK(phys.WriteChunk(ChunkKey{77, 77, 77}, blob.data(), 512));
+    const auto phys_chunks = dedup.ListPhysicalChunks();
+    SELFTEST_CHECK(phys_chunks.size() == 2);
+    // Delete the 3-referent chunk: the one whose bytes differ from `blob` (which
+    // now holds context 4's content).
+    ChunkKey shared_key{};
+    for (const auto& [pkey, psize] : phys_chunks) {
+      std::vector<uint8_t> tmp(static_cast<size_t>(psize));
+      SELFTEST_CHECK(phys.ReadChunkUnverified(pkey, tmp.data(), psize) == psize);
+      if (std::memcmp(tmp.data(), blob.data(), tmp.size()) != 0) {
+        shared_key = pkey;
+      }
+    }
+    SELFTEST_CHECK(phys.DeleteChunk(shared_key));
+
+    FsckReport dd_before = RunFsck(&dedup);
+    std::printf("%s\n", dd_before.ToJson().c_str());
+    SELFTEST_CHECK(dd_before.dedup_orphans == 1);
+    SELFTEST_CHECK(dd_before.dedup_missing == 1);
+    SELFTEST_CHECK(!dd_before.Healthy());
+
+    FsckOptions dd_repair;
+    dd_repair.repair = true;
+    FsckReport dd_fixed = RunFsck(&dedup, dd_repair);
+    SELFTEST_CHECK(dd_fixed.repaired == 2);  // orphan deleted + dead entry dropped
+    // The lost chunk's referents now read as ordinary misses (recompute
+    // fallback), not corrupt; the intact chunk still serves.
+    std::vector<uint8_t> buf(4096);
+    SELFTEST_CHECK(dedup.ReadChunk(ChunkKey{1, 0, 0}, buf.data(), 4096) == -1);
+    SELFTEST_CHECK(dedup.ReadChunk(ChunkKey{4, 0, 0}, buf.data(), 4096) == 4096);
+    SELFTEST_CHECK(!phys.HasChunk(ChunkKey{77, 77, 77}));
+    FsckReport dd_after = RunFsck(&dedup);
+    std::printf("%s\n", dd_after.ToJson().c_str());
+    SELFTEST_CHECK(dd_after.Healthy());
+  }
+  fs::remove_all(dd_root);
   std::printf("hcache-fsck selftest OK\n");
   return 0;
 }

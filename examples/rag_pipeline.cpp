@@ -1,25 +1,33 @@
-// Retrieval-augmented generation scenario (paper §2.3 / §3.1).
+// Retrieval-augmented generation scenario (paper §2.3 / §3.1) under a
+// popularity-skewed trace, served over the content-addressed dedup plane.
 //
 // In RAG, long document contexts are known ahead of queries, so their hidden states
 // can be generated and saved OFFLINE; at query time the engine restores the document's
-// KV cache and only prefills the (short) question. This example:
+// KV cache and only prefills the (short) question. At fleet scale the sessions are
+// popularity-skewed: a handful of hot documents are retrieved into MOST sessions, so
+// most per-session contexts are byte-identical copies of each other. This example:
 //
-//   1. Offline-ingests a small corpus on the functional (tiny-model) plane, persisting
-//      hidden states per document.
-//   2. Serves queries against random documents, restoring each document's state and
+//   1. Offline-ingests a session trace drawn from a Zipfian document-popularity
+//      distribution (s = 1.0, the classic web skew) on the functional (tiny-model)
+//      plane, persisting hidden states per SESSION into a DedupBackend — and shows
+//      the content-addressed store holding one physical copy per document while the
+//      logical index holds one entry per session.
+//   2. Serves queries against random sessions, restoring each session's state and
 //      verifying answers match a never-evicted baseline.
-//   3. Prices the same pipeline at Llama2-13B scale: restoration TTFT vs prefilling the
-//      document from scratch, per document size.
+//   3. Prices the same pipeline at Llama2-13B scale: restoration TTFT vs prefilling
+//      the document from scratch, per document size.
 //
-// Run: ./build/examples/rag_pipeline
+// Run: ./build/rag_pipeline
 #include <cstdio>
 #include <filesystem>
 #include <map>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/core/functional_engine.h"
 #include "src/core/restorer.h"
 #include "src/model/transformer.h"
+#include "src/storage/dedup_backend.h"
 #include "src/storage/file_backend.h"
 
 using namespace hcache;
@@ -31,13 +39,15 @@ int main() {
   KvBlockPool pool(KvPoolConfig::ForModel(cfg, 256, 8));
   const auto dir = std::filesystem::temp_directory_path() / "hcache_rag_example";
   std::filesystem::remove_all(dir);
-  FileBackend store(
+  FileBackend disk(
       {(dir / "d0").string(), (dir / "d1").string(), (dir / "d2").string()}, 1 << 20);
+  DedupBackend store(&disk);  // sessions sharing a document share its bytes
   ThreadPool flush_pool(3);
   FunctionalHCache engine(&model, &store, &flush_pool, /*chunk_tokens=*/8);
 
-  // --- 1. offline ingestion: generate each document's hidden states once ---
-  constexpr int kNumDocs = 4;
+  // --- 1. offline ingestion of a Zipf-skewed session trace ---
+  constexpr int kNumDocs = 8;
+  constexpr int kNumSessions = 32;
   Rng rng(99);
   std::map<int64_t, std::vector<int32_t>> doc_tokens;
   for (int64_t doc = 0; doc < kNumDocs; ++doc) {
@@ -46,14 +56,36 @@ int main() {
       t = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(cfg.vocab_size)));
     }
     doc_tokens[doc] = tokens;
+  }
+  // Each session retrieves one document (rank 0 hottest) and persists its context.
+  ZipfianGenerator popularity(kNumDocs, /*alpha=*/1.0);
+  std::map<int64_t, int64_t> session_doc;
+  std::map<int64_t, int64_t> doc_sessions;
+  for (int64_t session = 0; session < kNumSessions; ++session) {
+    const int64_t doc = static_cast<int64_t>(popularity.Next(rng));
+    session_doc[session] = doc;
+    ++doc_sessions[doc];
     PagedKvSequence ingest(&pool);
-    model.Forward(tokens, &ingest, engine.BeginCapture(doc));
-    engine.SealContext(doc);
+    model.Forward(doc_tokens[doc], &ingest, engine.BeginCapture(session));
+    engine.SealContext(session);
     // The ingest KV is dropped immediately — only hidden states persist.
   }
-  std::printf("ingested %d documents offline: %lld chunks, %s on 'disk'\n\n", kNumDocs,
-              static_cast<long long>(store.chunks_stored()),
-              std::to_string(store.bytes_stored()).c_str());
+  const StorageStats stats = store.Stats();
+  std::printf("ingested %d sessions over %d docs (Zipf s=1.0):\n", kNumSessions,
+              kNumDocs);
+  for (const auto& [doc, count] : doc_sessions) {
+    std::printf("  doc %lld (%zu tokens): %lld sessions\n", static_cast<long long>(doc),
+                doc_tokens[doc].size(), static_cast<long long>(count));
+  }
+  std::printf("logical: %lld chunks, %lld bytes; physical: %lld chunks, %lld bytes "
+              "(%.1fx dedup, %lld hit writes)\n\n",
+              static_cast<long long>(stats.chunks_stored),
+              static_cast<long long>(stats.bytes_stored),
+              static_cast<long long>(stats.unique_chunks),
+              static_cast<long long>(store.PhysicalBytes()),
+              static_cast<double>(stats.bytes_stored) /
+                  static_cast<double>(store.PhysicalBytes()),
+              static_cast<long long>(stats.dedup_hits));
 
   // --- 2. query serving with state restoration ---
   PartitionScheme all_hidden;
@@ -61,18 +93,19 @@ int main() {
   all_hidden.complement = ComplementMethod::kNone;
   int queries_ok = 0;
   for (int q = 0; q < 8; ++q) {
-    const int64_t doc = static_cast<int64_t>(rng.NextBounded(kNumDocs));
+    const int64_t session = static_cast<int64_t>(rng.NextBounded(kNumSessions));
+    const int64_t doc = session_doc[session];
     std::vector<int32_t> question(6);
     for (auto& t : question) {
       t = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(cfg.vocab_size)));
     }
 
-    // Restore the document context, append the question, decode the answer.
+    // Restore the session context, append the question, decode the answer.
     PagedKvSequence seq(&pool);
     CHECK(seq.EnsureCapacity(static_cast<int64_t>(doc_tokens[doc].size())));
     seq.CommitTokens(static_cast<int64_t>(doc_tokens[doc].size()));
     seq.Evict();  // sequence starts with only the recorded history length
-    CHECK(engine.RestoreContext(doc, all_hidden, {}, &seq));
+    CHECK(engine.RestoreContext(session, all_hidden, {}, &seq));
     model.Forward(question, &seq);
     const auto answer = model.GreedyDecode(question.back(), 5, &seq);
 
@@ -84,7 +117,8 @@ int main() {
     CHECK(answer == expected) << "query " << q;
     ++queries_ok;
   }
-  std::printf("%d/8 queries answered identically to full-document prefill\n\n", queries_ok);
+  std::printf("%d/8 queries answered identically to full-document prefill "
+              "(restored from shared physical chunks)\n\n", queries_ok);
 
   // --- 3. price the pipeline at Llama2-13B scale ---
   const ModelConfig big = ModelConfig::Llama2_13B();
@@ -101,7 +135,9 @@ int main() {
                 re / h);
   }
   std::printf("\nOK: RAG contexts restore losslessly; offline hidden-state generation "
-              "turns document prefill into a transfer-plus-projection.\n");
+              "turns document prefill into a transfer-plus-projection, and the "
+              "content-addressed store keeps one copy per document however many "
+              "sessions retrieve it.\n");
   std::filesystem::remove_all(dir);
   return 0;
 }

@@ -4,14 +4,16 @@
 #include <numeric>
 
 #include "src/common/logging.h"
+#include "src/storage/codec.h"
 
 namespace hcache {
 
 namespace {
 
 uint64_t HashTokens(const std::vector<int32_t>& tokens) {
-  // FNV-1a over the token stream; collisions across distinct prompts are vanishingly
-  // unlikely at these scales and only cost a false share (guarded by length check).
+  // FNV-1a over the token stream. This only PICKS A BUCKET — InternPrefix compares
+  // the full token vectors before sharing, so a collision costs one comparison,
+  // never a wrong share.
   uint64_t h = 1469598103934665603ull;
   for (int32_t t : tokens) {
     for (int b = 0; b < 4; ++b) {
@@ -26,8 +28,8 @@ uint64_t HashTokens(const std::vector<int32_t>& tokens) {
 
 SharedPrefixManager::SuffixSink::SuffixSink(StorageBackend* store, const ModelConfig& cfg,
                                             int64_t context_id, int64_t offset,
-                                            int64_t chunk_tokens)
-    : writer_(store, /*flush_pool=*/nullptr, cfg, context_id, chunk_tokens),
+                                            int64_t chunk_tokens, ChunkCodec codec)
+    : writer_(store, /*flush_pool=*/nullptr, cfg, context_id, chunk_tokens, codec),
       offset_(offset),
       hidden_dim_(cfg.hidden_dim) {}
 
@@ -54,30 +56,37 @@ void SharedPrefixManager::SuffixSink::OnLayerInput(int64_t layer, const Tensor& 
 }
 
 SharedPrefixManager::SharedPrefixManager(Transformer* model, StorageBackend* store,
-                                         int64_t chunk_tokens)
-    : model_(model), store_(store), chunk_tokens_(chunk_tokens) {
+                                         int64_t chunk_tokens, ChunkCodec codec)
+    : model_(model), store_(store), chunk_tokens_(chunk_tokens), codec_(codec) {
   CHECK(model != nullptr);
   CHECK(store != nullptr);
+}
+
+uint64_t SharedPrefixManager::TokenHash(const std::vector<int32_t>& tokens) const {
+  return token_hash_for_test_ ? token_hash_for_test_(tokens) : HashTokens(tokens);
 }
 
 int64_t SharedPrefixManager::InternPrefix(const std::vector<int32_t>& tokens,
                                           KvBlockPool* pool) {
   CHECK(!tokens.empty());
-  const uint64_t hash = HashTokens(tokens);
-  const auto it = hash_to_prefix_.find(hash);
-  if (it != hash_to_prefix_.end()) {
+  const uint64_t hash = TokenHash(tokens);
+  // Walk the bucket and share only on TOKEN equality. A hash collision between two
+  // distinct prompts (same length or not) falls through and allocates a fresh prefix
+  // — the old length-only guard here would have handed one prompt the other's hidden
+  // states.
+  const auto [first, last] = hash_to_prefix_.equal_range(hash);
+  for (auto it = first; it != last; ++it) {
     PrefixInfo& info = prefixes_.at(it->second);
-    CHECK_EQ(info.length, static_cast<int64_t>(tokens.size()))
-        << "hash collision between different-length prefixes";
-    ++info.ref_count;
-    bytes_deduped_ += model_->config().num_layers * static_cast<int64_t>(tokens.size()) *
-                      model_->config().hidden_dim * static_cast<int64_t>(sizeof(float));
-    return info.prefix_id;
+    if (info.tokens == tokens) {
+      ++info.ref_count;
+      bytes_deduped_ += info.encoded_bytes;
+      return info.prefix_id;
+    }
   }
 
   const int64_t id = next_prefix_id_++;
   // One-time prefill of the prefix with capture; its KV is scratch and dropped.
-  HiddenStateWriter writer(store_, nullptr, model_->config(), id, chunk_tokens_);
+  HiddenStateWriter writer(store_, nullptr, model_->config(), id, chunk_tokens_, codec_);
   PagedKvSequence scratch(pool);
   model_->Forward(tokens, &scratch, &writer);
   writer.Seal();
@@ -86,17 +95,24 @@ int64_t SharedPrefixManager::InternPrefix(const std::vector<int32_t>& tokens,
   info.prefix_id = id;
   info.length = static_cast<int64_t>(tokens.size());
   info.ref_count = 1;
-  prefixes_[id] = info;
-  hash_to_prefix_[hash] = id;
+  // What a repeat intern actually avoids storing: the prefix's encoded footprint
+  // under the ACTIVE codec (headers included), not a sizeof(float) estimate.
+  info.encoded_bytes = writer.encoded_bytes_written();
+  info.tokens = tokens;
+  info.token_hash = hash;
+  prefixes_[id] = std::move(info);
+  hash_to_prefix_.emplace(hash, id);
   return id;
 }
 
 void SharedPrefixManager::ReleasePrefix(int64_t prefix_id) {
   auto it = prefixes_.find(prefix_id);
   CHECK(it != prefixes_.end());
+  CHECK_GT(it->second.ref_count, 0);
   if (--it->second.ref_count == 0) {
     store_->DeleteContext(prefix_id);
-    for (auto h = hash_to_prefix_.begin(); h != hash_to_prefix_.end(); ++h) {
+    const auto [first, last] = hash_to_prefix_.equal_range(it->second.token_hash);
+    for (auto h = first; h != last; ++h) {
       if (h->second == prefix_id) {
         hash_to_prefix_.erase(h);
         break;
@@ -113,8 +129,12 @@ HiddenStateSink* SharedPrefixManager::BeginSuffixCapture(int64_t context_id,
   auto& sink = sinks_[context_id];
   if (sink == nullptr) {
     sink = std::make_unique<SuffixSink>(store_, model_->config(), context_id,
-                                        pit->second.length, chunk_tokens_);
+                                        pit->second.length, chunk_tokens_, codec_);
     context_prefix_[context_id] = prefix_id;
+    // The context now depends on the prefix's chunks staying restorable: hold a
+    // reference until DropContext, so the interner's ReleasePrefix cannot delete
+    // them under a live capture (which left RestoreContext to CHECK-crash).
+    ++pit->second.ref_count;
   } else {
     CHECK_EQ(context_prefix_.at(context_id), prefix_id);
   }
@@ -140,8 +160,8 @@ bool SharedPrefixManager::RestoreContext(int64_t context_id, int64_t prefix_id,
 
   const HiddenStateReader reader(store_, cfg, chunk_tokens_);
   for (int64_t layer = 0; layer < cfg.num_layers; ++layer) {
-    if (!reader.LayerComplete(prefix_id, layer, plen) ||
-        (slen > 0 && !reader.LayerComplete(context_id, layer, slen))) {
+    if (!reader.LayerComplete(prefix_id, layer, plen, codec_) ||
+        (slen > 0 && !reader.LayerComplete(context_id, layer, slen, codec_))) {
       return false;
     }
   }
@@ -175,7 +195,14 @@ bool SharedPrefixManager::RestoreContext(int64_t context_id, int64_t prefix_id,
 
 void SharedPrefixManager::DropContext(int64_t context_id) {
   sinks_.erase(context_id);
-  context_prefix_.erase(context_id);
+  const auto cit = context_prefix_.find(context_id);
+  if (cit != context_prefix_.end()) {
+    const int64_t prefix_id = cit->second;
+    context_prefix_.erase(cit);
+    // Release the reference BeginSuffixCapture took; the prefix (and its chunks)
+    // go away only when the interner and every capturing context are done with it.
+    ReleasePrefix(prefix_id);
+  }
   store_->DeleteContext(context_id);
 }
 

@@ -9,6 +9,7 @@
 #include "src/common/logging.h"
 #include "src/storage/codec.h"
 #include "src/storage/codec_simd.h"
+#include "src/storage/dedup_backend.h"
 #include "src/storage/distributed_backend.h"
 #include "src/storage/integrity.h"
 
@@ -111,6 +112,12 @@ const char* FsckClassName(FsckClass c) {
       return "corrupt";
     case FsckClass::kUnderReplicated:
       return "under-replicated";
+    case FsckClass::kDedupOrphan:
+      return "dedup-orphan";
+    case FsckClass::kDedupMissing:
+      return "dedup-missing";
+    case FsckClass::kDedupDrift:
+      return "dedup-drift";
   }
   return "unknown";
 }
@@ -215,12 +222,63 @@ void ScanDistributed(DistributedColdBackend* dist, const FsckOptions& options,
   }
 }
 
+// The dedup deep scan: classify the PHYSICAL plane (each unique chunk once —
+// distributed-aware when dedup wraps the replicated cold plane), then audit the
+// refcount invariant and surface its findings in fsck terms. The order matters
+// under repair: a corrupt physical chunk the scan quarantines becomes a
+// missing-physical in the audit, which then drops the dead logical referents so
+// the read path reports an ordinary miss (recompute fallback) instead of -2.
+void ScanDedup(DedupBackend* dedup, const FsckOptions& options, FsckReport* report) {
+  if (auto* dist = dynamic_cast<DistributedColdBackend*>(dedup->base())) {
+    ScanDistributed(dist, options, report);
+  } else {
+    ScanStore(dedup->base(), options.repair, /*node=*/-1, report, nullptr);
+  }
+  const DedupAuditReport audit = dedup->AuditIndex(options.repair);
+  report->dedup_orphans += audit.orphan_physical;
+  report->dedup_missing += audit.missing_physical;
+  report->dedup_drift += audit.refcount_drift;
+  for (const DedupAuditFinding& f : audit.findings) {
+    FsckFinding finding;
+    finding.key = f.physical_key;
+    finding.bytes = f.bytes;
+    finding.repaired = f.repaired;
+    char detail[96];
+    switch (f.kind) {
+      case DedupAuditFinding::Kind::kOrphanPhysical:
+        finding.klass = FsckClass::kDedupOrphan;
+        finding.detail = "physical chunk with zero logical referents";
+        break;
+      case DedupAuditFinding::Kind::kMissingPhysical:
+        finding.klass = FsckClass::kDedupMissing;
+        std::snprintf(detail, sizeof(detail),
+                      "physical chunk gone; %lld logical referents dropped to miss",
+                      static_cast<long long>(f.refs_indexed));
+        finding.detail = detail;
+        break;
+      case DedupAuditFinding::Kind::kRefcountDrift:
+        finding.klass = FsckClass::kDedupDrift;
+        std::snprintf(detail, sizeof(detail), "index refcount %lld, recounted %lld",
+                      static_cast<long long>(f.refs_indexed),
+                      static_cast<long long>(f.refs_recounted));
+        finding.detail = detail;
+        break;
+    }
+    if (finding.repaired) {
+      ++report->repaired;
+    }
+    report->findings.push_back(std::move(finding));
+  }
+}
+
 }  // namespace
 
 FsckReport RunFsck(StorageBackend* backend, const FsckOptions& options) {
   CHECK(backend != nullptr);
   FsckReport report;
-  if (auto* dist = dynamic_cast<DistributedColdBackend*>(backend)) {
+  if (auto* dedup = dynamic_cast<DedupBackend*>(backend)) {
+    ScanDedup(dedup, options, &report);
+  } else if (auto* dist = dynamic_cast<DistributedColdBackend*>(backend)) {
     ScanDistributed(dist, options, &report);
   } else {
     ScanStore(backend, options.repair, /*node=*/-1, &report, nullptr);
@@ -255,7 +313,9 @@ std::string FsckReport::ToJson() const {
      << ",\"clean\":" << clean << ",\"unverified\":" << unverified
      << ",\"partial\":" << partial << ",\"corrupt\":" << corrupt
      << ",\"orphaned_temp_files\":" << orphaned_temp_files
-     << ",\"under_replicated\":" << under_replicated << ",\"repaired\":" << repaired
+     << ",\"under_replicated\":" << under_replicated
+     << ",\"dedup_orphans\":" << dedup_orphans << ",\"dedup_missing\":" << dedup_missing
+     << ",\"dedup_drift\":" << dedup_drift << ",\"repaired\":" << repaired
      << ",\"healthy\":" << (Healthy() ? "true" : "false");
   if (!nodes.empty()) {
     os << ",\"nodes\":[";

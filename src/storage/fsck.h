@@ -25,6 +25,16 @@
 // re-replicated from a surviving healthy copy (RepairChunk), so fsck restores R
 // instead of merely amputating.
 //
+// Against a DedupBackend the scan walks the PHYSICAL store (each unique chunk
+// CRC-classified once, however many logical keys share it) and then audits the
+// refcount invariant: a physical chunk with zero referents is an orphan
+// (kDedupOrphan; repair deletes the bytes), a referent whose physical chunk is
+// gone is corrupt (kDedupMissing; repair drops the logical entries so reads miss
+// and callers fall back to recompute), and an index refcount that disagrees with
+// the recounted referents is drift (kDedupDrift; repair resets it). A corrupt
+// physical chunk quarantined by the scan is then surfaced as kDedupMissing by the
+// audit in the same run — quarantine composes with the recompute fallback.
+//
 // `scan_dirs` additionally sweeps filesystem directories for orphaned `*.tmp` files —
 // the residue of a writer that died between open and rename. These are never valid
 // chunks (the atomic-rename protocol guarantees a published chunk is complete), so
@@ -51,6 +61,10 @@ enum class FsckClass {
   // Distributed only: the chunk's bytes may be fine somewhere, but it sits below
   // its home replica count (missing or corrupt home copies).
   kUnderReplicated = 4,
+  // Dedup only (see the header comment): refcount-invariant violations.
+  kDedupOrphan = 5,   // physical chunk with zero logical referents
+  kDedupMissing = 6,  // logical referents whose physical chunk is gone
+  kDedupDrift = 7,    // index refcount != recounted referents
 };
 
 const char* FsckClassName(FsckClass c);
@@ -94,13 +108,18 @@ struct FsckReport {
   int64_t corrupt = 0;
   int64_t orphaned_temp_files = 0;
   int64_t under_replicated = 0;  // distributed scans: chunks below home replica count
+  // Dedup scans: refcount-invariant violations (see FsckClass).
+  int64_t dedup_orphans = 0;
+  int64_t dedup_missing = 0;
+  int64_t dedup_drift = 0;
   int64_t repaired = 0;  // quarantined chunks + unlinked orphans + re-replications
   std::vector<FsckFinding> findings;   // damaged chunks and orphans only
   std::vector<FsckNodeReport> nodes;   // distributed scans: per-node counts
 
   bool Healthy() const {
     return partial == 0 && corrupt == 0 && orphaned_temp_files == 0 &&
-           under_replicated == 0;
+           under_replicated == 0 && dedup_orphans == 0 && dedup_missing == 0 &&
+           dedup_drift == 0;
   }
 
   // Machine-readable single-object JSON (stable key order, findings inlined) —
@@ -112,7 +131,8 @@ struct FsckReport {
 // Requires a backend whose ListChunks/ReadChunkUnverified are functional (memory,
 // file, tiered, or an instrumented wrapper of those). A DistributedColdBackend is
 // recognized (dynamic_cast) and gets the per-node + replication scan described
-// above.
+// above; a DedupBackend gets the physical scan + refcount audit (recursively
+// distributed-aware when dedup wraps the replicated plane).
 FsckReport RunFsck(StorageBackend* backend, const FsckOptions& options = {});
 
 }  // namespace hcache

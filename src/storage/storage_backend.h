@@ -107,6 +107,14 @@ struct StorageStats {
   int64_t degraded_writes = 0;          // writes that reached >=1 but < R nodes
   int64_t re_replicated_chunks = 0;     // replica copies restored by the repair worker
 
+  // Content-addressed dedup plane (DedupBackend only; zero elsewhere — TieredBackend
+  // surfaces its cold tier's figures when dedup sits below it). `chunks_stored` /
+  // `bytes_stored` stay LOGICAL for a dedup backend (consumers above the seam cannot
+  // tell dedup happened); these three expose the physical reality.
+  int64_t dedup_hits = 0;         // writes resolved by pointing at an existing chunk
+  int64_t dedup_bytes_saved = 0;  // cumulative bytes those writes did NOT store
+  int64_t unique_chunks = 0;      // physical chunks backing the logical set
+
   // Fraction of reads served from DRAM (1.0 for MemoryBackend, 0.0 for FileBackend).
   double DramHitRatio() const {
     const int64_t total = dram_hits + cold_hits;

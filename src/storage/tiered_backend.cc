@@ -830,7 +830,13 @@ StorageStats TieredBackend::Stats() const {
   // are trusted); the cold backend is where payloads are actually CRC-checked, so
   // surface its verified-byte figure as the stack's.
   s.crc_failures = crc_failures_.load();
-  s.crc_checked_bytes = cold_->Stats().crc_checked_bytes;
+  const StorageStats cold = cold_->Stats();
+  s.crc_checked_bytes = cold.crc_checked_bytes;
+  // Same pattern for the dedup plane: when the cold tier is content-addressed its
+  // sharing figures are the stack's.
+  s.dedup_hits = cold.dedup_hits;
+  s.dedup_bytes_saved = cold.dedup_bytes_saved;
+  s.unique_chunks = cold.unique_chunks;
   return s;
 }
 

@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "src/common/rng.h"
+#include "src/storage/dedup_backend.h"
 #include "src/storage/file_backend.h"
 
 namespace hcache {
@@ -163,6 +164,161 @@ TEST_F(SharedPrefixTest, ReleaseDeletesAtZeroRefs) {
   const int64_t pid2 = mgr_->InternPrefix(prefix, pool_.get());
   EXPECT_NE(pid2, pid);
   EXPECT_GT(store_->chunks_stored(), 0);
+}
+
+TEST_F(SharedPrefixTest, HashCollisionAllocatesFreshPrefix) {
+  // Regression: the manager used to trust the 64-bit token hash plus a LENGTH check,
+  // so two same-length prompts colliding on the hash would silently share one
+  // prefix — one user's hidden states restored into the other's KV. Force every
+  // token stream onto one hash bucket and require full-content discrimination.
+  mgr_->SetTokenHashForTest([](const std::vector<int32_t>&) { return 0xdeadbeefull; });
+  const auto prompt_a = RandomTokens(12, 21);
+  const auto prompt_b = RandomTokens(12, 22);  // same length, different tokens
+  ASSERT_NE(prompt_a, prompt_b);
+  const int64_t a = mgr_->InternPrefix(prompt_a, pool_.get());
+  const int64_t b = mgr_->InternPrefix(prompt_b, pool_.get());
+  EXPECT_NE(a, b) << "colliding prompts must not share a prefix id";
+  EXPECT_EQ(mgr_->num_prefixes(), 2);
+
+  // Interning either stream again still dedups against ITS OWN prefix.
+  EXPECT_EQ(mgr_->InternPrefix(prompt_a, pool_.get()), a);
+  EXPECT_EQ(mgr_->InternPrefix(prompt_b, pool_.get()), b);
+  EXPECT_EQ(mgr_->GetPrefix(a)->ref_count, 2);
+  EXPECT_EQ(mgr_->GetPrefix(b)->ref_count, 2);
+
+  // And each prefix restores ITS tokens' states: a context on prompt_b must decode
+  // exactly like a never-evicted prompt_b prefill, not like prompt_a's.
+  const auto suffix = RandomTokens(5, 23);
+  std::vector<int32_t> full_b = prompt_b;
+  full_b.insert(full_b.end(), suffix.begin(), suffix.end());
+  PagedKvSequence seq(pool_.get());
+  model_->Forward(full_b, &seq, mgr_->BeginSuffixCapture(40, b));
+  mgr_->SealContext(40);
+  seq.Evict();
+  ASSERT_TRUE(mgr_->RestoreContext(40, b, &seq));
+  PagedKvSequence ref(pool_.get());
+  model_->Forward(full_b, &ref);
+  for (int64_t layer = 0; layer < cfg_.num_layers; ++layer) {
+    Tensor ka, va, kb, vb;
+    ref.ReadKv(layer, 0, ref.num_tokens(), &ka, &va);
+    seq.ReadKv(layer, 0, seq.num_tokens(), &kb, &vb);
+    EXPECT_TRUE(Tensor::BitwiseEqual(ka, kb)) << "K layer " << layer;
+    EXPECT_TRUE(Tensor::BitwiseEqual(va, vb)) << "V layer " << layer;
+  }
+
+  // Releasing one of the colliding prefixes leaves the other's bucket entry intact.
+  mgr_->ReleasePrefix(a);
+  mgr_->ReleasePrefix(a);
+  EXPECT_EQ(mgr_->GetPrefix(a), nullptr);
+  EXPECT_EQ(mgr_->InternPrefix(prompt_b, pool_.get()), b);
+}
+
+TEST_F(SharedPrefixTest, CaptureHoldsPrefixReferenceAcrossRelease) {
+  // Regression: BeginSuffixCapture took no prefix reference, so the interner's
+  // ReleasePrefix deleted the shared chunks under a live context and the later
+  // RestoreContext CHECK-crashed reading them. The capture must keep the prefix
+  // alive until DropContext.
+  const auto prefix = RandomTokens(10, 24);
+  const auto suffix = RandomTokens(6, 25);
+  const int64_t pid = mgr_->InternPrefix(prefix, pool_.get());
+  std::vector<int32_t> full = prefix;
+  full.insert(full.end(), suffix.begin(), suffix.end());
+
+  PagedKvSequence seq(pool_.get());
+  model_->Forward(full, &seq, mgr_->BeginSuffixCapture(50, pid));
+  mgr_->SealContext(50);
+  EXPECT_EQ(mgr_->GetPrefix(pid)->ref_count, 2);  // interner + capture
+
+  mgr_->ReleasePrefix(pid);  // interner is done; context 50 is not
+  ASSERT_NE(mgr_->GetPrefix(pid), nullptr) << "live capture must keep the prefix";
+
+  seq.Evict();
+  ASSERT_TRUE(mgr_->RestoreContext(50, pid, &seq));
+  PagedKvSequence ref(pool_.get());
+  model_->Forward(full, &ref);
+  for (int64_t layer = 0; layer < cfg_.num_layers; ++layer) {
+    Tensor ka, va, kb, vb;
+    ref.ReadKv(layer, 0, ref.num_tokens(), &ka, &va);
+    seq.ReadKv(layer, 0, seq.num_tokens(), &kb, &vb);
+    EXPECT_TRUE(Tensor::BitwiseEqual(ka, kb)) << "K layer " << layer;
+    EXPECT_TRUE(Tensor::BitwiseEqual(va, vb)) << "V layer " << layer;
+  }
+
+  // DropContext releases the capture's reference — the LAST one — so the prefix
+  // and its chunks go away now, and only now.
+  mgr_->DropContext(50);
+  EXPECT_EQ(mgr_->GetPrefix(pid), nullptr);
+  EXPECT_EQ(store_->chunks_stored(), 0);
+}
+
+TEST_F(SharedPrefixTest, BytesDedupedTracksActiveCodec) {
+  // Regression: bytes_deduped() hardcoded sizeof(float), overstating fp16
+  // deployments 2x. It must report the encoded bytes a repeat intern actually
+  // avoided writing.
+  const auto prompt = RandomTokens(16, 26);
+
+  SharedPrefixManager fp16_mgr(model_.get(), store_.get(), /*chunk_tokens=*/8,
+                               ChunkCodec::kFp16);
+  const int64_t p16 = fp16_mgr.InternPrefix(prompt, pool_.get());
+  fp16_mgr.InternPrefix(prompt, pool_.get());
+  const int64_t fp16_saved = fp16_mgr.bytes_deduped();
+  EXPECT_EQ(fp16_saved, fp16_mgr.GetPrefix(p16)->encoded_bytes);
+  fp16_mgr.ReleasePrefix(p16);
+  fp16_mgr.ReleasePrefix(p16);
+
+  const int64_t p32 = mgr_->InternPrefix(prompt, pool_.get());
+  mgr_->InternPrefix(prompt, pool_.get());
+  const int64_t fp32_saved = mgr_->bytes_deduped();
+  EXPECT_EQ(fp32_saved, mgr_->GetPrefix(p32)->encoded_bytes);
+
+  // fp16 rows are half the fp32 rows; headers keep the ratio from being exactly 2.
+  EXPECT_LT(fp16_saved, fp32_saved);
+  EXPECT_GT(fp16_saved, fp32_saved / 4);
+  // And the figure is the store's truth, not a sizeof(float) estimate: what the
+  // writer reported persisting for one prefix copy.
+  const int64_t naive = cfg_.num_layers * static_cast<int64_t>(prompt.size()) *
+                        cfg_.hidden_dim * static_cast<int64_t>(sizeof(float));
+  EXPECT_NE(fp16_saved, naive);
+}
+
+TEST_F(SharedPrefixTest, DedupStoreSharesIdenticalSuffixChunksAcrossContexts) {
+  // The manager over the content-addressed plane: two contexts that happen to save
+  // byte-identical suffix states single-instance in the store with no manager
+  // involvement, and restores stay bit-exact.
+  DedupBackend dedup(store_.get());
+  SharedPrefixManager mgr(model_.get(), &dedup, /*chunk_tokens=*/8);
+  const auto prefix = RandomTokens(8, 27);
+  const auto suffix = RandomTokens(8, 28);  // chunk-aligned: identical full chunks
+  const int64_t pid = mgr.InternPrefix(prefix, pool_.get());
+  std::vector<int32_t> full = prefix;
+  full.insert(full.end(), suffix.begin(), suffix.end());
+
+  PagedKvSequence sa(pool_.get()), sb(pool_.get());
+  model_->Forward(full, &sa, mgr.BeginSuffixCapture(60, pid));
+  model_->Forward(full, &sb, mgr.BeginSuffixCapture(61, pid));
+  mgr.SealContext(60);
+  mgr.SealContext(61);
+
+  const StorageStats s = dedup.Stats();
+  EXPECT_GT(s.dedup_hits, 0) << "identical suffix chunks must dedup in the store";
+  EXPECT_LT(s.unique_chunks, s.chunks_stored);
+
+  sa.Evict();
+  ASSERT_TRUE(mgr.RestoreContext(60, pid, &sa));
+  PagedKvSequence ref(pool_.get());
+  model_->Forward(full, &ref);
+  for (int64_t layer = 0; layer < cfg_.num_layers; ++layer) {
+    Tensor ka, va, kb, vb;
+    ref.ReadKv(layer, 0, ref.num_tokens(), &ka, &va);
+    sa.ReadKv(layer, 0, sa.num_tokens(), &kb, &vb);
+    EXPECT_TRUE(Tensor::BitwiseEqual(ka, kb)) << "K layer " << layer;
+    EXPECT_TRUE(Tensor::BitwiseEqual(va, vb)) << "V layer " << layer;
+  }
+  mgr.DropContext(60);
+  mgr.DropContext(61);
+  mgr.ReleasePrefix(pid);
+  EXPECT_EQ(dedup.Stats().chunks_stored, 0);
+  EXPECT_EQ(dedup.PhysicalBytes(), 0);
 }
 
 TEST_F(SharedPrefixTest, RestoreFailsWhenSuffixMissing) {

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/storage/dedup_backend.h"
 #include "src/storage/distributed_backend.h"
 #include "src/storage/file_backend.h"
 #include "src/storage/instrumented_backend.h"
@@ -109,6 +110,30 @@ std::vector<std::shared_ptr<Fixture>> MakeFixtures(const std::string& tag) {
     auto dist = std::make_unique<DistributedColdBackend>(3, kChunkBytes);
     f->backend = dist.get();
     f->owned.push_back(std::move(dist));
+    fixtures.push_back(std::move(f));
+  }
+  {
+    auto f = std::make_shared<Fixture>();
+    f->name = "dedup";
+    auto mem = std::make_unique<MemoryBackend>(kChunkBytes);
+    auto dedup = std::make_unique<DedupBackend>(mem.get());
+    f->backend = dedup.get();
+    f->owned.push_back(std::move(dedup));
+    f->owned.push_back(std::move(mem));
+    fixtures.push_back(std::move(f));
+  }
+  {
+    // A batch against the tiered stack whose cold tier single-instances: duplicate
+    // logical keys of one shared chunk must still each get their bytes.
+    auto f = std::make_shared<Fixture>();
+    f->name = "tiered_dedup";
+    auto mem = std::make_unique<MemoryBackend>(kChunkBytes);
+    auto dedup = std::make_unique<DedupBackend>(mem.get());
+    auto tiered = std::make_unique<TieredBackend>(dedup.get(), 4 * kChunkBytes);
+    f->backend = tiered.get();
+    f->owned.push_back(std::move(tiered));
+    f->owned.push_back(std::move(dedup));
+    f->owned.push_back(std::move(mem));
     fixtures.push_back(std::move(f));
   }
   return fixtures;

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/storage/dedup_backend.h"
 #include "src/storage/distributed_backend.h"
 #include "src/storage/file_backend.h"
 #include "src/storage/memory_backend.h"
@@ -24,7 +25,8 @@ namespace {
 constexpr int64_t kChunkBytes = 4096;
 
 struct BackendFixture {
-  std::unique_ptr<StorageBackend> cold;  // tiered only
+  std::unique_ptr<StorageBackend> inner;  // dedup stacks: the physical store
+  std::unique_ptr<StorageBackend> cold;   // tiered stacks: the cold tier
   std::unique_ptr<StorageBackend> backend;
 };
 
@@ -45,6 +47,19 @@ class StorageBackendTest : public ::testing::TestWithParam<std::string> {
       // The ISSUE-8 production shape: DRAM hot tier over the replicated plane.
       fx_.cold = std::make_unique<DistributedColdBackend>(3, kChunkBytes);
       fx_.backend = std::make_unique<TieredBackend>(fx_.cold.get(), 8 * kChunkBytes);
+    } else if (GetParam() == "dedup") {
+      fx_.inner = std::make_unique<MemoryBackend>(kChunkBytes);
+      fx_.backend = std::make_unique<DedupBackend>(fx_.inner.get());
+    } else if (GetParam() == "tiered_dedup") {
+      // Content-addressed cold plane under the DRAM tier: evicted chunks
+      // single-instance on the way down.
+      fx_.inner = std::make_unique<FileBackend>(dirs, kChunkBytes);
+      fx_.cold = std::make_unique<DedupBackend>(fx_.inner.get());
+      fx_.backend = std::make_unique<TieredBackend>(fx_.cold.get(), 8 * kChunkBytes);
+    } else if (GetParam() == "dedup_dist") {
+      // Fleet-wide single-instancing of the replicated cold plane.
+      fx_.inner = std::make_unique<DistributedColdBackend>(3, kChunkBytes);
+      fx_.backend = std::make_unique<DedupBackend>(fx_.inner.get());
     } else {
       fx_.cold = std::make_unique<FileBackend>(dirs, kChunkBytes);
       // Budget of 8 chunks: small enough that the suite exercises eviction.
@@ -52,8 +67,9 @@ class StorageBackendTest : public ::testing::TestWithParam<std::string> {
     }
   }
   void TearDown() override {
-    fx_.backend.reset();  // the tiered backend (and its drainer) before its cold tier
+    fx_.backend.reset();  // outermost wrapper (and its drainer) first
     fx_.cold.reset();
+    fx_.inner.reset();
     std::filesystem::remove_all(base_);
   }
 
@@ -212,7 +228,8 @@ TEST_P(StorageBackendTest, ConcurrentWritersWithPollingReader) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, StorageBackendTest,
                          ::testing::Values("file", "memory", "tiered", "distributed",
-                                           "tiered_dist"),
+                                           "tiered_dist", "dedup", "tiered_dedup",
+                                           "dedup_dist"),
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            return info.param;
                          });
