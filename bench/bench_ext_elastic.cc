@@ -1,0 +1,298 @@
+// Extension bench: the elastic cluster plane — dynamic replica lifecycle,
+// autoscaling, and failure-driven session migration over ONE shared tiered backend.
+//
+// The paper's economics argument is that hidden-state caches make GPU capacity
+// fungible: state lives in the storage tier, so replicas can come and go without
+// losing sessions. This bench measures both halves of that claim:
+//
+//  (1) Diurnal autoscaling A/B (deterministic): the SAME non-stationary arrival
+//      trace (sinusoidal diurnal rate) served once by a static fleet provisioned for
+//      peak and once by an autoscaled fleet (min 1, max = peak). Acceptance: the
+//      autoscaled fleet saves >= 30% replica-seconds vs static-peak while its p99
+//      TTFT stays within 10% of the static fleet's.
+//
+//  (2) Flash-crowd leg (informational): the diurnal trace with a mid-run spike —
+//      shows the controller absorbing a step change (scale-up latency, timeline).
+//
+//  (3) Replica-kill migration leg: a replica is fail-stopped mid-run; its in-flight
+//      rounds re-route to survivors which restore the sessions' saved state from the
+//      shared tier. Acceptance: every session completes, migrated rounds > 0, zero
+//      storage CRC failures (no wrong bytes — recompute fallbacks are counted
+//      explicitly, not silently absorbed).
+//
+// Everything here is the simulated (deterministic) plane: byte-identical across
+// reruns and thread counts, so the committed BENCH_ext_elastic.json is a regression
+// bar, not a wall-clock sample.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/serving/cluster.h"
+#include "src/storage/memory_backend.h"
+#include "src/storage/tiered_backend.h"
+
+using namespace hcache;
+
+namespace {
+
+constexpr int64_t kChunkBytes = 64 * 1024;
+constexpr int64_t kSharedDramBytes = 6 * kChunkBytes;
+constexpr double kRoundInterval = 5.0;
+constexpr uint64_t kSeed = 97;
+
+// --- diurnal A/B sizing ---
+// Peak fleet of 4; base rate chosen so the trough needs ~1 replica and the crest
+// needs the full fleet; the period spans the arrival window (~sessions/base_rate
+// seconds) so the run sees a full trough-crest-trough cycle. The phase starts the
+// sinusoid at the trough (sin = -1): the autoscaled fleet begins small, grows into
+// the crest, and sheds capacity on the way down — the shape the savings come from.
+constexpr int kPeakReplicas = 4;
+constexpr double kBaseRate = 0.45;      // fleet-wide sessions/s at the sinusoid mean
+constexpr int64_t kDiurnalSessions = 500;
+constexpr double kDiurnalPeriod = 1100.0;
+constexpr double kDiurnalAmplitude = 0.85;
+constexpr double kDiurnalPhase = -1.5707963267948966;  // -pi/2: start at the trough
+
+// --- acceptance bars (the ISSUE's numbers) ---
+constexpr double kMinReplicaSecondsSaved = 0.30;  // >= 30% vs static-peak
+constexpr double kMaxP99TtftRatio = 1.10;         // autoscaled p99 <= 1.10x static
+
+// --- kill leg sizing ---
+constexpr int kKillReplicas = 3;
+constexpr double kKillTime = 30.0;
+constexpr double kKillLoad = 0.8 * kKillReplicas;  // sessions/s, fleet-wide
+constexpr int64_t kKillSessions = 40 * kKillReplicas;
+
+// Deterministic shared tier: one stripe + synchronous write-back, same instrument
+// configuration as the committed cluster sweep.
+TieredOptions SweepTierOptions() {
+  TieredOptions o;
+  o.num_shards = 1;
+  o.writeback = TieredOptions::Writeback::kSync;
+  return o;
+}
+
+DiurnalShape DiurnalDay() {
+  DiurnalShape d;
+  d.period_s = kDiurnalPeriod;
+  d.amplitude = kDiurnalAmplitude;
+  d.phase = kDiurnalPhase;
+  return d;
+}
+
+ClusterReport RunLeg(const ClusterOptions& options, double rate, int64_t sessions) {
+  MemoryBackend cold(kChunkBytes);
+  TieredBackend shared(&cold, kSharedDramBytes, SweepTierOptions());
+  ClusterEngine cluster(Platform::DefaultTestbed(1, 4), ModelConfig::Llama2_7B(),
+                        options, &shared);
+  return cluster.RunConversations(rate, sessions, kRoundInterval, kSeed);
+}
+
+JsonValue TimelineJson(const std::vector<ReplicaSet::UpSample>& timeline) {
+  JsonValue arr = JsonValue::Array();
+  for (const auto& s : timeline) {
+    JsonValue e = JsonValue::Object();
+    e.Set("t", s.time);
+    e.Set("up", static_cast<int64_t>(s.up));
+    arr.Push(std::move(e));
+  }
+  return arr;
+}
+
+JsonValue LegJson(const ClusterReport& r) {
+  JsonValue j = JsonValue::Object();
+  j.Set("rounds_completed", r.aggregate.rounds_completed);
+  j.Set("rounds_submitted", r.aggregate.rounds_submitted);
+  j.Set("sessions_completed", r.sessions_completed);
+  j.Set("sessions_dropped", r.sessions_dropped);
+  j.Set("makespan_s", r.aggregate.makespan);
+  j.Set("ttft_mean_s", r.aggregate.ttft.Mean());
+  j.Set("ttft_p99_s", r.aggregate.ttft.P99());
+  j.Set("tbt_p99_s", r.aggregate.tbt.P99());
+  j.Set("migrated_rounds", r.migrated_rounds);
+  j.Set("rounds_abandoned", r.aggregate.rounds_abandoned);
+  j.Set("restore_fallbacks", r.aggregate.restore_fallbacks);
+  j.Set("cross_replica_restores", r.cross_replica_restores);
+  j.Set("scale_ups", r.scale_ups);
+  j.Set("scale_downs", r.scale_downs);
+  j.Set("kills", r.kills);
+  j.Set("peak_replicas_up", static_cast<int64_t>(r.peak_replicas_up));
+  j.Set("min_replicas_up", static_cast<int64_t>(r.min_replicas_up));
+  j.Set("replica_seconds", r.replica_seconds);
+  j.Set("storage_crc_failures", r.storage.crc_failures);
+  j.Set("up_timeline", TimelineJson(r.up_timeline));
+  return j;
+}
+
+void PrintLegRow(const char* name, const ClusterReport& r) {
+  std::printf("  %-14s %8lld %8lld %10.3f %10.3f %10.1f %5d..%-3d %4lld/%-4lld\n",
+              name, static_cast<long long>(r.aggregate.rounds_completed),
+              static_cast<long long>(r.sessions_completed), r.aggregate.ttft.P99(),
+              r.aggregate.makespan, r.replica_seconds, r.min_replicas_up,
+              r.peak_replicas_up, static_cast<long long>(r.scale_ups),
+              static_cast<long long>(r.scale_downs));
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Extension: elastic fleet — autoscaling economics + failure migration");
+  std::printf("Llama2-7B per replica (%s), shared DRAM tier %lld KiB over cold, "
+              "%.0fs think time, seed %llu\n\n",
+              Platform::DefaultTestbed(1, 4).Describe().c_str(),
+              static_cast<long long>(kSharedDramBytes >> 10), kRoundInterval,
+              static_cast<unsigned long long>(kSeed));
+
+  // ---- Leg 1: diurnal autoscaling A/B ----
+  PrintSection("leg 1: diurnal day, static-peak fleet vs autoscaled fleet");
+  std::printf("  base %.2f sessions/s x [%.2f..%.2f], period %.0fs, %lld sessions, "
+              "starting at the trough\n",
+              kBaseRate, 1.0 - kDiurnalAmplitude, 1.0 + kDiurnalAmplitude,
+              kDiurnalPeriod, static_cast<long long>(kDiurnalSessions));
+  std::printf("  %-14s %8s %8s %10s %10s %10s %9s %9s\n", "fleet", "rounds",
+              "sessions", "ttft-p99", "makespan", "gpu-sec", "up-range", "up/down");
+
+  ClusterOptions base;
+  base.num_replicas = kPeakReplicas;
+  base.router = RouterPolicy::kLeastLoadedTokens;
+  base.serving.method = RestoreMethod::kHCache;
+  base.arrivals.kind = ArrivalSpec::Kind::kDiurnal;
+  base.arrivals.diurnal = DiurnalDay();
+
+  ClusterOptions statico = base;  // static-peak: all replicas up, no controller
+  const ClusterReport stat = RunLeg(statico, kBaseRate, kDiurnalSessions);
+  PrintLegRow("static-peak", stat);
+
+  ClusterOptions autoo = base;
+  autoo.initial_replicas = 1;  // the trough needs one; the controller grows from there
+  autoo.autoscaler.policy = AutoscalePolicy::kTargetUtilization;
+  autoo.autoscaler.min_replicas = 1;
+  autoo.autoscaler.max_replicas = kPeakReplicas;
+  autoo.autoscaler.target_queued_tokens = 22000.0;
+  autoo.autoscaler.evaluate_every_s = 5.0;
+  autoo.autoscaler.scale_down_cooldown_s = 45.0;
+  const ClusterReport auto_rep = RunLeg(autoo, kBaseRate, kDiurnalSessions);
+  PrintLegRow("autoscaled", auto_rep);
+
+  // Static-peak cost is peak * its own makespan (what you pay to provision for the
+  // crest all day); the autoscaled fleet pays only the replica-seconds it held.
+  const double static_cost = static_cast<double>(kPeakReplicas) * stat.aggregate.makespan;
+  const double saved_fraction =
+      static_cost > 0 ? 1.0 - auto_rep.replica_seconds / static_cost : 0.0;
+  const double p99_ratio = stat.aggregate.ttft.P99() > 0
+                               ? auto_rep.aggregate.ttft.P99() / stat.aggregate.ttft.P99()
+                               : 1.0;
+  const bool savings_met = saved_fraction >= kMinReplicaSecondsSaved;
+  const bool p99_met = p99_ratio <= kMaxP99TtftRatio;
+  const bool diurnal_complete = auto_rep.sessions_completed == kDiurnalSessions &&
+                                auto_rep.sessions_dropped == 0;
+  std::printf("\n  replica-seconds saved vs static-peak: %.1f%% (bar >= %.0f%%)%s\n",
+              100.0 * saved_fraction, 100.0 * kMinReplicaSecondsSaved,
+              savings_met ? "  [MET]" : "  [NOT MET]");
+  std::printf("  p99 TTFT autoscaled/static: %.3fx (bar <= %.2fx)%s\n", p99_ratio,
+              kMaxP99TtftRatio, p99_met ? "  [MET]" : "  [NOT MET]");
+
+  // ---- Leg 2: flash crowd (informational) ----
+  PrintSection("leg 2: flash crowd on the diurnal day (informational)");
+  ClusterOptions flash = autoo;
+  FlashCrowd spike;
+  spike.start = 0.45 * kDiurnalPeriod;  // hits on the way up to the crest
+  spike.duration = 60.0;
+  spike.multiplier = 2.5;
+  flash.arrivals.diurnal.spikes.push_back(spike);
+  const ClusterReport flash_rep = RunLeg(flash, kBaseRate, kDiurnalSessions);
+  std::printf("  %-14s %8s %8s %10s %10s %10s %9s %9s\n", "fleet", "rounds",
+              "sessions", "ttft-p99", "makespan", "gpu-sec", "up-range", "up/down");
+  PrintLegRow("flash-crowd", flash_rep);
+  std::printf("  spike %.1fx for %.0fs at t=%.0fs -> %lld scale-ups over the run\n",
+              spike.multiplier, spike.duration, spike.start,
+              static_cast<long long>(flash_rep.scale_ups));
+
+  // ---- Leg 3: replica kill -> session migration ----
+  PrintSection("leg 3: fail-stop a replica mid-run, sessions migrate to survivors");
+  ClusterOptions kill;
+  kill.num_replicas = kKillReplicas;
+  kill.router = RouterPolicy::kStickyWithSpill;  // makes migration visible: sessions
+                                                 // had a home and lose it
+  kill.serving.method = RestoreMethod::kHCache;
+  kill.events.push_back(FleetEvent{kKillTime, FleetEvent::Kind::kKill, /*replica=*/-1});
+  const ClusterReport kill_rep = RunLeg(kill, kKillLoad, kKillSessions);
+  const bool kill_all_sessions = kill_rep.sessions_completed == kKillSessions &&
+                                 kill_rep.sessions_dropped == 0;
+  const bool kill_migrated = kill_rep.migrated_rounds > 0;
+  const bool kill_conserved = kill_rep.aggregate.rounds_submitted ==
+                              kill_rep.aggregate.rounds_completed + kill_rep.migrated_rounds;
+  const bool kill_no_wrong_bytes = kill_rep.storage.crc_failures == 0;
+  std::printf("  replica killed at t=%.0fs (fleet of %d, %.1f sessions/s, %lld "
+              "sessions)\n",
+              kKillTime, kKillReplicas, kKillLoad,
+              static_cast<long long>(kKillSessions));
+  std::printf("  migrated rounds: %lld (abandoned on the victim, completed on "
+              "survivors)\n",
+              static_cast<long long>(kill_rep.migrated_rounds));
+  std::printf("  sessions completed: %lld/%lld, recompute fallbacks: %lld, storage "
+              "CRC failures: %lld\n",
+              static_cast<long long>(kill_rep.sessions_completed),
+              static_cast<long long>(kKillSessions),
+              static_cast<long long>(kill_rep.aggregate.restore_fallbacks),
+              static_cast<long long>(kill_rep.storage.crc_failures));
+  std::printf("  round conservation (submitted == completed + migrated): %s\n",
+              kill_conserved ? "holds" : "VIOLATED");
+
+  const bool acceptance = savings_met && p99_met && diurnal_complete &&
+                          kill_all_sessions && kill_migrated && kill_conserved &&
+                          kill_no_wrong_bytes;
+  std::printf("\n  acceptance: %s  (>=%.0f%% replica-seconds saved, p99 within "
+              "%.2fx, kill leg migrates and completes every session with zero "
+              "wrong bytes)\n",
+              acceptance ? "MET" : "NOT MET", 100.0 * kMinReplicaSecondsSaved,
+              kMaxP99TtftRatio);
+
+  JsonValue diurnal_leg = JsonValue::Object();
+  diurnal_leg.Set("base_rate_sessions_per_s", kBaseRate);
+  diurnal_leg.Set("sessions", kDiurnalSessions);
+  diurnal_leg.Set("period_s", kDiurnalPeriod);
+  diurnal_leg.Set("amplitude", kDiurnalAmplitude);
+  diurnal_leg.Set("peak_replicas", static_cast<int64_t>(kPeakReplicas));
+  diurnal_leg.Set("static_peak", LegJson(stat));
+  diurnal_leg.Set("autoscaled", LegJson(auto_rep));
+  diurnal_leg.Set("replica_seconds_saved_fraction", saved_fraction);
+  diurnal_leg.Set("p99_ttft_ratio_auto_vs_static", p99_ratio);
+  diurnal_leg.Set("meets_savings_bar", savings_met);
+  diurnal_leg.Set("meets_p99_bar", p99_met);
+
+  JsonValue flash_leg = JsonValue::Object();
+  flash_leg.Set("spike_start_s", spike.start);
+  flash_leg.Set("spike_duration_s", spike.duration);
+  flash_leg.Set("spike_multiplier", spike.multiplier);
+  flash_leg.Set("report", LegJson(flash_rep));
+
+  JsonValue kill_leg = JsonValue::Object();
+  kill_leg.Set("replicas", static_cast<int64_t>(kKillReplicas));
+  kill_leg.Set("kill_time_s", kKillTime);
+  kill_leg.Set("load_sessions_per_s", kKillLoad);
+  kill_leg.Set("sessions", kKillSessions);
+  kill_leg.Set("router", RouterPolicyName(kill.router));
+  kill_leg.Set("report", LegJson(kill_rep));
+  kill_leg.Set("all_sessions_completed", kill_all_sessions);
+  kill_leg.Set("round_conservation_holds", kill_conserved);
+  kill_leg.Set("zero_wrong_bytes", kill_no_wrong_bytes);
+
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", "ext_elastic");
+  root.Set("model", ModelConfig::Llama2_7B().name);
+  root.Set("platform_per_replica", Platform::DefaultTestbed(1, 4).Describe());
+  root.Set("workload", "sharegpt-conversations");
+  root.Set("round_interval_s", kRoundInterval);
+  root.Set("seed", static_cast<int64_t>(kSeed));
+  root.Set("chunk_bytes", kChunkBytes);
+  root.Set("shared_dram_budget_bytes", kSharedDramBytes);
+  root.Set("diurnal_ab", std::move(diurnal_leg));
+  root.Set("flash_crowd", std::move(flash_leg));
+  root.Set("replica_kill", std::move(kill_leg));
+  root.Set("acceptance_met", acceptance);
+  WriteJsonFile("BENCH_ext_elastic.json", root);
+  return acceptance ? 0 : 1;
+}

@@ -11,6 +11,15 @@
 //
 //   ./build/serving_sweep --replicas=4 --router=least --backend=tiered --load=2.0
 //
+// Elastic mode layers the dynamic fleet on top of cluster mode: `--autoscale` turns
+// on the target-utilization controller (optionally `--min-replicas`/`--target-tokens`),
+// `--diurnal[=amplitude]` swaps the stationary Poisson arrivals for a sinusoidal day
+// (`--diurnal-period` seconds per cycle), and `--kill-replica-at=SEC` fail-stops a
+// replica mid-run so its sessions migrate and restore on the survivors:
+//
+//   ./build/serving_sweep --replicas=4 --autoscale --diurnal=0.8 --diurnal-period=900
+//   ./build/serving_sweep --replicas=3 --router=sticky --kill-replica-at=30
+//
 // Prints TTFT/TBT distributions, completed-round throughput, the restoration
 // schedule in effect, and — when a storage backend is selected — what the storage
 // tier saw (reads split across DRAM/cold, evictions, write-back volume). Cluster
@@ -42,6 +51,18 @@ std::string ArgValue(int argc, char** argv, const char* key, const char* def) {
     }
   }
   return def;
+}
+
+// True when `key` appears bare (`--autoscale`) or with a value (`--diurnal=0.8`).
+bool HasFlag(int argc, char** argv, const char* key) {
+  const size_t klen = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, klen) == 0 &&
+        (argv[i][klen] == '\0' || argv[i][klen] == '=')) {
+      return true;
+    }
+  }
+  return false;
 }
 
 RestoreMethod ParseMethod(const std::string& m) {
@@ -97,6 +118,16 @@ int main(int argc, char** argv) {
   const std::string codec_name = ArgValue(argc, argv, "--codec", "fp16");
   const int replicas = std::stoi(ArgValue(argc, argv, "--replicas", "1"));
   const RouterPolicy router = ParseRouter(ArgValue(argc, argv, "--router", "least"));
+  const bool autoscale = HasFlag(argc, argv, "--autoscale");
+  const int min_replicas = std::stoi(ArgValue(argc, argv, "--min-replicas", "1"));
+  const double target_tokens =
+      std::stod(ArgValue(argc, argv, "--target-tokens", "3000"));
+  const bool diurnal = HasFlag(argc, argv, "--diurnal");
+  const double diurnal_amplitude =
+      std::stod(ArgValue(argc, argv, "--diurnal", "0.6"));
+  const double diurnal_period =
+      std::stod(ArgValue(argc, argv, "--diurnal-period", "900"));
+  const double kill_at = std::stod(ArgValue(argc, argv, "--kill-replica-at", "-1"));
 
   const ModelConfig cfg = model_name == "30b"   ? ModelConfig::Opt30B()
                           : model_name == "13b" ? ModelConfig::Llama2_13B()
@@ -158,9 +189,36 @@ int main(int argc, char** argv) {
     co.num_replicas = replicas;
     co.router = router;
     co.serving = o;
+    if (autoscale) {
+      co.initial_replicas = min_replicas;
+      co.autoscaler.policy = AutoscalePolicy::kTargetUtilization;
+      co.autoscaler.min_replicas = min_replicas;
+      co.autoscaler.target_queued_tokens = target_tokens;
+    }
+    if (diurnal) {
+      co.arrivals.kind = ArrivalSpec::Kind::kDiurnal;
+      co.arrivals.diurnal.amplitude = diurnal_amplitude;
+      co.arrivals.diurnal.period_s = diurnal_period;
+    }
+    if (kill_at >= 0) {
+      co.events.push_back(
+          FleetEvent{kill_at, FleetEvent::Kind::kKill, /*replica=*/-1});
+    }
     ClusterEngine cluster(platform, cfg, co, backend.get());
     std::printf("cluster  : %d replicas behind %s routing, shared %s backend\n",
                 replicas, RouterPolicyName(router), backend->Name().c_str());
+    if (autoscale) {
+      std::printf("elastic  : autoscaled %d..%d replicas, target %.0f queued "
+                  "tokens/replica\n",
+                  min_replicas, replicas, target_tokens);
+    }
+    if (diurnal) {
+      std::printf("arrivals : diurnal sinusoid, amplitude %.2f, period %.0fs\n",
+                  diurnal_amplitude, diurnal_period);
+    }
+    if (kill_at >= 0) {
+      std::printf("fault    : fail-stop one replica at t=%.0fs\n", kill_at);
+    }
     std::printf("KV pool  : %lld tokens per replica\n\n",
                 static_cast<long long>(cluster.replica(0).DeriveKvCapacityTokens()));
     const ClusterReport crep = cluster.RunConversations(load, sessions, interval, seed);
@@ -171,6 +229,20 @@ int main(int argc, char** argv) {
                 crep.ReplicaRoundSkew(),
                 static_cast<long long>(crep.cross_replica_restores),
                 static_cast<long long>(crep.affinity_restores));
+    if (autoscale || kill_at >= 0 || !co.events.empty()) {
+      std::printf("elastic  : %d..%d replicas up, %lld scale-ups, %lld scale-downs, "
+                  "%lld kills\n",
+                  crep.min_replicas_up, crep.peak_replicas_up,
+                  static_cast<long long>(crep.scale_ups),
+                  static_cast<long long>(crep.scale_downs),
+                  static_cast<long long>(crep.kills));
+      std::printf("           %.1f replica-seconds used (%.1f saved vs holding peak), "
+                  "%lld rounds migrated, %lld sessions completed, %lld dropped\n",
+                  crep.replica_seconds, crep.ReplicaSecondsSavedVsPeak(),
+                  static_cast<long long>(crep.migrated_rounds),
+                  static_cast<long long>(crep.sessions_completed),
+                  static_cast<long long>(crep.sessions_dropped));
+    }
     for (int i = 0; i < cluster.num_replicas(); ++i) {
       const ServingReport& r = crep.replicas[static_cast<size_t>(i)];
       std::printf("           replica %d: %lld rounds, ttft %.3fs mean\n", i,

@@ -1,0 +1,94 @@
+#include "src/serving/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace hcache {
+
+const char* AutoscalePolicyName(AutoscalePolicy p) {
+  switch (p) {
+    case AutoscalePolicy::kStatic:
+      return "static";
+    case AutoscalePolicy::kTargetUtilization:
+      return "target-utilization";
+  }
+  return "?";
+}
+
+Autoscaler::Autoscaler(const AutoscalerOptions& options, int fleet_size)
+    : options_(options),
+      fleet_size_(fleet_size),
+      next_eval_(options.evaluate_every_s) {
+  CHECK_GT(fleet_size_, 0);
+  if (options_.max_replicas <= 0 || options_.max_replicas > fleet_size_) {
+    options_.max_replicas = fleet_size_;
+  }
+  options_.min_replicas = std::clamp(options_.min_replicas, 1, options_.max_replicas);
+  if (enabled()) {
+    CHECK_GT(options_.target_queued_tokens, 0.0);
+    CHECK_GT(options_.evaluate_every_s, 0.0);
+    CHECK_LT(options_.lo_fraction, 1.0);
+    CHECK_GT(options_.hi_fraction, 1.0);
+  }
+}
+
+double Autoscaler::FleetUtilization(const std::vector<ReplicaCandidate>& up) const {
+  if (up.empty()) {
+    return 0.0;
+  }
+  double queued_tokens = 0.0;
+  double kv_occupancy = 0.0;
+  for (const ReplicaCandidate& c : up) {
+    queued_tokens += static_cast<double>(c.load.queued_tokens);
+    kv_occupancy += c.load.KvOccupancy();
+  }
+  const double n = static_cast<double>(up.size());
+  const double demand = queued_tokens / (n * options_.target_queued_tokens);
+  return std::max(demand, kv_occupancy / n);
+}
+
+AutoscaleDecision Autoscaler::Evaluate(double now,
+                                       const std::vector<ReplicaCandidate>& up) {
+  AutoscaleDecision d;
+  if (!enabled()) {
+    return d;
+  }
+  ++evaluations_;
+  // Advance the grid strictly past `now` so a clock jump over several grid points
+  // yields exactly one (current-state) evaluation, not a burst of stale ones.
+  while (next_eval_ <= now) {
+    next_eval_ += options_.evaluate_every_s;
+  }
+
+  const int num_up = static_cast<int>(up.size());
+  d.utilization = FleetUtilization(up);
+
+  // Floor first: a fleet below min_replicas (all replicas killed, or a manual drain
+  // went too far) is repaired unconditionally.
+  if (num_up < options_.min_replicas) {
+    d.delta = options_.min_replicas - num_up;
+    return d;
+  }
+
+  if (d.utilization > options_.hi_fraction) {
+    // Proportional scale-up toward utilization ~1: enough replicas to spread the
+    // current demand at the setpoint, capped at max. Never waits on cooldown.
+    const int desired = std::min(
+        options_.max_replicas,
+        std::max(num_up + 1,
+                 static_cast<int>(std::ceil(static_cast<double>(num_up) * d.utilization))));
+    d.delta = desired - num_up;
+  } else if (d.utilization < options_.lo_fraction && num_up > options_.min_replicas) {
+    if (now - last_scale_down_ < options_.scale_down_cooldown_s) {
+      d.in_cooldown = true;
+    } else {
+      d.delta = -1;  // one drain at a time: each scale-down is a full drain cycle
+      last_scale_down_ = now;
+    }
+  }
+  return d;
+}
+
+}  // namespace hcache

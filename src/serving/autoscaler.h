@@ -1,0 +1,93 @@
+// Deterministic replica autoscaler over the cluster's load probes.
+//
+// The controller consumes the same instantaneous `ReplicaLoad` probes the routers
+// read (queue depth, queued token demand, KV occupancy) and emits scale-up /
+// scale-down decisions on a fixed evaluation grid. Everything is a pure function of
+// the probe stream, so elastic runs are exactly reproducible: no wall clocks, no
+// randomness. `kStatic` disables the controller entirely and reproduces the fixed
+// fleet of PRs 4-9 bit-for-bit.
+//
+// Control law (kTargetUtilization): utilization is the fleet's queued token demand
+// per up replica, normalized by `target_queued_tokens` (KV occupancy is folded in as
+// a floor — a fleet can be KV-bound before it is queue-bound). The desired replica
+// count is demand / target; hysteresis (hi/lo fractions) keeps the fleet from
+// flapping around the setpoint, scale-downs additionally respect a cooldown (GPU
+// churn is expensive; adding capacity under pressure is not), and scale-downs step
+// one replica at a time because each one triggers a drain.
+#ifndef HCACHE_SRC_SERVING_AUTOSCALER_H_
+#define HCACHE_SRC_SERVING_AUTOSCALER_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/serving/engine.h"
+
+namespace hcache {
+
+enum class AutoscalePolicy {
+  kStatic,             // no controller: the fleet stays at its initial size
+  kTargetUtilization,  // track target_queued_tokens per up replica with hysteresis
+};
+
+const char* AutoscalePolicyName(AutoscalePolicy p);
+
+struct AutoscalerOptions {
+  AutoscalePolicy policy = AutoscalePolicy::kStatic;
+  int min_replicas = 1;
+  int max_replicas = 0;  // 0 = the fleet size passed at construction
+  // Setpoint: queued token demand (history+input+output of admitted-but-unfinished
+  // rounds) one replica should carry. The default sits well inside the region where
+  // TTFT is flat in the Fig 9 sweeps; push it up to run hotter fleets.
+  double target_queued_tokens = 3000.0;
+  // Hysteresis band around the setpoint: act only when utilization leaves
+  // [lo_fraction, hi_fraction]. Must satisfy lo < 1 < hi.
+  double hi_fraction = 1.3;
+  double lo_fraction = 0.5;
+  double evaluate_every_s = 20.0;
+  // Minimum spacing between scale-DOWN actions (scale-ups are immediate: latency is
+  // the SLO, idle GPUs are only money).
+  double scale_down_cooldown_s = 120.0;
+};
+
+struct AutoscaleDecision {
+  int delta = 0;             // replicas to add (> 0) or drain (< 0)
+  double utilization = 0.0;  // fleet utilization the decision was based on
+  bool in_cooldown = false;  // a wanted scale-down was suppressed by the cooldown
+};
+
+class Autoscaler {
+ public:
+  Autoscaler(const AutoscalerOptions& options, int fleet_size);
+
+  bool enabled() const { return options_.policy != AutoscalePolicy::kStatic; }
+
+  // Next time on the evaluation grid (+inf when disabled). The cluster driver folds
+  // this into its event horizon so evaluations happen at deterministic sim times.
+  double NextEvaluationTime() const {
+    return enabled() ? next_eval_ : std::numeric_limits<double>::infinity();
+  }
+
+  // Evaluates the control law against the current up replicas and advances the
+  // evaluation grid past `now`. `up` carries one entry per kUp replica.
+  AutoscaleDecision Evaluate(double now, const std::vector<ReplicaCandidate>& up);
+
+  // Fleet utilization the control law sees: queued token demand per up replica over
+  // the setpoint, floored by the mean KV occupancy (a KV-bound fleet is busy even
+  // when its queues are short). 0.0 for an empty fleet.
+  double FleetUtilization(const std::vector<ReplicaCandidate>& up) const;
+
+  int64_t evaluations() const { return evaluations_; }
+  const AutoscalerOptions& options() const { return options_; }
+
+ private:
+  AutoscalerOptions options_;
+  int fleet_size_;
+  double next_eval_;
+  double last_scale_down_ = -std::numeric_limits<double>::infinity();
+  int64_t evaluations_ = 0;
+};
+
+}  // namespace hcache
+
+#endif  // HCACHE_SRC_SERVING_AUTOSCALER_H_

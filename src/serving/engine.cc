@@ -3,11 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
 
 #include "src/common/logging.h"
-#include "src/common/thread_pool.h"
-#include "src/workload/arrival.h"
 
 namespace hcache {
 
@@ -16,6 +13,8 @@ namespace {
 // Latency of one synchronous small write on the DirectIO path (submission + flush);
 // the two-stage saver exists to keep this off the critical path.
 constexpr double kSyncWriteLatency = 120e-6;
+
+}  // namespace
 
 bool MethodNeedsRestorePhase(RestoreMethod m) {
   switch (m) {
@@ -31,7 +30,17 @@ bool MethodNeedsRestorePhase(RestoreMethod m) {
   return false;
 }
 
-}  // namespace
+const char* ReplicaLifecycleName(ReplicaLifecycle s) {
+  switch (s) {
+    case ReplicaLifecycle::kUp:
+      return "up";
+    case ReplicaLifecycle::kDraining:
+      return "draining";
+    case ReplicaLifecycle::kDown:
+      return "down";
+  }
+  return "?";
+}
 
 ServingEngine::ServingEngine(const Platform& platform, const ModelConfig& cfg,
                              const ServingOptions& options)
@@ -175,6 +184,7 @@ void ServingEngine::StartExternal() {
   prefill_q_.clear();
   decode_.clear();
   restoring_ = Restoration{};
+  lifecycle_ = ReplicaLifecycle::kUp;
   report_ = ServingReport{};
   report_.state_codec = options_.state_codec;
 
@@ -255,6 +265,9 @@ bool ServingEngine::LoadState(int64_t session, int64_t tokens) {
 }
 
 void ServingEngine::Submit(const RoundTask& r) {
+  CHECK(lifecycle_ == ReplicaLifecycle::kUp)
+      << "Submit on a " << ReplicaLifecycleName(lifecycle_)
+      << " replica — the driver must route from the kUp candidate set";
   pending_.push_back(r);
   ++report_.rounds_submitted;
   ++queued_rounds_;
@@ -278,7 +291,7 @@ void ServingEngine::FinishRound(Active& a, std::vector<RoundCompletion>* done) {
 
 double ServingEngine::NextEventTime() const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  if (now_ >= options_.max_sim_seconds) {
+  if (lifecycle_ == ReplicaLifecycle::kDown || now_ >= options_.max_sim_seconds) {
     return kInf;
   }
   if (!decode_.empty() || !prefill_q_.empty()) {
@@ -305,6 +318,9 @@ double ServingEngine::NextEventTime() const {
 }
 
 void ServingEngine::Advance(double until, std::vector<RoundCompletion>* done) {
+  if (lifecycle_ == ReplicaLifecycle::kDown) {
+    return;  // not serving: the clock resumes via ResumeAt() on scale-up
+  }
   for (;;) {
     if (now_ >= options_.max_sim_seconds) {
       return;
@@ -484,164 +500,59 @@ ServingReport ServingEngine::FinishExternal() {
   return report_;
 }
 
-// ===== shared multi-round-conversation driver =====
-
-ConversationDriveResult DriveConversations(const std::vector<ServingEngine*>& replicas,
-                                           double sessions_per_second,
-                                           int64_t num_sessions, double round_interval_s,
-                                           uint64_t seed, const RouteFn& route,
-                                           bool parallel_advance) {
-  CHECK(!replicas.empty());
-  const ServingOptions& opts = replicas.front()->options();
-
-  // --- workload materialization (identical for any replica count, so 1-vs-N
-  // comparisons isolate the cluster layer) ---
-  ShareGptGenerator gen(seed, opts.max_history_tokens);
-  PoissonArrivals arrivals_gen(sessions_per_second, seed ^ 0x5eed);
-  struct Session {
-    Conversation conv;
-    size_t next_round = 0;
-    int64_t history = 0;
-    int home = -1;  // replica holding the session's saved state (-1: none yet)
-    // Locality of the round currently in flight (one per session): did it restore
-    // state, and from its home replica or across? Tallied when the round actually
-    // completes, so dropped rounds never count as restores.
-    bool inflight_restores = false;
-    bool inflight_cross = false;
-  };
-  std::vector<Session> sessions(static_cast<size_t>(num_sessions));
-  int64_t total_rounds = 0;
-  for (auto& s : sessions) {
-    s.conv = gen.Next();
-    total_rounds += static_cast<int64_t>(s.conv.rounds.size());
-  }
-
-  struct Arrival {
-    double time;
-    int64_t session;
-    bool operator>(const Arrival& o) const { return time > o.time; }
-  };
-  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>> arrivals;
-  for (int64_t i = 0; i < num_sessions; ++i) {
-    arrivals.push(Arrival{arrivals_gen.NextArrivalTime(), i});
-  }
-
-  ConversationDriveResult result;
-  for (ServingEngine* r : replicas) {
-    r->StartExternal();
-  }
-  std::vector<ReplicaLoad> loads(replicas.size());
-  std::vector<RoundCompletion> done;
-  int64_t completed = 0;
-  double now = 0;
-
-  while (completed < total_rounds && now < opts.max_sim_seconds) {
-    // Next global event: the earliest pending arrival or replica-local event.
-    double next = std::numeric_limits<double>::infinity();
-    if (!arrivals.empty()) {
-      next = std::min(next, arrivals.top().time);
-    }
-    for (const ServingEngine* r : replicas) {
-      next = std::min(next, r->NextEventTime());
-    }
-    if (!std::isfinite(next)) {
-      break;  // nothing left anywhere
-    }
-    now = std::max(now, next);
-
-    // Route and admit due arrivals. Loads are re-probed per decision so a burst does
-    // not pile onto one replica within a single admission scan.
-    while (!arrivals.empty() && arrivals.top().time <= now) {
-      const int64_t sid = arrivals.top().session;
-      arrivals.pop();
-      Session& s = sessions[static_cast<size_t>(sid)];
-      const ConversationRound& cr = s.conv.rounds[s.next_round];
-      RoundTask r;
-      r.session = sid;
-      r.history = s.history;
-      r.input = cr.input_tokens;
-      r.output = cr.output_tokens;
-      r.arrival = now;
-      r.last_round = s.next_round + 1 == s.conv.rounds.size();
-      int target = 0;
-      if (route != nullptr) {
-        for (size_t i = 0; i < replicas.size(); ++i) {
-          loads[i] = replicas[i]->Load();
-        }
-        target = route(r, s.home, loads);
-        if (target < 0 || target >= static_cast<int>(replicas.size())) {
-          target = 0;  // defensive: a router must not address absent replicas
-        }
-      }
-      // A round only counts toward restore locality when its method actually reads
-      // state back through the shared tier (recompute/ideal never do).
-      s.inflight_restores = r.history > 0 && MethodNeedsRestorePhase(opts.method) &&
-                            opts.state_backend != nullptr;
-      s.inflight_cross = s.inflight_restores && target != s.home;
-      s.home = target;  // this replica will hold the state saved after this round
-      replicas[static_cast<size_t>(target)]->Submit(r);
-    }
-
-    // Step every replica to the global clock. Serial mode advances them in fixed
-    // index order; parallel mode advances them concurrently (replica state is
-    // disjoint; only the shared storage backend sees concurrent traffic) and merges
-    // per-replica completions in index order, so both schedules produce the same
-    // simulation byte-for-byte.
-    done.clear();
-    if (parallel_advance && replicas.size() > 1) {
-      std::vector<std::vector<RoundCompletion>> done_per(replicas.size());
-      ThreadPool::Shared().ParallelFor(
-          0, static_cast<int64_t>(replicas.size()), 1,
-          [&replicas, &done_per, now](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) {
-              replicas[static_cast<size_t>(i)]->Advance(
-                  now, &done_per[static_cast<size_t>(i)]);
-            }
-          });
-      for (const auto& d : done_per) {
-        done.insert(done.end(), d.begin(), d.end());
-      }
-    } else {
-      for (ServingEngine* r : replicas) {
-        r->Advance(now, &done);
-      }
-    }
-    for (const RoundCompletion& c : done) {
-      Session& s = sessions[static_cast<size_t>(c.session)];
-      if (c.dropped) {
-        // The replica refused the round outright (and released any stored state);
-        // the session cannot continue and its remaining rounds are unreachable.
-        s.next_round = s.conv.rounds.size();
-        continue;
-      }
-      if (s.inflight_restores) {
-        ++(s.inflight_cross ? result.cross_replica_restores : result.affinity_restores);
-        s.inflight_restores = false;
-      }
-      s.history += c.new_tokens;
-      ++s.next_round;
-      ++completed;
-      if (s.next_round < s.conv.rounds.size()) {
-        arrivals.push(Arrival{c.finish_time + round_interval_s, c.session});
-      }
-    }
-  }
-  return result;
+bool ServingEngine::Idle() const {
+  return pending_.empty() && prefill_q_.empty() && decode_.empty() && !restoring_.active;
 }
 
-ServingReport ServingEngine::RunConversations(double sessions_per_second,
-                                              int64_t num_sessions, double round_interval_s,
-                                              uint64_t seed) {
-  DriveConversations({this}, sessions_per_second, num_sessions, round_interval_s, seed,
-                     /*route=*/nullptr);
-  ServingReport report = FinishExternal();
-  if (options_.state_backend != nullptr) {
-    // A tiered backend may still be write-backing evicted state; settle the
-    // background plane so the snapshot below is stable and conserved.
-    options_.state_backend->Quiesce();
-    report.storage = options_.state_backend->Stats();
+void ServingEngine::BeginDrain() {
+  CHECK(lifecycle_ == ReplicaLifecycle::kUp)
+      << "BeginDrain on a " << ReplicaLifecycleName(lifecycle_) << " replica";
+  lifecycle_ = ReplicaLifecycle::kDraining;
+}
+
+void ServingEngine::MarkDown() {
+  CHECK(Idle()) << "MarkDown with in-flight work — drain must settle first";
+  lifecycle_ = ReplicaLifecycle::kDown;
+}
+
+std::vector<RoundTask> ServingEngine::Kill() {
+  std::vector<RoundTask> orphans;
+  orphans.reserve(pending_.size() + prefill_q_.size() + decode_.size() +
+                  (restoring_.active ? 1 : 0));
+  for (const RoundTask& r : pending_) {
+    orphans.push_back(r);
   }
-  return report;
+  if (restoring_.active) {
+    orphans.push_back(restoring_.r);
+  }
+  for (const Active& a : prefill_q_) {
+    orphans.push_back(a.r);
+  }
+  for (const Active& a : decode_) {
+    orphans.push_back(a.r);
+  }
+  // Fail-stop: none of these rounds delivered a token, so abandoning them is safe —
+  // the session's last COMPLETED round already persisted its state through the shared
+  // tier (FinishRound), which is exactly the HCache thesis: hidden-state caches
+  // outlive GPU residency, so a survivor restores instead of recomputing.
+  report_.rounds_abandoned += static_cast<int64_t>(orphans.size());
+  pending_.clear();
+  prefill_q_.clear();
+  decode_.clear();
+  restoring_ = Restoration{};
+  kv_free_ = options_.kv_capacity_tokens;
+  queued_tokens_ = 0;
+  queued_rounds_ = 0;
+  lifecycle_ = ReplicaLifecycle::kDown;
+  return orphans;
+}
+
+void ServingEngine::ResumeAt(double now) {
+  CHECK(lifecycle_ == ReplicaLifecycle::kDown)
+      << "ResumeAt on a " << ReplicaLifecycleName(lifecycle_) << " replica";
+  CHECK(Idle());
+  lifecycle_ = ReplicaLifecycle::kUp;
+  now_ = std::max(now_, now);
 }
 
 }  // namespace hcache

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -92,6 +91,10 @@ struct ServingReport {
   // pays recompute's restoration time, so corruption shows up as a tail-latency
   // penalty rather than a wrong answer.
   int64_t restore_fallbacks = 0;
+  // In-flight rounds a Kill() discarded on this replica (fail-stop semantics: no
+  // tokens were delivered; the cluster driver re-routes them to survivors, where
+  // they restore the session's last *saved* state from the shared tier).
+  int64_t rounds_abandoned = 0;
 
   double StateCompressionRatio() const {
     return state_encoded_bytes > 0
@@ -115,6 +118,11 @@ struct RoundTask {
   double arrival = 0;
   bool last_round = false;
 };
+
+// Whether `m` actually runs a restoration phase that reads state back through the
+// shared tier (recompute rebuilds from tokens; ideal assumes residency). The cluster
+// driver uses this to tally restore locality only for rounds that truly restored.
+bool MethodNeedsRestorePhase(RestoreMethod m);
 
 // Completion event returned by ServingEngine::Advance: the driver uses it to grow the
 // session's history and schedule the next round after think time. `dropped` marks a
@@ -141,6 +149,25 @@ struct ReplicaLoad {
                            static_cast<double>(kv_capacity_tokens)
                : 0.0;
   }
+};
+
+// Replica lifecycle (the elastic cluster plane's state machine):
+//   kUp       — serving; routable.
+//   kDraining — finishing admitted rounds; takes no new admissions. State keeps
+//               persisting through the shared tier, so a drained replica's sessions
+//               simply restore elsewhere on their next round.
+//   kDown     — not serving (drained away, scaled down, or fail-stopped). Scale-up
+//               revives a kDown replica via ResumeAt().
+enum class ReplicaLifecycle { kUp, kDraining, kDown };
+
+const char* ReplicaLifecycleName(ReplicaLifecycle s);
+
+// One routable replica as the routers and the autoscaler see it: its stable fleet id
+// plus a fresh load probe. Candidate lists contain ONLY kUp replicas, so routing to
+// a draining or down replica is impossible by construction.
+struct ReplicaCandidate {
+  int id = 0;
+  ReplicaLoad load;
 };
 
 class ServingEngine {
@@ -187,6 +214,36 @@ class ServingEngine {
 
   // Router probes (valid between Advance calls).
   ReplicaLoad Load() const;
+
+  // --- replica lifecycle (the elastic cluster plane) ---
+  //
+  // StartExternal() resets the replica to kUp. Submit() CHECK-fails on a replica that
+  // is not kUp — the cluster driver builds its candidate lists from kUp replicas only,
+  // so a violation is a driver bug, not a load condition.
+
+  ReplicaLifecycle lifecycle() const { return lifecycle_; }
+
+  // Graceful scale-down: stop admissions, let admitted rounds finish. The replica
+  // keeps advancing until Idle(), at which point the owner marks it down.
+  void BeginDrain();
+
+  // kDraining -> kDown once all in-flight work has completed. CHECK-fails if called
+  // on a replica that still holds work.
+  void MarkDown();
+
+  // Fail-stop: abandon every in-flight round (pending, restoring, prefilling,
+  // decoding — none of them delivered tokens), release the KV pool, and go kDown.
+  // Returns the abandoned rounds so the driver can re-route them to survivors; their
+  // sessions restore the last state a FinishRound *saved* through the shared tier
+  // (never-saved state costs a recompute fallback on the survivor).
+  std::vector<RoundTask> Kill();
+
+  // Scale-up revival: kDown -> kUp with the local clock advanced to the fleet time
+  // (a revived replica must not report events in the driver's past).
+  void ResumeAt(double now);
+
+  // True when no admitted round is pending, restoring, prefilling, or decoding.
+  bool Idle() const;
 
   // Fig 4 / Fig 10: long-context requests served one at a time (batch size 1):
   // TTFT = overhead + restoration(context) + prefill(question).
@@ -261,40 +318,9 @@ class ServingEngine {
   Restoration restoring_;
   std::vector<char> state_buf_;
   int64_t chunk_capacity_tokens_ = 1;
+  ReplicaLifecycle lifecycle_ = ReplicaLifecycle::kUp;
   ServingReport report_;
 };
-
-// Picks the replica index for a round. `home` is the replica that saved the session's
-// previous state (-1: none yet). A null RouteFn means "always replica 0" (and skips
-// load probing entirely).
-using RouteFn =
-    std::function<int(const RoundTask&, int home, const std::vector<ReplicaLoad>&)>;
-
-struct ConversationDriveResult {
-  int64_t cross_replica_restores = 0;  // history>0 rounds routed off their home
-  int64_t affinity_restores = 0;       // history>0 rounds routed back home
-};
-
-// Shared multi-round-conversation driver (the Fig 9 workload): materializes the
-// seeded ShareGPT trace and Poisson session arrivals, then drives `replicas` on one
-// global clock through the stepped interface (StartExternal/Submit/Advance). Both
-// ServingEngine::RunConversations (one replica, null route) and the cluster plane (N
-// replicas behind a SessionRouter) run THIS function, so the two paths cannot drift
-// apart. Workload caps (max_history_tokens, max_sim_seconds) come from
-// replicas[0]->options(); callers harvest reports via FinishExternal() afterwards.
-//
-// `parallel_advance` steps the replicas concurrently on the shared thread pool
-// within each global-clock iteration. Replica simulation state is disjoint, routing
-// and completion handling stay serial, and completions are merged in replica-index
-// order, so the simulated results are byte-identical to the serial schedule — only
-// the *wall-clock* behavior changes: the replicas' state save/restore traffic now
-// hits the shared StorageBackend concurrently, which is exactly the access pattern
-// the sharded tiered backend exists for (and what bench_ext_cluster measures).
-ConversationDriveResult DriveConversations(const std::vector<ServingEngine*>& replicas,
-                                           double sessions_per_second,
-                                           int64_t num_sessions, double round_interval_s,
-                                           uint64_t seed, const RouteFn& route,
-                                           bool parallel_advance = false);
 
 }  // namespace hcache
 

@@ -1,5 +1,6 @@
 #include "src/storage/instrumented_backend.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -13,8 +14,32 @@ InstrumentedBackend::InstrumentedBackend(StorageBackend* inner)
   CHECK(inner != nullptr);
 }
 
+int64_t InstrumentedBackend::JitteredLatencyMicros(int64_t mean_micros,
+                                                   int64_t jitter_micros,
+                                                   uint64_t seed, uint64_t draw) {
+  if (jitter_micros <= 0) {
+    return std::max<int64_t>(0, mean_micros);
+  }
+  // splitmix64 over (seed, draw): stateless, so any thread interleaving samples the
+  // same multiset of latencies — the draw *counter* orders draws, not the clock.
+  uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (draw + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  const int64_t span = 2 * jitter_micros + 1;  // uniform over [-jitter, +jitter]
+  const int64_t offset = static_cast<int64_t>(x % static_cast<uint64_t>(span)) - jitter_micros;
+  return std::max<int64_t>(0, mean_micros + offset);
+}
+
 void InstrumentedBackend::InjectLatency() const {
-  const int64_t micros = io_latency_micros_.load(std::memory_order_relaxed);
+  const int64_t mean = io_latency_micros_.load(std::memory_order_relaxed);
+  const int64_t jitter = io_jitter_micros_.load(std::memory_order_relaxed);
+  if (mean <= 0 && jitter <= 0) {
+    return;
+  }
+  const int64_t micros =
+      JitteredLatencyMicros(mean, jitter, jitter_seed_.load(std::memory_order_relaxed),
+                            jitter_draws_.fetch_add(1, std::memory_order_relaxed));
   if (micros > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(micros));
   }

@@ -30,6 +30,22 @@ class InstrumentedBackend : public StorageBackend {
   // Every ReadChunk/WriteChunk sleeps this long before forwarding (0 = off).
   void set_io_latency_micros(int64_t micros) { io_latency_micros_ = micros; }
 
+  // Deterministic per-op latency *distribution*: each injected sleep becomes
+  // mean ± uniform jitter in [-jitter_micros, +jitter_micros], clamped at 0. The
+  // sequence of sampled latencies is a pure function of (seed, draw index) — give
+  // each simulated node its own seed and a heterogeneous fleet's service times
+  // replay exactly. Jitter affects only wall-clock sleep time, never stored bytes,
+  // so simulated results stay byte-identical whatever the seed. 0 = no jitter.
+  void set_io_latency_jitter(int64_t jitter_micros, uint64_t seed) {
+    io_jitter_micros_ = jitter_micros;
+    jitter_seed_ = seed;
+  }
+
+  // The pure sampler behind the jitter (exposed for tests): latency of draw `draw`
+  // for a node seeded `seed`. Uniform over [mean-jitter, mean+jitter], floored at 0.
+  static int64_t JitteredLatencyMicros(int64_t mean_micros, int64_t jitter_micros,
+                                       uint64_t seed, uint64_t draw);
+
   // The next `n` WriteChunk calls fail (return false) without touching `inner`.
   void FailNextWrites(int64_t n) { fail_writes_ = n; }
 
@@ -99,6 +115,9 @@ class InstrumentedBackend : public StorageBackend {
 
   StorageBackend* inner_;
   std::atomic<int64_t> io_latency_micros_{0};
+  std::atomic<int64_t> io_jitter_micros_{0};
+  std::atomic<uint64_t> jitter_seed_{0};
+  mutable std::atomic<uint64_t> jitter_draws_{0};
   std::atomic<int64_t> fail_writes_{0};
   mutable std::atomic<int64_t> injected_write_failures_{0};
   mutable std::atomic<int64_t> read_batches_{0};

@@ -1,5 +1,7 @@
 #include "src/workload/arrival.h"
 
+#include <cmath>
+
 #include "src/common/logging.h"
 
 namespace hcache {
@@ -20,6 +22,57 @@ std::vector<double> PoissonArrivals::Take(int64_t n) {
     times.push_back(NextArrivalTime());
   }
   return times;
+}
+
+double DiurnalShape::RateAt(double base_rate, double t) const {
+  double rate = base_rate;
+  if (amplitude > 0.0 && period_s > 0.0) {
+    rate *= 1.0 + amplitude * std::sin(2.0 * M_PI * t / period_s + phase);
+  }
+  for (const FlashCrowd& s : spikes) {
+    if (t >= s.start && t < s.start + s.duration) {
+      rate *= s.multiplier;
+    }
+  }
+  return std::max(rate, 0.0);
+}
+
+double DiurnalShape::PeakRate(double base_rate) const {
+  double peak = base_rate * (1.0 + std::max(0.0, amplitude));
+  // Spikes can overlap; the envelope takes the product of every multiplier > 1 (a
+  // loose but safe bound — thinning only needs envelope >= rate(t) everywhere).
+  double spike_product = 1.0;
+  for (const FlashCrowd& s : spikes) {
+    if (s.multiplier > 1.0) {
+      spike_product *= s.multiplier;
+    }
+  }
+  return peak * spike_product;
+}
+
+NonHomogeneousPoissonArrivals::NonHomogeneousPoissonArrivals(double base_rate,
+                                                             const DiurnalShape& shape,
+                                                             uint64_t seed)
+    : base_rate_(base_rate),
+      shape_(shape),
+      envelope_rate_(shape.PeakRate(base_rate)),
+      rng_(seed) {
+  CHECK_GT(base_rate, 0.0);
+  CHECK_GE(shape.amplitude, 0.0);
+  CHECK_LT(shape.amplitude, 1.0) << "amplitude >= 1 would drive the rate negative";
+  CHECK_GT(envelope_rate_, 0.0);
+}
+
+double NonHomogeneousPoissonArrivals::NextArrivalTime() {
+  // Thinning: propose from the homogeneous envelope, accept with rate(t)/envelope.
+  // Each proposal consumes exactly two draws, so the stream is reproducible.
+  for (;;) {
+    now_ += rng_.NextExponential(envelope_rate_);
+    const double accept = shape_.RateAt(base_rate_, now_) / envelope_rate_;
+    if (rng_.NextDouble() < accept) {
+      return now_;
+    }
+  }
 }
 
 ZipfianContextChooser::ZipfianContextChooser(int64_t num_contexts, double alpha,

@@ -2,7 +2,11 @@
 //
 // Fig 9 draws session arrivals from a Poisson process (as prior work does); Fig 15
 // synthesizes the reuse pattern of long contexts with a Zipfian popularity of varying
-// skew (alpha), uniform at alpha == 0.
+// skew (alpha), uniform at alpha == 0. The elastic cluster plane additionally needs
+// traffic that *breathes*: `NonHomogeneousPoissonArrivals` modulates the rate with a
+// diurnal sinusoid plus flash-crowd spikes, sampled by thinning (Lewis & Shedler), so
+// autoscaling and failure scenarios run against realistic non-stationary load while
+// staying exactly reproducible from a seed.
 #ifndef HCACHE_SRC_WORKLOAD_ARRIVAL_H_
 #define HCACHE_SRC_WORKLOAD_ARRIVAL_H_
 
@@ -13,13 +17,22 @@
 
 namespace hcache {
 
-class PoissonArrivals {
+// Monotone stream of absolute arrival times. Implementations are deterministic
+// functions of their seed.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // Absolute time of the next arrival (monotonically increasing).
+  virtual double NextArrivalTime() = 0;
+};
+
+class PoissonArrivals : public ArrivalProcess {
  public:
   // `rate` in arrivals per second.
   PoissonArrivals(double rate, uint64_t seed);
 
-  // Absolute time of the next arrival (monotonically increasing).
-  double NextArrivalTime();
+  double NextArrivalTime() override;
 
   // Convenience: the first `n` arrival times.
   std::vector<double> Take(int64_t n);
@@ -28,6 +41,51 @@ class PoissonArrivals {
 
  private:
   double rate_;
+  double now_ = 0.0;
+  Rng rng_;
+};
+
+// A short-lived traffic spike: while t is in [start, start + duration) the
+// instantaneous rate is multiplied by `multiplier` (a product over overlapping
+// spikes). Models launch events / reposts hitting a serving fleet.
+struct FlashCrowd {
+  double start = 0.0;
+  double duration = 0.0;
+  double multiplier = 1.0;
+};
+
+// Rate-shape of a non-stationary day: a sinusoid around the base rate plus flash
+// crowds. rate(t) = base * (1 + amplitude * sin(2*pi*t/period + phase)) * spikes(t).
+struct DiurnalShape {
+  double period_s = 3600.0;
+  double amplitude = 0.6;  // in [0, 1): rate swings between base*(1-A) and base*(1+A)
+  double phase = 0.0;      // radians; default starts at the mean, rising
+  std::vector<FlashCrowd> spikes;
+
+  // Instantaneous rate at time t for the given base rate.
+  double RateAt(double base_rate, double t) const;
+  // A tight upper bound on RateAt over all t (the thinning envelope).
+  double PeakRate(double base_rate) const;
+};
+
+// Non-homogeneous Poisson process via thinning: candidate arrivals are drawn from a
+// homogeneous process at the envelope rate and accepted with probability
+// rate(t)/envelope. Deterministic for a fixed seed; reduces to PoissonArrivals-like
+// statistics when amplitude == 0 and no spikes are configured.
+class NonHomogeneousPoissonArrivals : public ArrivalProcess {
+ public:
+  NonHomogeneousPoissonArrivals(double base_rate, const DiurnalShape& shape,
+                                uint64_t seed);
+
+  double NextArrivalTime() override;
+
+  double base_rate() const { return base_rate_; }
+  const DiurnalShape& shape() const { return shape_; }
+
+ private:
+  double base_rate_;
+  DiurnalShape shape_;
+  double envelope_rate_;
   double now_ = 0.0;
   Rng rng_;
 };

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "src/storage/memory_backend.h"
@@ -30,52 +31,90 @@ ClusterReport RunCluster(int replicas, RouterPolicy policy, StorageBackend* shar
   return cluster.RunConversations(load, sessions, 5.0, seed);
 }
 
+// Live candidate list with consecutive ids 0..n-1 (a fully-up fleet).
+std::vector<ReplicaCandidate> FullFleet(int n) {
+  std::vector<ReplicaCandidate> live(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    live[static_cast<size_t>(i)].id = i;
+  }
+  return live;
+}
+
 TEST(SessionRouterTest, RoundRobinCycles) {
   auto r = MakeRouter(RouterPolicy::kRoundRobin, 1);
-  std::vector<ReplicaLoad> loads(3);
+  const std::vector<ReplicaCandidate> live = FullFleet(3);
   RoundTask t;
-  EXPECT_EQ(r->Route(t, -1, loads), 0);
-  EXPECT_EQ(r->Route(t, -1, loads), 1);
-  EXPECT_EQ(r->Route(t, -1, loads), 2);
-  EXPECT_EQ(r->Route(t, -1, loads), 0);
+  EXPECT_EQ(r->Route(t, -1, live), 0);
+  EXPECT_EQ(r->Route(t, -1, live), 1);
+  EXPECT_EQ(r->Route(t, -1, live), 2);
+  EXPECT_EQ(r->Route(t, -1, live), 0);
 }
 
 TEST(SessionRouterTest, LeastLoadedPicksArgminTokens) {
   auto r = MakeRouter(RouterPolicy::kLeastLoadedTokens, 1);
-  std::vector<ReplicaLoad> loads(3);
-  loads[0].queued_tokens = 500;
-  loads[1].queued_tokens = 100;
-  loads[2].queued_tokens = 900;
+  std::vector<ReplicaCandidate> live = FullFleet(3);
+  live[0].load.queued_tokens = 500;
+  live[1].load.queued_tokens = 100;
+  live[2].load.queued_tokens = 900;
   RoundTask t;
-  EXPECT_EQ(r->Route(t, -1, loads), 1);
-  loads[1].queued_tokens = 501;
-  EXPECT_EQ(r->Route(t, -1, loads), 0);
+  EXPECT_EQ(r->Route(t, -1, live), 1);
+  live[1].load.queued_tokens = 501;
+  EXPECT_EQ(r->Route(t, -1, live), 0);
 }
 
 TEST(SessionRouterTest, PowerOfTwoNeverPicksTheHeavierOfItsPair) {
   auto r = MakeRouter(RouterPolicy::kPowerOfTwo, 7);
-  std::vector<ReplicaLoad> loads(4);
-  loads[0].queued_tokens = 0;
-  loads[1].queued_tokens = 1000;
-  loads[2].queued_tokens = 2000;
-  loads[3].queued_tokens = 3000;
+  std::vector<ReplicaCandidate> live = FullFleet(4);
+  live[0].load.queued_tokens = 0;
+  live[1].load.queued_tokens = 1000;
+  live[2].load.queued_tokens = 2000;
+  live[3].load.queued_tokens = 3000;
   RoundTask t;
   // Replica 3 is the heaviest: with two distinct choices it can never win a pairing.
   for (int i = 0; i < 200; ++i) {
-    EXPECT_NE(r->Route(t, -1, loads), 3);
+    EXPECT_NE(r->Route(t, -1, live), 3);
   }
 }
 
 TEST(SessionRouterTest, StickyFollowsHomeUntilSpill) {
   auto r = MakeRouter(RouterPolicy::kStickyWithSpill, 1, /*spill_margin=*/1000);
-  std::vector<ReplicaLoad> loads(2);
+  std::vector<ReplicaCandidate> live = FullFleet(2);
   RoundTask t;
-  loads[0].queued_tokens = 800;
-  loads[1].queued_tokens = 0;
-  EXPECT_EQ(r->Route(t, /*home=*/0, loads), 0);  // within margin: stay home
-  loads[0].queued_tokens = 1200;
-  EXPECT_EQ(r->Route(t, /*home=*/0, loads), 1);  // beyond margin: spill
-  EXPECT_EQ(r->Route(t, /*home=*/-1, loads), 1);  // first round: least-loaded
+  live[0].load.queued_tokens = 800;
+  live[1].load.queued_tokens = 0;
+  EXPECT_EQ(r->Route(t, /*home=*/0, live), 0);  // within margin: stay home
+  live[0].load.queued_tokens = 1200;
+  EXPECT_EQ(r->Route(t, /*home=*/0, live), 1);  // beyond margin: spill
+  EXPECT_EQ(r->Route(t, /*home=*/-1, live), 1);  // first round: least-loaded
+}
+
+TEST(SessionRouterTest, StickyReRoutesWhenHomeLeftTheLiveSet) {
+  // Elastic fleets shrink: when the home replica is gone (drained/killed), the
+  // candidate list no longer contains its id and sticky must pick a survivor — the
+  // session's state is in the SHARED tier, so any live replica can restore it.
+  auto r = MakeRouter(RouterPolicy::kStickyWithSpill, 1, /*spill_margin=*/1000);
+  std::vector<ReplicaCandidate> live(2);
+  live[0].id = 1;  // replica 0 is down: live set is {1, 3}
+  live[1].id = 3;
+  live[0].load.queued_tokens = 700;
+  live[1].load.queued_tokens = 200;
+  RoundTask t;
+  EXPECT_EQ(r->Route(t, /*home=*/0, live), 1);  // home gone: least-loaded survivor
+  // Home id 3 sits at candidate POSITION 1 — sticky must match by id, not index.
+  EXPECT_EQ(r->Route(t, /*home=*/3, live), 1);
+  live[1].load.queued_tokens = 5000;  // home overloaded beyond the margin
+  EXPECT_EQ(r->Route(t, /*home=*/3, live), 0);
+}
+
+TEST(ClusterReportTest, ReplicaRoundSkewIsOneForDegenerateFleets) {
+  // Pin the zero-rounds edge: an empty fleet or a fleet that completed nothing must
+  // read as perfectly even (1.0), never NaN/inf from a zero mean.
+  ClusterReport empty;
+  EXPECT_DOUBLE_EQ(empty.ReplicaRoundSkew(), 1.0);
+  ClusterReport idle;
+  idle.replicas.resize(3);  // replicas exist, nothing completed anywhere
+  EXPECT_DOUBLE_EQ(idle.ReplicaRoundSkew(), 1.0);
+  EXPECT_TRUE(std::isfinite(idle.ReplicaRoundSkew()));
 }
 
 TEST(ClusterEngineTest, CompletesAllRoundsOnEveryPolicy) {

@@ -1,0 +1,443 @@
+// Elastic cluster plane: replica lifecycle (drain/kill/resume), failure-driven
+// session migration over the shared tier, the deterministic autoscaler, and the
+// non-homogeneous arrival process feeding it all.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/serving/autoscaler.h"
+#include "src/serving/cluster.h"
+#include "src/serving/engine.h"
+#include "src/storage/memory_backend.h"
+#include "src/workload/arrival.h"
+
+namespace hcache {
+namespace {
+
+constexpr int64_t kChunkBytes = 64 * 1024;
+
+ServingOptions EngineOpts() {
+  ServingOptions o;
+  o.method = RestoreMethod::kHCache;
+  return o;
+}
+
+ServingEngine MakeEngine() {
+  return ServingEngine(Platform::DefaultTestbed(1, 4), ModelConfig::Llama2_7B(),
+                       EngineOpts());
+}
+
+ClusterOptions ElasticOpts(int replicas) {
+  ClusterOptions o;
+  o.num_replicas = replicas;
+  o.router = RouterPolicy::kLeastLoadedTokens;
+  o.serving.method = RestoreMethod::kHCache;
+  return o;
+}
+
+ClusterReport RunElastic(const ClusterOptions& o, StorageBackend* shared, double load,
+                  int64_t sessions, uint64_t seed = 42) {
+  ClusterEngine cluster(Platform::DefaultTestbed(1, 4), ModelConfig::Llama2_7B(), o,
+                        shared);
+  return cluster.RunConversations(load, sessions, 5.0, seed);
+}
+
+// ===== engine-level lifecycle =====
+
+TEST(ReplicaLifecycleTest, KillDuringRestoreAbandonsTheRoundAndFreesTheKvPool) {
+  ServingEngine engine = MakeEngine();
+  engine.StartExternal();
+  EXPECT_EQ(engine.lifecycle(), ReplicaLifecycle::kUp);
+
+  RoundTask r;
+  r.session = 7;
+  r.history = 4096;  // forces a restoration phase before prefill
+  r.input = 128;
+  r.output = 32;
+  engine.Submit(r);
+  std::vector<RoundCompletion> done;
+  engine.Advance(1e-7, &done);  // dispatches into the restoration channel
+  EXPECT_TRUE(done.empty());
+  const ReplicaLoad mid = engine.Load();
+  EXPECT_LT(mid.kv_free_tokens, mid.kv_capacity_tokens);  // KV reserved by the restore
+  EXPECT_FALSE(engine.Idle());
+
+  const std::vector<RoundTask> orphans = engine.Kill();
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0].session, 7);
+  EXPECT_EQ(orphans[0].history, 4096);  // the round is returned intact for re-routing
+  EXPECT_EQ(engine.lifecycle(), ReplicaLifecycle::kDown);
+  EXPECT_TRUE(engine.Idle());
+  EXPECT_FALSE(std::isfinite(engine.NextEventTime()));
+  const ReplicaLoad after = engine.Load();
+  EXPECT_EQ(after.kv_free_tokens, after.kv_capacity_tokens);  // pool fully released
+  EXPECT_EQ(after.queued_rounds, 0);
+  EXPECT_EQ(after.queued_tokens, 0);
+  EXPECT_EQ(engine.FinishExternal().rounds_abandoned, 1);
+}
+
+TEST(ReplicaLifecycleTest, KillReturnsEveryInFlightStage) {
+  // Queue several rounds so pending/restoring stages are all populated, then kill:
+  // every admitted round must come back exactly once.
+  ServingEngine engine = MakeEngine();
+  engine.StartExternal();
+  for (int i = 0; i < 4; ++i) {
+    RoundTask r;
+    r.session = i;
+    r.history = i == 0 ? 2048 : 0;
+    r.input = 256;
+    r.output = 64;
+    engine.Submit(r);
+  }
+  std::vector<RoundCompletion> done;
+  engine.Advance(1e-7, &done);
+  const std::vector<RoundTask> orphans = engine.Kill();
+  std::vector<int64_t> ids;
+  for (const RoundTask& o : orphans) {
+    ids.push_back(o.session);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(ReplicaLifecycleTest, DrainFinishesInFlightWorkThenSettles) {
+  ServingEngine engine = MakeEngine();
+  engine.StartExternal();
+  RoundTask r;
+  r.session = 1;
+  r.input = 256;
+  r.output = 32;
+  engine.Submit(r);
+  engine.BeginDrain();
+  EXPECT_EQ(engine.lifecycle(), ReplicaLifecycle::kDraining);
+  // Draining still advances admitted work to completion.
+  std::vector<RoundCompletion> done;
+  engine.Advance(1e9, &done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_FALSE(done[0].dropped);
+  EXPECT_TRUE(engine.Idle());
+  engine.MarkDown();
+  EXPECT_EQ(engine.lifecycle(), ReplicaLifecycle::kDown);
+  EXPECT_FALSE(std::isfinite(engine.NextEventTime()));
+}
+
+TEST(ReplicaLifecycleTest, ResumeAtRevivesADownReplicaAtTheFleetClock) {
+  ServingEngine engine = MakeEngine();
+  engine.StartExternal();
+  engine.BeginDrain();
+  std::vector<RoundCompletion> done;
+  engine.Advance(10.0, &done);  // settle at the fleet clock, as the driver does
+  engine.MarkDown();
+
+  engine.ResumeAt(50.0);
+  EXPECT_EQ(engine.lifecycle(), ReplicaLifecycle::kUp);
+  RoundTask r;
+  r.session = 2;
+  r.input = 128;
+  r.output = 16;
+  r.arrival = 50.0;
+  engine.Submit(r);
+  engine.Advance(1e9, &done);
+  ASSERT_EQ(done.size(), 1u);
+  // The revived clock starts at the fleet time: no completion in the driver's past.
+  EXPECT_GE(done[0].finish_time, 50.0);
+}
+
+// ===== cluster-level fault matrix =====
+
+TEST(ElasticClusterTest, ReplicaKillMigratesSessionsToSurvivorsWithNoLostRounds) {
+  MemoryBackend shared(kChunkBytes);
+  ClusterOptions o = ElasticOpts(3);
+  o.events.push_back(FleetEvent{/*time=*/30.0, FleetEvent::Kind::kKill, /*replica=*/-1});
+  const ClusterReport rep = RunElastic(o, &shared, /*load=*/0.8, /*sessions=*/40);
+
+  EXPECT_EQ(rep.kills, 1);
+  EXPECT_GT(rep.migrated_rounds, 0);  // the victim was mid-work at t=30
+  EXPECT_EQ(rep.aggregate.rounds_abandoned, rep.migrated_rounds);
+  // Fail-stop loses no rounds: every submission is either completed or migrated
+  // (and the migrated copy completes on a survivor).
+  EXPECT_EQ(rep.aggregate.rounds_submitted,
+            rep.aggregate.rounds_completed + rep.migrated_rounds);
+  EXPECT_EQ(rep.sessions_completed, 40);
+  EXPECT_EQ(rep.sessions_dropped, 0);
+  // Survivor restores came from state the victim saved into the SHARED tier before
+  // dying — with a reliable backend nothing falls back to recompute.
+  EXPECT_EQ(rep.aggregate.restore_fallbacks, 0);
+  EXPECT_EQ(rep.min_replicas_up, 2);
+  // Completed sessions delete their state even when they migrated: no orphaned
+  // contexts squat in the shared tier after the run.
+  EXPECT_EQ(shared.chunks_stored(), 0);
+}
+
+TEST(ElasticClusterTest, DrainUnderLoadRetiresTheReplicaWithoutAbandoningWork) {
+  MemoryBackend shared(kChunkBytes);
+  ClusterOptions o = ElasticOpts(3);
+  o.events.push_back(FleetEvent{/*time=*/25.0, FleetEvent::Kind::kDrain, /*replica=*/0});
+  const ClusterReport rep = RunElastic(o, &shared, /*load=*/0.8, /*sessions=*/40);
+
+  EXPECT_EQ(rep.scale_downs, 1);
+  EXPECT_EQ(rep.kills, 0);
+  EXPECT_EQ(rep.migrated_rounds, 0);  // graceful: drains abandon nothing
+  EXPECT_EQ(rep.aggregate.rounds_abandoned, 0);
+  EXPECT_EQ(rep.aggregate.rounds_completed, rep.aggregate.rounds_submitted);
+  EXPECT_EQ(rep.sessions_completed, 40);
+  EXPECT_EQ(rep.min_replicas_up, 2);
+  // The drained replica finished what it had admitted before going down.
+  EXPECT_GT(rep.replicas[0].rounds_completed, 0);
+  EXPECT_EQ(shared.chunks_stored(), 0);
+}
+
+TEST(ElasticClusterTest, ScaleToOneAndBackServesEverySession) {
+  MemoryBackend shared(kChunkBytes);
+  ClusterOptions o = ElasticOpts(3);
+  o.events.push_back(FleetEvent{20.0, FleetEvent::Kind::kDrain, -1});
+  o.events.push_back(FleetEvent{20.0, FleetEvent::Kind::kDrain, -1});
+  o.events.push_back(FleetEvent{120.0, FleetEvent::Kind::kScaleUp, -1});
+  o.events.push_back(FleetEvent{120.0, FleetEvent::Kind::kScaleUp, -1});
+  const ClusterReport rep = RunElastic(o, &shared, /*load=*/0.6, /*sessions=*/40);
+
+  EXPECT_EQ(rep.scale_downs, 2);
+  EXPECT_EQ(rep.scale_ups, 2);
+  EXPECT_EQ(rep.min_replicas_up, 1);
+  EXPECT_EQ(rep.peak_replicas_up, 3);
+  EXPECT_EQ(rep.sessions_completed, 40);
+  EXPECT_EQ(rep.aggregate.rounds_completed, rep.aggregate.rounds_submitted);
+  // The elastic fleet spent less replica time than holding 3 replicas all run.
+  EXPECT_LT(rep.replica_seconds, 3.0 * rep.aggregate.makespan);
+  EXPECT_EQ(shared.chunks_stored(), 0);
+}
+
+TEST(ElasticClusterTest, AutoscalerFloorRepairRevivesADeadFleet) {
+  // Kill the only up replica mid-run: the fleet goes dark with arrivals pending, and
+  // the autoscaler's min_replicas floor must revive capacity so the run completes.
+  MemoryBackend shared(kChunkBytes);
+  ClusterOptions o = ElasticOpts(2);
+  o.initial_replicas = 1;
+  o.autoscaler.policy = AutoscalePolicy::kTargetUtilization;
+  o.autoscaler.min_replicas = 1;
+  o.autoscaler.evaluate_every_s = 5.0;
+  o.events.push_back(FleetEvent{15.0, FleetEvent::Kind::kKill, -1});
+  const ClusterReport rep = RunElastic(o, &shared, /*load=*/0.4, /*sessions=*/20);
+
+  EXPECT_EQ(rep.kills, 1);
+  EXPECT_GE(rep.scale_ups, 1);  // floor repair brought a replica back
+  EXPECT_EQ(rep.min_replicas_up, 0);
+  EXPECT_EQ(rep.sessions_completed, 20);
+  EXPECT_EQ(rep.aggregate.rounds_submitted,
+            rep.aggregate.rounds_completed + rep.migrated_rounds);
+  EXPECT_EQ(shared.chunks_stored(), 0);
+}
+
+TEST(ElasticClusterTest, StickySessionsReRouteAfterTheirHomeDies) {
+  // Sticky routing pins sessions to the replica holding their state; killing it must
+  // not strand them — the shared tier serves their restore on whatever survivor the
+  // router picks (counted as cross-replica restores).
+  MemoryBackend shared(kChunkBytes);
+  ClusterOptions o = ElasticOpts(3);
+  o.router = RouterPolicy::kStickyWithSpill;
+  o.events.push_back(FleetEvent{30.0, FleetEvent::Kind::kKill, -1});
+  const ClusterReport rep = RunElastic(o, &shared, /*load=*/0.8, /*sessions=*/40);
+
+  EXPECT_EQ(rep.sessions_completed, 40);
+  EXPECT_GT(rep.cross_replica_restores, 0);  // the forced re-homes
+  EXPECT_EQ(rep.aggregate.restore_fallbacks, 0);
+  EXPECT_EQ(shared.chunks_stored(), 0);
+}
+
+TEST(ElasticClusterTest, StaticOptionsReproduceTheFixedFleetExactly) {
+  // ClusterOptions{autoscaler=kStatic, stationary arrivals, no events} must be
+  // bit-for-bit the PR 4-9 cluster: same rounds, same clocks, same histograms.
+  MemoryBackend a_shared(kChunkBytes);
+  MemoryBackend b_shared(kChunkBytes);
+  ClusterOptions a_opts = ElasticOpts(3);
+  ClusterOptions b_opts = ElasticOpts(3);
+  b_opts.autoscaler = AutoscalerOptions{};  // defaults: kStatic
+  b_opts.arrivals = ArrivalSpec{};          // defaults: stationary
+  const ClusterReport a = RunElastic(a_opts, &a_shared, 0.6, 30, 99);
+  const ClusterReport b = RunElastic(b_opts, &b_shared, 0.6, 30, 99);
+  EXPECT_EQ(a.aggregate.rounds_completed, b.aggregate.rounds_completed);
+  EXPECT_DOUBLE_EQ(a.aggregate.makespan, b.aggregate.makespan);
+  EXPECT_EQ(a.aggregate.ttft.samples(), b.aggregate.ttft.samples());
+  EXPECT_EQ(a.aggregate.tbt.samples(), b.aggregate.tbt.samples());
+  EXPECT_EQ(b.scale_ups, 0);
+  EXPECT_EQ(b.scale_downs, 0);
+  EXPECT_EQ(b.peak_replicas_up, 3);
+  EXPECT_EQ(b.min_replicas_up, 3);
+}
+
+// ===== autoscaler control law =====
+
+std::vector<ReplicaCandidate> Fleet(std::vector<int64_t> queued_tokens,
+                                    int64_t kv_free = 48000, int64_t kv_cap = 48000) {
+  std::vector<ReplicaCandidate> up;
+  for (size_t i = 0; i < queued_tokens.size(); ++i) {
+    ReplicaCandidate c;
+    c.id = static_cast<int>(i);
+    c.load.queued_tokens = queued_tokens[i];
+    c.load.kv_free_tokens = kv_free;
+    c.load.kv_capacity_tokens = kv_cap;
+    up.push_back(c);
+  }
+  return up;
+}
+
+AutoscalerOptions TargetOpts() {
+  AutoscalerOptions o;
+  o.policy = AutoscalePolicy::kTargetUtilization;
+  o.target_queued_tokens = 1000.0;
+  o.evaluate_every_s = 20.0;
+  o.scale_down_cooldown_s = 100.0;
+  return o;
+}
+
+TEST(AutoscalerTest, StaticPolicyNeverActs) {
+  Autoscaler as(AutoscalerOptions{}, /*fleet_size=*/4);
+  EXPECT_FALSE(as.enabled());
+  EXPECT_FALSE(std::isfinite(as.NextEvaluationTime()));
+  const AutoscaleDecision d = as.Evaluate(100.0, Fleet({50000, 50000}));
+  EXPECT_EQ(d.delta, 0);
+  EXPECT_EQ(as.evaluations(), 0);
+}
+
+TEST(AutoscalerTest, ScalesUpProportionallyAboveTheBand) {
+  Autoscaler as(TargetOpts(), /*fleet_size=*/8);
+  // 2 replicas, 2000 queued tokens each: utilization 4000/(2*1000) = 2.0 > hi=1.3.
+  const AutoscaleDecision d = as.Evaluate(20.0, Fleet({2000, 2000}));
+  EXPECT_DOUBLE_EQ(d.utilization, 2.0);
+  EXPECT_EQ(d.delta, 2);  // desired = ceil(2 * 2.0) = 4 replicas
+}
+
+TEST(AutoscalerTest, HoldsInsideTheHysteresisBand) {
+  Autoscaler as(TargetOpts(), 8);
+  // Utilization exactly at the setpoint: inside [lo, hi], no action.
+  const AutoscaleDecision d = as.Evaluate(20.0, Fleet({1000, 1000}));
+  EXPECT_DOUBLE_EQ(d.utilization, 1.0);
+  EXPECT_EQ(d.delta, 0);
+  EXPECT_FALSE(d.in_cooldown);
+}
+
+TEST(AutoscalerTest, ScaleDownStepsOneAndRespectsCooldown) {
+  Autoscaler as(TargetOpts(), 8);
+  const AutoscaleDecision first = as.Evaluate(20.0, Fleet({100, 100, 100}));
+  EXPECT_EQ(first.delta, -1);  // one drain at a time
+  // Still idle at the next evaluation, but inside the 100 s cooldown window.
+  const AutoscaleDecision second = as.Evaluate(40.0, Fleet({100, 100}));
+  EXPECT_EQ(second.delta, 0);
+  EXPECT_TRUE(second.in_cooldown);
+  // Past the cooldown the next step is allowed.
+  const AutoscaleDecision third = as.Evaluate(140.0, Fleet({100, 100}));
+  EXPECT_EQ(third.delta, -1);
+}
+
+TEST(AutoscalerTest, NeverDrainsBelowMinReplicas) {
+  AutoscalerOptions o = TargetOpts();
+  o.min_replicas = 2;
+  Autoscaler as(o, 8);
+  const AutoscaleDecision d = as.Evaluate(20.0, Fleet({0, 0}));
+  EXPECT_EQ(d.delta, 0);  // idle, but already at the floor
+}
+
+TEST(AutoscalerTest, FloorRepairRestoresMinReplicasUnconditionally) {
+  AutoscalerOptions o = TargetOpts();
+  o.min_replicas = 2;
+  Autoscaler as(o, 8);
+  const AutoscaleDecision d = as.Evaluate(20.0, Fleet({}));  // dead fleet
+  EXPECT_EQ(d.delta, 2);
+}
+
+TEST(AutoscalerTest, KvOccupancyFloorsUtilizationAgainstScaleDown) {
+  Autoscaler as(TargetOpts(), 8);
+  // Queues empty but KV pools full: a KV-bound fleet reads utilization 1.0 — inside
+  // the band — so it is NOT drained even though queued demand alone says idle.
+  const AutoscaleDecision d = as.Evaluate(20.0, Fleet({0, 0}, /*kv_free=*/0));
+  EXPECT_DOUBLE_EQ(d.utilization, 1.0);
+  EXPECT_EQ(d.delta, 0);
+}
+
+TEST(AutoscalerTest, CapsAtMaxReplicasAndAdvancesItsGrid) {
+  AutoscalerOptions o = TargetOpts();
+  o.max_replicas = 3;
+  Autoscaler as(o, 8);
+  EXPECT_DOUBLE_EQ(as.NextEvaluationTime(), 20.0);
+  const AutoscaleDecision d = as.Evaluate(20.0, Fleet({9000, 9000}));  // util 9.0
+  EXPECT_EQ(d.delta, 1);  // desired 18, capped at max=3
+  EXPECT_DOUBLE_EQ(as.NextEvaluationTime(), 40.0);
+  // A clock jump over several grid points yields one evaluation, not a burst.
+  as.Evaluate(95.0, Fleet({1000, 1000, 1000}));
+  EXPECT_DOUBLE_EQ(as.NextEvaluationTime(), 100.0);
+}
+
+// ===== non-homogeneous arrivals =====
+
+TEST(NonHomogeneousArrivalsTest, ReplaysExactlyFromItsSeed) {
+  DiurnalShape shape;
+  shape.period_s = 600.0;
+  shape.amplitude = 0.5;
+  NonHomogeneousPoissonArrivals a(1.0, shape, 77);
+  NonHomogeneousPoissonArrivals b(1.0, shape, 77);
+  double prev = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double ta = a.NextArrivalTime();
+    EXPECT_DOUBLE_EQ(ta, b.NextArrivalTime());
+    EXPECT_GT(ta, prev);  // strictly monotone
+    prev = ta;
+  }
+}
+
+TEST(NonHomogeneousArrivalsTest, DiurnalShapeModulatesArrivalDensity) {
+  DiurnalShape shape;
+  shape.period_s = 1000.0;
+  shape.amplitude = 0.8;
+  NonHomogeneousPoissonArrivals arr(1.0, shape, 42);
+  // sin is positive on the first half-period and negative on the second: the high
+  // half must receive several times the arrivals of the low half.
+  int high = 0, low = 0;
+  for (;;) {
+    const double t = arr.NextArrivalTime();
+    if (t >= 1000.0) {
+      break;
+    }
+    ++(t < 500.0 ? high : low);
+  }
+  EXPECT_GT(high, 2 * low);
+}
+
+TEST(NonHomogeneousArrivalsTest, FlashCrowdConcentratesArrivals) {
+  DiurnalShape shape;
+  shape.amplitude = 0.0;  // isolate the spike
+  shape.spikes.push_back(FlashCrowd{/*start=*/100.0, /*duration=*/10.0,
+                                    /*multiplier=*/10.0});
+  NonHomogeneousPoissonArrivals arr(1.0, shape, 7);
+  int in_spike = 0, before_spike = 0;
+  for (;;) {
+    const double t = arr.NextArrivalTime();
+    if (t >= 110.0) {
+      break;
+    }
+    if (t >= 100.0) {
+      ++in_spike;
+    } else if (t >= 80.0 && t < 90.0) {
+      ++before_spike;  // equal-width control window at the base rate
+    }
+  }
+  EXPECT_GT(in_spike, 3 * std::max(1, before_spike));
+}
+
+TEST(NonHomogeneousArrivalsTest, PeakRateBoundsTheInstantaneousRate) {
+  DiurnalShape shape;
+  shape.period_s = 700.0;
+  shape.amplitude = 0.6;
+  shape.spikes.push_back(FlashCrowd{200.0, 30.0, 5.0});
+  shape.spikes.push_back(FlashCrowd{210.0, 50.0, 2.0});  // overlaps the first
+  const double base = 1.5;
+  const double peak = shape.PeakRate(base);
+  for (double t = 0; t < 1400.0; t += 0.5) {
+    EXPECT_LE(shape.RateAt(base, t), peak) << "t=" << t;
+    EXPECT_GE(shape.RateAt(base, t), 0.0) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace hcache

@@ -99,6 +99,57 @@ TEST(EngineDeterminismTest, ClusterRunsAreByteIdenticalAcrossThreadPoolSizes) {
   ThreadPool::ResizeShared(hw);
 }
 
+TEST(EngineDeterminismTest, ElasticRunsAreByteIdenticalAcrossThreadPoolSizes) {
+  // The elastic plane joins the deterministic surface: a run with diurnal arrivals,
+  // an active autoscaler, a scripted mid-run kill, and parallel replica stepping must
+  // replay byte-identically whatever the shared pool holds. Scale events change which
+  // replicas exist turn to turn, so any routing or merge-order dependence on thread
+  // interleaving would show up here first.
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  auto run = [] {
+    MemoryBackend shared(64 * 1024);
+    ClusterOptions o;
+    o.num_replicas = 4;
+    o.initial_replicas = 2;
+    o.router = RouterPolicy::kStickyWithSpill;
+    o.serving.method = RestoreMethod::kHCache;
+    o.parallel_advance = true;
+    o.autoscaler.policy = AutoscalePolicy::kTargetUtilization;
+    o.autoscaler.min_replicas = 1;
+    o.autoscaler.evaluate_every_s = 10.0;
+    o.arrivals.kind = ArrivalSpec::Kind::kDiurnal;
+    o.arrivals.diurnal.period_s = 120.0;
+    o.arrivals.diurnal.amplitude = 0.6;
+    o.events.push_back(FleetEvent{/*time=*/25.0, FleetEvent::Kind::kKill, /*replica=*/-1});
+    ClusterEngine cluster(Platform::DefaultTestbed(1, 4), ModelConfig::Llama2_7B(), o,
+                          &shared);
+    return cluster.RunConversations(0.8, 50, 5.0, 777);
+  };
+  ThreadPool::ResizeShared(1);
+  const ClusterReport base = run();
+  EXPECT_EQ(base.kills, 1);
+  EXPECT_EQ(base.sessions_completed + base.sessions_dropped, 50);
+  for (const size_t threads : {size_t{4}, hw}) {
+    ThreadPool::ResizeShared(threads);
+    const ClusterReport r = run();
+    ExpectReportsIdentical(base.aggregate, r.aggregate);
+    EXPECT_EQ(base.migrated_rounds, r.migrated_rounds);
+    EXPECT_EQ(base.scale_ups, r.scale_ups);
+    EXPECT_EQ(base.scale_downs, r.scale_downs);
+    EXPECT_EQ(base.replica_seconds, r.replica_seconds);  // exact: same event order
+    EXPECT_EQ(base.cross_replica_restores, r.cross_replica_restores);
+    ASSERT_EQ(base.up_timeline.size(), r.up_timeline.size());
+    for (size_t i = 0; i < base.up_timeline.size(); ++i) {
+      EXPECT_EQ(base.up_timeline[i].time, r.up_timeline[i].time);
+      EXPECT_EQ(base.up_timeline[i].up, r.up_timeline[i].up);
+    }
+    for (size_t i = 0; i < base.replicas.size(); ++i) {
+      ExpectReportsIdentical(base.replicas[i], r.replicas[i]);
+    }
+  }
+  ThreadPool::ResizeShared(hw);
+}
+
 TEST(EngineDeterminismTest, DifferentSeedsProduceDifferentTraces) {
   // Sanity on the sweep itself: the equality assertions above would pass trivially if
   // the workload ignored its seed.
